@@ -1,0 +1,61 @@
+"""Shared rigs for the paper-reproduction benchmarks.
+
+Each benchmark builds a fresh simulated cluster, drives the paper's
+measurement scenario, and reports the *virtual-time* results (the
+numbers comparable to the paper's tables) via ``benchmark.extra_info``
+and a printed table.  The wall-clock number pytest-benchmark measures
+is the cost of running the simulation itself -- useful for tracking the
+simulator, not part of the reproduction.
+"""
+
+import pytest
+
+from repro import Cluster, SystemConfig, drive
+
+
+def build_cluster(nsites=2, config=None, files=()):
+    """A cluster with ``files``: iterable of (path, site_id, contents)."""
+    cluster = Cluster(site_ids=tuple(range(1, nsites + 1)),
+                      config=config or SystemConfig())
+    for path, site_id, contents in files:
+        drive(cluster.engine, cluster.create_file(path, site_id=site_id))
+        if contents:
+            drive(cluster.engine, cluster.populate(path, contents))
+    return cluster
+
+
+def run_to_completion(cluster, proc):
+    cluster.run()
+    if proc.failed:
+        raise proc.exit_value
+    return proc
+
+
+def print_table(title, headers, rows):
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print()
+    print("== %s ==" % title)
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture
+def report(benchmark):
+    """Attach reproduced numbers to the benchmark record and print them."""
+
+    def _report(title, headers, rows, **extra):
+        print_table(title, headers, rows)
+        benchmark.extra_info["table"] = {
+            "title": title, "headers": list(headers),
+            "rows": [list(map(str, r)) for r in rows],
+        }
+        for key, value in extra.items():
+            benchmark.extra_info[key] = value
+
+    return _report

@@ -1,0 +1,88 @@
+"""ABL-RSTAR -- section 7.5: flat (Locus) vs tree (R*) commit topology.
+
+"In Locus, the exchange of messages is between the kernels at the
+coordinator site, and the kernels at all participant sites; this
+protocol involves less latency" than R*'s level-by-level propagation
+down the process tree.  Both protocols run on identical machinery here
+(same logs, same recovery); only the prepare-message topology differs,
+so the measured gap is purely the claim the paper makes.
+"""
+
+import pytest
+
+from repro import Cluster, SystemConfig, drive
+from repro.sim import OperationProbe
+
+
+def _commit_latency(nparticipants, protocol, branching=2):
+    config = SystemConfig(commit_protocol=protocol, tree_branching=branching)
+    cluster = Cluster(
+        site_ids=tuple(range(1, nparticipants + 2)), config=config
+    )
+    for s in range(2, nparticipants + 2):
+        drive(cluster.engine, cluster.create_file("/f%d" % s, site_id=s))
+        drive(cluster.engine, cluster.populate("/f%d" % s, b"-" * 32))
+    out = {}
+
+    def prog(sys):
+        yield from sys.begin_trans()
+        for s in range(2, nparticipants + 2):
+            fd = yield from sys.open("/f%d" % s, write=True)
+            yield from sys.write(fd, b"payload")
+        probe = OperationProbe(cluster.engine).start()
+        yield from sys.end_trans()
+        probe.stop()
+        out["commit_ms"] = probe.latency * 1000
+
+    proc = cluster.spawn(prog, site_id=1)
+    cluster.run()
+    assert proc.exit_status == "done", proc.exit_value
+    return out["commit_ms"]
+
+
+def test_flat_vs_tree_commit_latency(benchmark, report):
+    N = 7  # a binary tree of depth 3 under the coordinator
+
+    def run_both():
+        return {
+            "flat (Locus)": _commit_latency(N, "flat"),
+            "tree (R*, branching 2)": _commit_latency(N, "tree", branching=2),
+            "tree (R*, branching 3)": _commit_latency(N, "tree", branching=3),
+        }
+
+    results = benchmark(run_both)
+    rows = [(name, "%.1f" % ms) for name, ms in results.items()]
+    report(
+        "Section 7.5: EndTrans latency, %d participants (ms)" % N,
+        ("protocol", "commit latency ms"),
+        rows,
+    )
+    flat = results["flat (Locus)"]
+    tree2 = results["tree (R*, branching 2)"]
+    tree3 = results["tree (R*, branching 3)"]
+    # The paper's claim, quantified: flat wins, and wider trees (fewer
+    # levels) close part of the gap.
+    assert flat < tree2
+    assert tree3 < tree2
+    # Depth-proportional penalty: at least one extra round trip per
+    # extra tree level below the first.
+    assert tree2 - flat > 16
+
+
+def test_gap_grows_with_participants(benchmark, report):
+    def sweep():
+        rows = []
+        for n in (3, 7, 15):
+            flat = _commit_latency(n, "flat")
+            tree = _commit_latency(n, "tree", branching=2)
+            rows.append((n, flat, tree, tree - flat))
+        return rows
+
+    rows = benchmark(sweep)
+    report(
+        "Flat vs tree commit latency by participant count (ms)",
+        ("participants", "flat", "tree", "gap"),
+        [(n, "%.1f" % f, "%.1f" % t, "%.1f" % g) for n, f, t, g in rows],
+    )
+    gaps = [g for _n, _f, _t, g in rows]
+    assert gaps[-1] > gaps[0]  # deeper trees, bigger gap

@@ -1,0 +1,62 @@
+"""EXT-CONTENTION -- concurrency under skewed record contention.
+
+The paper's case for record-level locks rests on database workloads
+with "considerable concurrency of data access and update" (section 1).
+This extension sweeps access skew and locking discipline with the
+shared load driver: throughput and deadlock-abort rates for
+
+* well-ordered exclusive locking (the discipline the banking example
+  uses), and
+* the read-then-upgrade idiom, which produces conversion deadlocks the
+  section 3.1 detector must resolve.
+"""
+
+from repro import Cluster
+from repro.workloads import LoadDriver, RecordLayout
+
+
+def _run(hot_weight, upgrades, seed=3):
+    cluster = Cluster(site_ids=(1, 2, 3))
+    layout = RecordLayout(record_size=64, record_count=32)
+    driver = LoadDriver(
+        cluster, "/load", layout, workers=6, txns_per_worker=4,
+        hot_fraction=0.2, hot_weight=hot_weight, seed=seed,
+        upgrades=upgrades,
+    )
+    driver.setup()
+    return driver.run()
+
+
+def test_contention_sweep(benchmark, report):
+    def sweep():
+        rows = []
+        for hot_weight in (0.0, 0.5, 0.9):
+            ordered = _run(hot_weight, upgrades=False)
+            rows.append(("ordered", hot_weight, ordered))
+        upgrade = _run(0.9, upgrades=True)
+        rows.append(("upgrade", 0.9, upgrade))
+        return rows
+
+    rows = benchmark(sweep)
+    report(
+        "Contention sweep: 6 workers x 4 txns, 20% hot set",
+        ("discipline", "hot weight", "committed", "retries", "txn/s",
+         "abort rate"),
+        [
+            (d, hw, r.committed, r.retries, "%.1f" % r.throughput,
+             "%.2f" % r.abort_rate)
+            for d, hw, r in rows
+        ],
+    )
+    ordered = {hw: r for d, hw, r in rows if d == "ordered"}
+    # Ordered locking never deadlocks, at any skew.
+    assert all(r.abort_rate == 0.0 for r in ordered.values())
+    # Skew costs throughput even without deadlocks (lock waiting).
+    assert ordered[0.9].throughput < ordered[0.0].throughput
+    # The upgrade idiom deadlocks heavily at high skew, and the system
+    # keeps making progress by victimizing (retries recorded, some
+    # transactions still commit).
+    upgrade = [r for d, _hw, r in rows if d == "upgrade"][0]
+    assert upgrade.retries > 0
+    assert upgrade.committed > 0
+    assert upgrade.abort_rate > ordered[0.9].abort_rate

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Multi-member transactions and process migration (sections 2 and 4.1).
+
+A coordinator process starts a transaction, forks workers at three
+different sites (each updating a shard of a distributed dataset),
+migrates itself to another site mid-transaction, and commits.  The
+file-lists of all the remote children chase the migrating top-level
+process -- the in-transit race of section 4.1 -- and the commit covers
+every shard.
+
+Run:  python examples/migration_and_members.py
+"""
+
+from repro import Cluster, drive
+
+SHARDS = {1: "/shards/s1", 2: "/shards/s2", 3: "/shards/s3"}
+
+
+def worker(sysc, path, payload):
+    fd = yield from sysc.open(path, write=True)
+    yield from sysc.lock(fd, len(payload))
+    yield from sysc.write(fd, payload)
+    return "%s updated at site %d" % (path, sysc.site_id)
+
+
+def coordinator(sysc):
+    yield from sysc.begin_trans()
+    kids = []
+    for site_id, path in SHARDS.items():
+        payload = (u"shard@%d!" % site_id).encode()
+        kid = yield from sysc.fork(worker, path, payload, site=site_id)
+        kids.append(kid)
+    # Wander the network while the children work (the children's
+    # file-list merges must follow us -- section 4.1's race).
+    yield from sysc.migrate(2)
+    yield from sysc.migrate(3)
+    for kid in kids:
+        print("  child:", (yield from sysc.wait(kid)))
+    yield from sysc.end_trans()
+    return "committed from site %d" % sysc.site_id
+
+
+def main():
+    cluster = Cluster(site_ids=(1, 2, 3))
+    for site_id, path in SHARDS.items():
+        drive(cluster.engine, cluster.create_file(path, site_id=site_id))
+        drive(cluster.engine, cluster.populate(path, b"-" * 16))
+
+    proc = cluster.spawn(coordinator, site_id=1)
+    cluster.run()
+    assert proc.exit_status == "done", proc.exit_value
+    print("coordinator:", proc.exit_value)
+
+    txn = cluster.txn_registry.all()[0]
+    print("coordinator site:", txn.coordinator_site,
+          "(started at site 1, migrated twice)")
+    print("participants:", list(txn.participants))
+    for site_id, path in SHARDS.items():
+        expected = (u"shard@%d!" % site_id).encode()
+        data = drive(cluster.engine, cluster.committed_bytes(path, 0, len(expected)))
+        print("  %s durable: %r" % (path, data))
+        assert data == expected
+    print("every shard committed atomically under one transaction.")
+
+
+if __name__ == "__main__":
+    main()

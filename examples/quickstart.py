@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: one distributed transaction, start to finish.
+
+Builds a two-site cluster, creates a file stored at site 1, and runs a
+transaction *from site 2* that locks a record, updates it, and commits
+through the full two-phase protocol -- then shows what is durable.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Cluster, drive
+
+
+def main():
+    cluster = Cluster(site_ids=(1, 2))
+
+    # A file stored at site 1, visible everywhere by path.
+    drive(cluster.engine, cluster.create_file("/db/greeting", site_id=1))
+    drive(cluster.engine, cluster.populate("/db/greeting", b"hello, world!    "))
+
+    def program(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/db/greeting", write=True)
+        yield from sys.lock(fd, 17)                  # record lock, enforced
+        yield from sys.write(fd, b"hello, sosp 1985!")
+        yield from sys.end_trans()                   # two-phase commit
+        return "committed at t=%.3fs from site %d" % (sys.now, sys.site_id)
+
+    proc = cluster.spawn(program, site_id=2)  # note: NOT the storage site
+    cluster.run()
+
+    print("program:", proc.exit_value)
+    data = drive(cluster.engine, cluster.committed_bytes("/db/greeting", 0, 17))
+    print("durable contents:", data.decode())
+
+    stats = cluster.io_stats()
+    print("disk I/Os by category:")
+    for name in sorted(k for k in stats if k.startswith("io.") and k != "io.total"):
+        print("  %-22s %d" % (name, stats[name]))
+    print("network messages:", cluster.network.stats.get("net.messages"))
+
+    txn = cluster.txn_registry.all()[0]
+    print("transaction %s: %s (coordinator site %s, participants %s)"
+          % (txn.tid, txn.state, txn.coordinator_site, list(txn.participants)))
+
+
+if __name__ == "__main__":
+    main()

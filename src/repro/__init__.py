@@ -1,0 +1,61 @@
+"""repro: a reproduction of "Transactions and Synchronization in a
+Distributed Operating System" (Weinstein, Page, Livezey, Popek --
+SOSP 1985).
+
+The package rebuilds the paper's system end to end on a deterministic
+discrete-event simulator: the Locus-style distributed Unix substrate
+(sites, transparent filesystem, shadow-page commit, process migration),
+the record-level two-phase locking facility, and the simple-nested
+transaction mechanism with three-log two-phase commit and crash
+recovery.
+
+Quick start::
+
+    from repro import Cluster, drive
+
+    cluster = Cluster(site_ids=(1, 2))
+    drive(cluster.engine, cluster.create_file("/data", site_id=1))
+
+    def prog(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/data", write=True)
+        yield from sys.lock(fd, 11)
+        yield from sys.write(fd, b"hello locus")
+        yield from sys.end_trans()
+
+    proc = cluster.spawn(prog, site_id=2)
+    cluster.run()
+    assert proc.exit_status == "done"
+"""
+
+from .config import CostModel, SystemConfig
+from .locus import Cluster, Syscalls, TransactionAborted
+from .rangeset import RangeSet
+from .sim import Engine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "CostModel",
+    "Engine",
+    "RangeSet",
+    "Syscalls",
+    "SystemConfig",
+    "TransactionAborted",
+    "drive",
+    "__version__",
+]
+
+
+def drive(engine, generator):
+    """Run a simulation generator to completion on ``engine`` and return
+    its value; failures re-raise at the call site.  Convenience for
+    setup steps (file creation, population) outside any program."""
+    proc = engine.process(generator)
+    engine.run()
+    if proc.failed:
+        raise proc.value
+    if proc.killed:
+        raise RuntimeError("setup process was killed")
+    return proc.value

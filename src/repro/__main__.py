@@ -1,0 +1,123 @@
+"""Command-line demo: ``python -m repro [scenario]``.
+
+Scenarios:
+
+* ``commit``   (default) -- a distributed transaction, with trace
+* ``abort``    -- a deadlock between two transactions, victim aborted
+* ``recovery`` -- coordinator crash after the commit point, recovered
+
+Flags: ``--report`` prints the cluster inspection tables afterwards,
+``--quiet`` suppresses the event trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import Cluster, drive
+from repro.locus.inspect import cluster_report
+
+
+def scenario_commit(cluster, tracer):
+    drive(cluster.engine, cluster.create_file("/demo/data", site_id=1))
+    drive(cluster.engine, cluster.populate("/demo/data", b"." * 64))
+
+    def prog(sysc):
+        yield from sysc.begin_trans()
+        fd = yield from sysc.open("/demo/data", write=True)
+        yield from sysc.lock(fd, 32)
+        yield from sysc.write(fd, b"a distributed transaction paper!"[:32])
+        yield from sysc.end_trans()
+        return "committed from site %d at t=%.3fs" % (sysc.site_id, sysc.now)
+
+    proc = cluster.spawn(prog, site_id=2, name="demo")
+    cluster.run()
+    print("outcome:", proc.exit_value if proc.exit_status == "done" else proc.exit_value)
+    data = drive(cluster.engine, cluster.committed_bytes("/demo/data", 0, 32))
+    print("durable:", data.decode())
+
+
+def scenario_abort(cluster, tracer):
+    for path in ("/demo/x", "/demo/y"):
+        drive(cluster.engine, cluster.create_file(path, site_id=1))
+        drive(cluster.engine, cluster.populate(path, b"-" * 32))
+
+    def txn(sysc, first, second, delay):
+        yield from sysc.sleep(delay)
+        yield from sysc.begin_trans()
+        for path in (first, second):
+            fd = yield from sysc.open(path, write=True)
+            yield from sysc.lock(fd, 8)
+            yield from sysc.sleep(0.3)
+        yield from sysc.end_trans()
+        return "committed"
+
+    older = cluster.spawn(txn, "/demo/x", "/demo/y", 0.0, site_id=1, name="older")
+    younger = cluster.spawn(txn, "/demo/y", "/demo/x", 0.05, site_id=2, name="younger")
+    cluster.run()
+    print("older:  ", older.exit_status, older.exit_value)
+    print("younger:", younger.exit_status, younger.exit_value)
+
+
+def scenario_recovery(cluster, tracer):
+    drive(cluster.engine, cluster.create_file("/demo/data", site_id=1))
+    drive(cluster.engine, cluster.populate("/demo/data", b"-" * 32))
+
+    def prog(sysc):
+        yield from sysc.begin_trans()
+        fd = yield from sysc.open("/demo/data", write=True)
+        yield from sysc.write(fd, b"survives the coordinator crash!")
+        yield from sysc.end_trans()
+        cluster.crash_site(sysc.site_id)  # die before phase two
+        yield from sysc.sleep(1)
+
+    cluster.spawn(prog, site_id=2, name="doomed-coordinator")
+    cluster.run()
+    txn = cluster.txn_registry.all()[0]
+    print("after crash: transaction state =", txn.state)
+    cluster.restart_site(2)
+    cluster.run()
+    print("after reboot+recovery: state =", txn.state)
+    data = drive(cluster.engine, cluster.committed_bytes("/demo/data", 0, 31))
+    print("durable:", data.decode())
+
+
+SCENARIOS = {
+    "commit": scenario_commit,
+    "abort": scenario_abort,
+    "recovery": scenario_recovery,
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Demos of the SOSP 1985 Locus transaction reproduction.",
+    )
+    parser.add_argument("scenario", nargs="?", default="commit",
+                        choices=sorted(SCENARIOS))
+    parser.add_argument("--report", action="store_true",
+                        help="print the cluster inspection tables")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the event trace")
+    args = parser.parse_args(argv)
+
+    cluster = Cluster(site_ids=(1, 2, 3))
+    tracer = cluster.enable_tracing()
+    print("== scenario: %s ==" % args.scenario)
+    SCENARIOS[args.scenario](cluster, tracer)
+    if not args.quiet:
+        print("\nevent trace:")
+        for ev in tracer.events[:40]:
+            print("  " + ev.format())
+        if len(tracer.events) > 40:
+            print("  ... (%d more events)" % (len(tracer.events) - 40))
+    if args.report:
+        print()
+        print(cluster_report(cluster))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Analytic models backing the paper's section 6 discussion."""
+
+from .opcount import (
+    TxnShape,
+    crossover_record_size,
+    shadow_txn_ios,
+    sweep_record_size,
+    wal_txn_ios,
+)
+
+__all__ = [
+    "TxnShape",
+    "crossover_record_size",
+    "shadow_txn_ios",
+    "sweep_record_size",
+    "wal_txn_ios",
+]

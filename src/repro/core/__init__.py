@@ -1,0 +1,36 @@
+"""The paper's primary contribution: the transaction facility --
+temporally unique ids, simple-nested Begin/End/Abort, decentralized
+file-lists with the migration-safe merge protocol, three-log two-phase
+commit, cascading abort, and reboot-time recovery."""
+
+from .filelist import MergeFailed, handle_filelist_merge, merge_file_list
+from .ids import TransactionId, TransactionIdGenerator
+from .recovery import run_recovery
+from .transaction import TransactionService, TxnRecord, TxnRegistry, TxnState
+from .twophase import (
+    abort_at_participants,
+    abort_participant,
+    commit_participant,
+    coordinator_status,
+    prepare_participant,
+    run_two_phase_commit,
+)
+
+__all__ = [
+    "MergeFailed",
+    "TransactionId",
+    "TransactionIdGenerator",
+    "TransactionService",
+    "TxnRecord",
+    "TxnRegistry",
+    "TxnState",
+    "abort_at_participants",
+    "abort_participant",
+    "commit_participant",
+    "coordinator_status",
+    "handle_filelist_merge",
+    "merge_file_list",
+    "prepare_participant",
+    "run_recovery",
+    "run_two_phase_commit",
+]

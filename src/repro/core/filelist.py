@@ -1,0 +1,72 @@
+"""File-list maintenance and the merge protocol (section 4.1).
+
+Each process in a transaction keeps a decentralized *file-list* of the
+files it used; as each child completes, its list merges with the
+top-level process's, so that at EndTrans the top-level list names every
+file the transaction touched.
+
+The migration race: the merge message may arrive at a site the
+top-level process is leaving (or has left).  The receiving system
+verifies the target process is resident and not *in-transit*; otherwise
+it returns failure and the child's site retries against the process's
+new location.  The sender re-resolves the current site each attempt, so
+the list follows the process through any number of migrations.
+"""
+
+from __future__ import annotations
+
+from repro.net import MessageKinds, RpcError, SiteUnreachable
+
+__all__ = ["merge_file_list", "handle_filelist_merge", "MergeFailed"]
+
+
+class MergeFailed(Exception):
+    """The top-level process could not be reached after many retries."""
+
+
+def merge_file_list(site, child_proc, retry_delay=0.05, max_attempts=100):
+    """Generator: merge a completing child's file-list into the
+    transaction's top-level process, wherever it currently is."""
+    if child_proc.tid is None or not child_proc.file_list:
+        return
+    txn = site.cluster.txn_registry.get(child_proc.tid)
+    if txn is None:
+        return
+    top = txn.top_proc
+    files = sorted(child_proc.file_list)
+    for _attempt in range(max_attempts):
+        target_site = top.site_id  # re-resolved every attempt
+        if target_site == site.site_id:
+            if not top.in_transit:
+                top.file_list.update(files)
+                return
+        else:
+            try:
+                reply = yield from site.rpc.call(
+                    target_site,
+                    MessageKinds.FILELIST_MERGE,
+                    {"pid": top.pid, "files": files},
+                )
+                if reply.get("ok"):
+                    return
+            except SiteUnreachable:
+                pass  # site gone: topology handling will abort the txn
+            except RpcError:
+                pass
+        yield site.engine.timeout(retry_delay)
+    raise MergeFailed(
+        "file-list merge for pid %d never reached top-level pid %d"
+        % (child_proc.pid, top.pid)
+    )
+
+
+def handle_filelist_merge(site, body, _src):
+    """Generator: the receiving site's side of the protocol.  Fails the
+    request when the target process is absent or mid-migration, which
+    is exactly the race the in-transit marking closes."""
+    yield site.engine.charge(site.cost.instr(site.cost.trans_msg_instr))
+    proc = site.procs.get(body["pid"])
+    if proc is None or proc.in_transit or proc.site_id != site.site_id:
+        return {"ok": False}
+    proc.file_list.update(tuple(f) for f in body["files"])
+    return {"ok": True}

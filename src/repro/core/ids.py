@@ -1,0 +1,49 @@
+"""Temporally unique transaction identifiers.
+
+"BeginTrans ... causes the generation of a temporally unique identifier,
+which names the newly formed transaction" (section 4.1).  Temporal
+uniqueness is what makes duplicate commit/abort messages harmless during
+recovery (section 4.4), and a total age order is what the deadlock
+victim policy uses.
+
+A :class:`TransactionId` is ``(timestamp, site_id, sequence)``: the
+virtual time of creation, the creating site (ties across sites), and a
+per-site counter (ties within one site at one instant).  Identifiers
+are ordered, hashable, and compare younger = larger.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["TransactionId", "TransactionIdGenerator"]
+
+
+@dataclass(frozen=True, order=True)
+class TransactionId:
+    timestamp: float
+    site_id: int
+    sequence: int
+
+    def __repr__(self):
+        return "tid(%g.%s.%s)" % (self.timestamp, self.site_id, self.sequence)
+
+
+class TransactionIdGenerator:
+    """Per-site generator; never produces the same id twice, even across
+    a simulated crash (the sequence is monotonic per object and the
+    timestamp advances)."""
+
+    def __init__(self, engine, site_id):
+        self._engine = engine
+        self._site_id = site_id
+        self._seq = itertools.count(1)
+
+    def next(self) -> TransactionId:
+        """A fresh, temporally unique transaction id."""
+        return TransactionId(
+            timestamp=self._engine.now,
+            site_id=self._site_id,
+            sequence=next(self._seq),
+        )

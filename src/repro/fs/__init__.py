@@ -1,0 +1,17 @@
+"""Distributed filesystem layer: the transparent namespace, open-file
+channels, and replica/primary-site bookkeeping."""
+
+from .file import Channel
+from .namespace import FileInfo, Namespace, NamespaceError, Replica
+from .replication import ReplicationError, migrate_primary, propagate_file
+
+__all__ = [
+    "Channel",
+    "FileInfo",
+    "Namespace",
+    "NamespaceError",
+    "Replica",
+    "ReplicationError",
+    "migrate_primary",
+    "propagate_file",
+]

@@ -1,0 +1,42 @@
+"""Open-file channels.
+
+The ``open`` call performs name mapping once and returns a channel
+number; locking and I/O then name the file by channel (section 3.2).
+A channel records which replica serves the file (the storage site), the
+current file pointer, and whether the channel is in *append mode* --
+where lock requests are interpreted relative to end-of-file so a process
+can lock and extend a shared log atomically (section 3.2, footnote 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Channel"]
+
+
+@dataclass
+class Channel:
+    """One entry of a process's open-file table."""
+
+    fd: int
+    path: str
+    file_id: tuple        # (vol_id, ino)
+    storage_site: int     # site serving reads/updates for this open
+    writable: bool
+    offset: int = 0
+    append: bool = False
+
+    def clone(self, fd=None):
+        """Fork inheritance: the child gets its own file pointer with
+        the same position (simplification of Unix's shared offset; the
+        paper's experiments never rely on offset sharing)."""
+        return Channel(
+            fd=self.fd if fd is None else fd,
+            path=self.path,
+            file_id=self.file_id,
+            storage_site=self.storage_site,
+            writable=self.writable,
+            offset=self.offset,
+            append=self.append,
+        )

@@ -1,0 +1,103 @@
+"""The network-transparent name space.
+
+Locus gives every site the same view of a single global file hierarchy;
+name mapping (the ``open`` call) is separate from -- and more expensive
+than -- locking (section 3.2).  We model the name catalogue as a
+logically replicated table: lookups are charged CPU at the caller but no
+messages, matching Locus's locally-synchronized catalogue replicas.
+
+A file may be replicated at several sites.  When a file is opened for
+update (or record locking is requested) Locus designates a single
+*primary update site* and all update traffic flows there (section 5.2);
+:meth:`FileInfo.primary` is that site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FileInfo", "Namespace", "Replica", "NamespaceError"]
+
+
+class NamespaceError(Exception):
+    """Path errors: missing files, duplicate creation."""
+
+
+@dataclass(frozen=True)
+class Replica:
+    """One stored copy of a file."""
+
+    site_id: int
+    vol_id: object
+    ino: int
+
+    @property
+    def file_id(self):
+        return (self.vol_id, self.ino)
+
+
+@dataclass
+class FileInfo:
+    """Catalogue entry for one path."""
+
+    path: str
+    replicas: list = field(default_factory=list)
+    primary_index: int = 0
+
+    @property
+    def primary(self) -> Replica:
+        return self.replicas[self.primary_index]
+
+    def replica_at(self, site_id):
+        """This file's replica at ``site_id``, or None."""
+        for rep in self.replicas:
+            if rep.site_id == site_id:
+                return rep
+        return None
+
+    def set_primary(self, site_id):
+        """Storage-site migration: move update service to ``site_id``
+        (which must hold a replica)."""
+        for i, rep in enumerate(self.replicas):
+            if rep.site_id == site_id:
+                self.primary_index = i
+                return
+        raise NamespaceError("%s has no replica at site %r" % (self.path, site_id))
+
+
+class Namespace:
+    """The global path catalogue."""
+
+    def __init__(self):
+        self._files = {}  # path -> FileInfo
+
+    def add(self, path, replicas) -> FileInfo:
+        """Catalogue a new path with its replicas (first = primary)."""
+        if path in self._files:
+            raise NamespaceError("path exists: %s" % path)
+        if not replicas:
+            raise NamespaceError("a file needs at least one replica")
+        info = FileInfo(path=path, replicas=list(replicas))
+        self._files[path] = info
+        return info
+
+    def lookup(self, path) -> FileInfo:
+        """The catalogue entry for a path (raises if absent)."""
+        info = self._files.get(path)
+        if info is None:
+            raise NamespaceError("no such file: %s" % path)
+        return info
+
+    def exists(self, path) -> bool:
+        """Is the path catalogued?"""
+        return path in self._files
+
+    def remove(self, path):
+        """Drop a path from the catalogue."""
+        if path not in self._files:
+            raise NamespaceError("no such file: %s" % path)
+        del self._files[path]
+
+    def paths(self):
+        """All catalogued paths, sorted."""
+        return sorted(self._files)

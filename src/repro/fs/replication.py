@@ -1,0 +1,140 @@
+"""Replicated files: propagation and storage-site migration (§5.2).
+
+Locus replicates files across storage sites; when a file is open for
+update, a single *primary update site* serves all update traffic and
+holds the lock list.  Other replicas serve reads of committed versions
+and are brought up to date lazily.  This module supplies the two
+mechanisms this paper leans on:
+
+* :func:`propagate_file` -- push the primary's committed version (pages
+  + inode, version-numbered) to stale replicas over the network;
+* :func:`migrate_primary` -- move update service to another replica
+  ("storage site service must be migrated to the primary update site",
+  footnote 8), allowed only when the file is quiescent at the old
+  primary.
+
+Propagation charges real simulated network and disk costs: one push
+message per page plus the replica's page writes and inode install.
+"""
+
+from __future__ import annotations
+
+from repro.net import HEADER_BYTES, RpcError
+
+__all__ = ["propagate_file", "migrate_primary", "ReplicationError",
+           "REPL_PUSH", "REPL_FINISH"]
+
+REPL_PUSH = "repl.page_push"
+REPL_FINISH = "repl.finish"
+
+
+class ReplicationError(Exception):
+    """Propagation or migration could not proceed."""
+
+
+def register_handlers(site):
+    """Install the replica-side handlers on a site (called by Site)."""
+    site.rpc.register(REPL_PUSH, lambda body, src: _h_push(site, body, src))
+    site.rpc.register(REPL_FINISH, lambda body, src: _h_finish(site, body, src))
+
+
+def _h_push(site, body, _src):
+    vol = site.volumes[body["vol_id"]]
+    block = vol.alloc_block()
+    yield from vol.write_block(block, body["data"])
+    staging = site.repl_staging.setdefault((body["vol_id"], body["ino"]), {})
+    staging[body["page_index"]] = block
+    return {}
+
+
+def _h_finish(site, body, _src):
+    vol = site.volumes[body["vol_id"]]
+    ino = body["ino"]
+    staging = site.repl_staging.pop((body["vol_id"], ino), {})
+    inode = vol.inode(ino)
+    old_blocks = [b for b in inode.pages if b is not None]
+    npages = body["npages"]
+    inode.pages = [staging.get(i) for i in range(npages)]
+    inode.size = body["size"]
+    inode.version = body["version"]
+    yield from vol.install_inode(inode)
+    for block in old_blocks:
+        vol.free_block(block)
+    return {}
+
+
+def propagate_file(cluster, path):
+    """Generator: bring every reachable replica up to the primary's
+    committed version.  Returns the list of site ids updated."""
+    info = cluster.namespace.lookup(path)
+    primary = info.primary
+    psite = cluster.site(primary.site_id)
+    pvol = psite.volumes[primary.vol_id]
+    src_inode = pvol.inode(primary.ino)
+    updated = []
+    for rep in info.replicas:
+        if rep is primary or rep.site_id == primary.site_id:
+            continue
+        rsite = cluster.site(rep.site_id)
+        if not cluster.network.reachable(primary.site_id, rep.site_id):
+            continue  # lazy: unreachable replicas catch up later
+        rvol = rsite.volumes[rep.vol_id]
+        dst_inode = rvol.inode(rep.ino)
+        if dst_inode.version >= src_inode.version:
+            continue  # already current
+        for page_index, block in enumerate(src_inode.pages):
+            if block is None:
+                continue
+            data = yield from pvol.read_block_cached(block)
+            yield from psite.rpc.call(
+                rep.site_id, REPL_PUSH,
+                {
+                    "vol_id": rep.vol_id, "ino": rep.ino,
+                    "page_index": page_index, "data": data,
+                },
+                nbytes=HEADER_BYTES + len(data),
+            )
+        try:
+            yield from psite.rpc.call(
+                rep.site_id, REPL_FINISH,
+                {
+                    "vol_id": rep.vol_id, "ino": rep.ino,
+                    "npages": len(src_inode.pages),
+                    "size": src_inode.size, "version": src_inode.version,
+                },
+            )
+        except RpcError as exc:
+            raise ReplicationError("finish failed at site %r: %s"
+                                   % (rep.site_id, exc))
+        updated.append(rep.site_id)
+    return updated
+
+
+def migrate_primary(cluster, path, new_site_id):
+    """Generator: move update service (the primary) to another replica.
+
+    Requires the file to be quiescent at the current primary: no
+    uncommitted data, no prepared transaction, no locks.  The target
+    replica is first brought up to the committed version so no update
+    is lost.
+    """
+    info = cluster.namespace.lookup(path)
+    primary = info.primary
+    if primary.site_id == new_site_id:
+        return info
+    if info.replica_at(new_site_id) is None:
+        raise ReplicationError("%s has no replica at site %r" % (path, new_site_id))
+    psite = cluster.site(primary.site_id)
+    state = psite.update_states.get(primary.file_id)
+    if state is not None and not state.is_idle():
+        raise ReplicationError(
+            "%s is busy at its primary (uncommitted data or prepared txn)" % path
+        )
+    if not psite.lock_manager.table(primary.file_id).is_empty():
+        raise ReplicationError("%s has active locks at its primary" % path)
+    yield from propagate_file(cluster, path)
+    if state is not None:
+        psite.update_states.pop(primary.file_id, None)
+        psite.lock_manager.forget_file(primary.file_id)
+    info.set_primary(new_site_id)
+    return info

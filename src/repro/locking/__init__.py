@@ -1,0 +1,29 @@
+"""Record-level locking: modes and the Figure 1 matrix, the storage-site
+lock list (Figure 3), granting/queueing/retention (sections 3.1-3.4),
+requesting-site lock caches, deadlock detection, and the whole-file
+locking baseline."""
+
+from .cache import LockCache
+from .deadlock import build_wait_graph, choose_victim, find_cycle
+from .filelock import WHOLE_FILE, WholeFileLockManager
+from .manager import LockCancelled, LockConflict, LockError, LockManager
+from .modes import LockMode, compatible, unix_access_allowed
+from .table import LockRecord, LockTable
+
+__all__ = [
+    "WHOLE_FILE",
+    "LockCache",
+    "LockCancelled",
+    "LockConflict",
+    "LockError",
+    "LockManager",
+    "LockMode",
+    "LockRecord",
+    "LockTable",
+    "WholeFileLockManager",
+    "build_wait_graph",
+    "choose_victim",
+    "compatible",
+    "find_cycle",
+    "unix_access_allowed",
+]

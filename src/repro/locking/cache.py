@@ -1,0 +1,73 @@
+"""Requesting-site lock cache.
+
+"When a requesting site receives a successful response to a locking
+request, it caches this response in its local lock list.  This permits
+the kernel to quickly validate each process's read and write requests"
+(section 5.1).
+
+The cache records only *this site's own granted locks*; it can validate
+positively (the range is covered by a lock we know we hold) but never
+negatively -- absence means "ask the storage site".
+"""
+
+from __future__ import annotations
+
+from repro.rangeset import RangeSet
+
+from .modes import LockMode
+
+__all__ = ["LockCache"]
+
+
+class LockCache:
+    """Per-site cache of locks granted to local holders."""
+
+    def __init__(self):
+        self._granted = {}  # (file_id, holder, mode) -> RangeSet
+        self.hits = 0
+        self.misses = 0
+
+    def record_grant(self, file_id, holder, mode, start, end):
+        """Cache a granted lock for later local validation."""
+        key = (file_id, holder, mode)
+        ranges = self._granted.setdefault(key, RangeSet())
+        ranges.add(start, end)
+        # A grant in one mode converts overlapping cached ranges held in
+        # the other mode (mirror of LockTable.grant semantics).
+        other = LockMode.SHARED if mode is LockMode.EXCLUSIVE else LockMode.EXCLUSIVE
+        stale = self._granted.get((file_id, holder, other))
+        if stale is not None:
+            stale.remove(start, end)
+
+    def record_release(self, file_id, holder, start, end):
+        """Uncache a released range."""
+        for mode in LockMode:
+            ranges = self._granted.get((file_id, holder, mode))
+            if ranges is not None:
+                ranges.remove(start, end)
+
+    def drop_holder(self, holder):
+        """Forget a holder's cached grants (commit/abort)."""
+        for key in [k for k in self._granted if k[1] == holder]:
+            del self._granted[key]
+
+    def covers(self, file_id, holder, start, end, want_write):
+        """True when the cached locks prove the access is safe."""
+        window = RangeSet.single(start, end)
+        acceptable = (
+            (LockMode.EXCLUSIVE,) if want_write else (LockMode.EXCLUSIVE, LockMode.SHARED)
+        )
+        covered = RangeSet()
+        for mode in acceptable:
+            ranges = self._granted.get((file_id, holder, mode))
+            if ranges is not None:
+                covered = covered.union(ranges)
+        if window.difference(covered):
+            self.misses += 1
+            return False
+        self.hits += 1
+        return True
+
+    def clear(self):
+        """Forget everything (site crash)."""
+        self._granted.clear()

@@ -1,0 +1,79 @@
+"""Deadlock detection outside the kernel.
+
+The Locus kernel does not detect deadlock; it exposes its wait-for data
+and "a system process" builds the graph and applies conventional cycle
+detection [Coffman71] (section 3.1).  This module supplies the graph
+algorithm and victim policy; :class:`~repro.locus.cluster.Cluster` runs
+it as an actual simulated system process that polls every site's lock
+manager.
+
+Victim selection: the youngest transaction in the cycle (largest
+transaction id -- ids are temporally unique and monotonic), a standard
+minimum-lost-work policy.
+"""
+
+from __future__ import annotations
+
+__all__ = ["find_cycle", "choose_victim", "build_wait_graph"]
+
+
+def build_wait_graph(edge_lists):
+    """Merge per-site (waiter, blocker) edge lists into an adjacency map."""
+    graph = {}
+    for edges in edge_lists:
+        for waiter, blocker in edges:
+            graph.setdefault(waiter, set()).add(blocker)
+            graph.setdefault(blocker, set())
+    return graph
+
+
+def find_cycle(graph):
+    """Return one cycle as a list of nodes, or None.
+
+    Iterative DFS with colouring; deterministic because nodes and
+    successors are visited in sorted order.
+    """
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {node: WHITE for node in graph}
+    parent = {}
+
+    for root in sorted(graph):
+        if colour[root] != WHITE:
+            continue
+        stack = [(root, iter(sorted(graph[root])))]
+        colour[root] = GREY
+        while stack:
+            node, successors = stack[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in colour:
+                    continue
+                if colour[succ] == GREY:
+                    # Found a back edge: unwind the cycle.
+                    cycle = [succ]
+                    cur = node
+                    while cur != succ:
+                        cycle.append(cur)
+                        cur = parent[cur]
+                    cycle.reverse()
+                    return cycle
+                if colour[succ] == WHITE:
+                    colour[succ] = GREY
+                    parent[succ] = node
+                    stack.append((succ, iter(sorted(graph[succ]))))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+    return None
+
+
+def choose_victim(cycle):
+    """Pick the holder to abort: the youngest transaction if any is in
+    the cycle, else the largest process holder (non-transaction waiters
+    can deadlock too)."""
+    txns = [h for h in cycle if h[0] == "txn"]
+    if txns:
+        return max(txns, key=lambda h: h[1])
+    return max(cycle, key=lambda h: h[1])

@@ -1,0 +1,284 @@
+"""The storage-site lock manager: granting, queueing, retention rules.
+
+One :class:`LockManager` runs at each site and arbitrates locks for the
+files *stored* there (centralization at the storage site is what makes
+local locking cheap, section 6.2).  It implements:
+
+* the Figure 1 compatibility check and FIFO queueing of blocked
+  requests;
+* **rule 1** (section 3.3): a transaction's unlock does not release --
+  the lock is *retained* until the transaction commits or aborts, and
+  any process of the transaction may reacquire it;
+* **rule 2** (section 3.3): when a transaction locks a modified-but-
+  uncommitted record (in any mode), the dirty bytes are *adopted* by the
+  transaction -- they commit or abort with it, and the lock is retained;
+* **non-transaction locks** (section 3.4): obey Figure 1 but are exempt
+  from two-phase locking -- an unlock really releases them;
+* wait-for edge export for the out-of-kernel deadlock detector
+  (section 3.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.sim import SimError
+
+from .modes import LockMode
+from .table import LockTable
+
+__all__ = ["LockManager", "LockError", "LockConflict", "LockCancelled"]
+
+
+class LockError(SimError):
+    """Base class for locking failures."""
+
+
+class LockConflict(LockError):
+    """Non-waiting request hit an incompatible lock."""
+
+    def __init__(self, blockers):
+        super().__init__("lock conflict with %s" % (blockers,))
+        self.blockers = blockers
+
+
+class LockCancelled(LockError):
+    """A queued request was cancelled (holder aborted, e.g. as a
+    deadlock victim)."""
+
+
+class _Waiter:
+    __slots__ = ("event", "holder", "mode", "start", "end", "nontrans")
+
+    def __init__(self, event, holder, mode, start, end, nontrans):
+        self.event = event
+        self.holder = holder
+        self.mode = mode
+        self.start = start
+        self.end = end
+        self.nontrans = nontrans
+
+
+class LockManager:
+    """Lock arbitration for the files stored at one site."""
+
+    def __init__(self, engine, cost):
+        self._engine = engine
+        self._cost = cost
+        self._tables = {}       # file_id -> LockTable
+        self._queues = {}       # file_id -> deque[_Waiter]
+        self._file_states = {}  # file_id -> OpenFileState (rule-2 hook)
+        # Invoked whenever a request queues; the cluster uses it to arm
+        # the deadlock-detector system process on demand.
+        self.wait_hook = None
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def register_file_state(self, file_id, state):
+        """The file layer registers the in-core update state so rule 2
+        can see dirty-uncommitted ranges."""
+        self._file_states[file_id] = state
+
+    def forget_file(self, file_id):
+        """Drop all state for a file (last close)."""
+        self._tables.pop(file_id, None)
+        self._queues.pop(file_id, None)
+        self._file_states.pop(file_id, None)
+
+    def table(self, file_id) -> LockTable:
+        """The (lazily created) lock table for a file."""
+        if file_id not in self._tables:
+            self._tables[file_id] = LockTable()
+        return self._tables[file_id]
+
+    # ------------------------------------------------------------------
+    # lock / unlock
+    # ------------------------------------------------------------------
+
+    def lock(self, file_id, holder, mode, start, end, nontrans=False, wait=True):
+        """Generator: acquire a lock, queueing if necessary.
+
+        Raises :class:`LockConflict` when ``wait`` is False and the
+        request conflicts; raises :class:`LockCancelled` if the queued
+        request is cancelled (holder aborted).
+        """
+        yield self._engine.charge(self._cost.instr(self._cost.lock_instructions))
+        table = self.table(file_id)
+        blockers = table.conflicts(holder, mode, start, end)
+        if not blockers:
+            self._do_grant(file_id, holder, mode, start, end, nontrans)
+            # A mode *downgrade* (exclusive -> shared) can unblock queued
+            # readers; re-examine the waiters.
+            self._wake_waiters(file_id)
+            return True
+        if not wait:
+            raise LockConflict(blockers)
+        event = self._engine.event()
+        waiter = _Waiter(event, holder, mode, start, end, nontrans)
+        self._queues.setdefault(file_id, deque()).append(waiter)
+        if self.wait_hook is not None:
+            self.wait_hook()
+        yield event  # the waker grants before signalling; failure raises
+        return True
+
+    def _do_grant(self, file_id, holder, mode, start, end, nontrans):
+        table = self.table(file_id)
+        table.grant(holder, mode, start, end, nontrans=nontrans)
+        if holder[0] == "txn" and not nontrans:
+            self._adopt_dirty_records(file_id, holder, start, end)
+
+    def _adopt_dirty_records(self, file_id, txn_holder, start, end):
+        """Rule 2: dirty-uncommitted bytes under a fresh transaction lock
+        join the transaction and the covering lock is retained."""
+        state = self._file_states.get(file_id)
+        if state is None:
+            return
+        for owner, ranges in state.dirty_owners(start, end).items():
+            if owner == txn_holder or owner[0] == "txn":
+                # Another transaction's dirty bytes are still under its
+                # exclusive two-phase lock, so we cannot be here for
+                # them; only process-owned (non-transaction) data moves.
+                continue
+            for lo, hi in ranges:
+                state.adopt(txn_holder, owner, lo, hi)
+                self.table(file_id).retain(txn_holder, lo, hi)
+
+    def unlock(self, file_id, holder, start, end, two_phase):
+        """Generator: release or retain, per the holder's discipline.
+
+        ``two_phase`` True (a transaction's ordinary lock): rule 1 --
+        the lock is retained, still blocking other holders.  False (a
+        non-transaction process, or a section 3.4 non-transaction lock):
+        really released, and waiters are re-examined.
+        """
+        yield self._engine.charge(self._cost.instr(self._cost.unlock_instructions))
+        table = self.table(file_id)
+        if two_phase:
+            table.retain(holder, start, end)
+            return
+        table.release(holder, start, end)
+        self._wake_waiters(file_id)
+
+    def unlock_auto(self, file_id, holder, start, end):
+        """Generator: unlock with per-record discipline resolution.
+
+        A process-holder's locks and a transaction's *non-transaction*
+        locks (section 3.4) really release; the transaction's two-phase
+        locks are retained (rule 1).
+        """
+        yield self._engine.charge(self._cost.instr(self._cost.unlock_instructions))
+        table = self.table(file_id)
+        if holder[0] == "proc":
+            table.release(holder, start, end)
+            self._wake_waiters(file_id)
+            return
+        released = False
+        for rec in list(table.records()):
+            if rec.holder != holder:
+                continue
+            if rec.nontrans:
+                rec.ranges.remove(start, end)
+                rec.retained.remove(start, end)
+                released = True
+            else:
+                hit = rec.ranges.clamp(start, end)
+                rec.retained = rec.retained.union(hit)
+        if released:
+            self._wake_waiters(file_id)
+
+    def release_holder(self, holder):
+        """Commit/abort: drop every lock and queued request of a holder
+        across all files at this site."""
+        for file_id, table in self._tables.items():
+            table.release_holder(holder)
+        self.cancel_waits(holder, LockCancelled("holder %s finished" % (holder,)))
+        for file_id in list(self._tables):
+            self._wake_waiters(file_id)
+
+    def release_holder_on_file(self, file_id, holder):
+        """Drop a holder's locks on one file (close of a non-transaction
+        channel) and re-examine that file's waiters."""
+        self.table(file_id).release_holder(holder)
+        self._wake_waiters(file_id)
+
+    def cancel_waits(self, holder, exc):
+        """Fail a holder's queued requests with ``exc``."""
+        for queue in self._queues.values():
+            doomed = [w for w in queue if w.holder == holder]
+            for w in doomed:
+                queue.remove(w)
+                if not w.event.triggered:
+                    w.event.fail(exc)
+
+    def _wake_waiters(self, file_id):
+        queue = self._queues.get(file_id)
+        if not queue:
+            return
+        table = self.table(file_id)
+        progressed = True
+        while progressed:
+            progressed = False
+            for waiter in list(queue):
+                if table.conflicts(waiter.holder, waiter.mode, waiter.start, waiter.end):
+                    continue
+                queue.remove(waiter)
+                self._do_grant(
+                    file_id, waiter.holder, waiter.mode,
+                    waiter.start, waiter.end, waiter.nontrans,
+                )
+                if not waiter.event.triggered:
+                    waiter.event.succeed(True)
+                progressed = True
+
+    # ------------------------------------------------------------------
+    # access validation and attribution
+    # ------------------------------------------------------------------
+
+    def unix_access_blockers(self, file_id, accessor, want_write, start, end):
+        """Figure 1 row 1: who blocks an unlocked access?"""
+        return self.table(file_id).unix_conflicts(accessor, want_write, start, end)
+
+    def write_attribution(self, file_id, pid, tid, start, end):
+        """Which owner key a write in [start, end) belongs to.
+
+        A transaction process writing under a *non-transaction* lock --
+        either the section 3.4 lock mode, or a lock the process acquired
+        *before* BeginTrans (section 3.4's second method: such locks
+        "are not converted to transaction locks") -- produces
+        process-owned data that commits independently of the
+        transaction.  Otherwise a transaction's writes belong to the
+        transaction.  Non-transaction processes always own their writes.
+        """
+        if tid is None:
+            return ("proc", pid)
+        table = self.table(file_id)
+        if table.covering_mode(("proc", pid), start, end) is LockMode.EXCLUSIVE:
+            return ("proc", pid)  # pre-transaction lock covers the write
+        holder = ("txn", tid)
+        covered = table.covering_mode(holder, start, end, nontrans=True)
+        if covered is LockMode.EXCLUSIVE:
+            return ("proc", pid)
+        return holder
+
+    # ------------------------------------------------------------------
+    # deadlock support
+    # ------------------------------------------------------------------
+
+    def wait_edges(self):
+        """(waiter, blocker) holder pairs for the wait-for graph --
+        the operating-system data interface of section 3.1."""
+        edges = []
+        for file_id, queue in self._queues.items():
+            table = self.table(file_id)
+            for waiter in queue:
+                for blocker in table.conflicts(
+                    waiter.holder, waiter.mode, waiter.start, waiter.end
+                ):
+                    edges.append((waiter.holder, blocker))
+        return sorted(set(edges))
+
+    def waiting_holders(self):
+        """Holders with at least one queued request."""
+        return sorted({w.holder for q in self._queues.values() for w in q})

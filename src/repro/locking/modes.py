@@ -1,0 +1,51 @@
+"""Lock modes and the Figure 1 compatibility matrix.
+
+Figure 1 of the paper::
+
+                Unix    Shared   Exclusive
+    Unix        r/w     read     no
+    Shared      read    read     no
+    Exclusive   no      no       no
+
+"Unix" is not a held lock -- it is plain unlocked access by a process in
+the conventional Unix manner.  The matrix answers two questions:
+
+* may a **lock request** (Shared/Exclusive) be granted given another
+  holder's existing lock?  (:func:`compatible`)
+* may an **unlocked Unix access** (read or write) proceed given another
+  holder's existing lock?  (:func:`unix_access_allowed`)
+
+Locks are *enforced*, not advisory (section 3.1): conflicting accesses
+are refused by the kernel, which is what makes two-phase locking
+trustworthy in the presence of arbitrary programs.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["LockMode", "compatible", "unix_access_allowed"]
+
+
+class LockMode(enum.Enum):
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+    def __repr__(self):
+        return "LockMode.%s" % self.name
+
+
+def compatible(requested: LockMode, held: LockMode) -> bool:
+    """May ``requested`` be granted alongside another holder's ``held``?"""
+    return requested is LockMode.SHARED and held is LockMode.SHARED
+
+
+def unix_access_allowed(want_write: bool, held: LockMode) -> bool:
+    """May an unlocked Unix access proceed against another's ``held`` lock?
+
+    Reads coexist with Shared locks; writes conflict with any lock;
+    nothing coexists with Exclusive.
+    """
+    if held is LockMode.EXCLUSIVE:
+        return False
+    return not want_write

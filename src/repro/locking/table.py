@@ -1,0 +1,172 @@
+"""The per-file lock list (Figure 3).
+
+When a file is opened at its storage site, lock requests attach *lock
+records* to the in-core inode: holder identity, locking mode, and the
+byte ranges held (section 5.1).  The holder is a transaction id for
+transaction locks -- every process of a transaction shares its locks
+(section 3.1) -- or a process id for non-transaction locks.
+
+The table is pure bookkeeping: granting policy, queueing and the
+retention rules live in :class:`~repro.locking.manager.LockManager`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rangeset import RangeSet
+
+from .modes import LockMode, compatible, unix_access_allowed
+
+__all__ = ["LockRecord", "LockTable"]
+
+
+@dataclass
+class LockRecord:
+    """One holder's locks of one mode on one file."""
+
+    holder: tuple              # ("txn", tid) or ("proc", pid)
+    mode: LockMode
+    nontrans: bool = False     # section 3.4 non-transaction lock
+    ranges: RangeSet = field(default_factory=RangeSet)
+    retained: RangeSet = field(default_factory=RangeSet)  # subset of ranges
+
+    def key(self):
+        """The dictionary key identifying this record."""
+        return (self.holder, self.mode, self.nontrans)
+
+
+class LockTable:
+    """Lock list for one file."""
+
+    def __init__(self):
+        self._records = {}  # (holder, mode, nontrans) -> LockRecord
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def records(self):
+        """All live lock records."""
+        return [r for r in self._records.values() if r.ranges]
+
+    def holders(self):
+        """Every holder with live locks on this file."""
+        return sorted({r.holder for r in self.records()})
+
+    def ranges_of(self, holder, mode=None):
+        """The holder's locked ranges (optionally one mode only)."""
+        out = RangeSet()
+        for rec in self.records():
+            if rec.holder == holder and (mode is None or rec.mode is mode):
+                out = out.union(rec.ranges)
+        return out
+
+    def retained_of(self, holder):
+        """The holder's retained (unlocked-but-held) ranges."""
+        out = RangeSet()
+        for rec in self._records.values():
+            if rec.holder == holder:
+                out = out.union(rec.retained)
+        return out
+
+    def conflicts(self, holder, mode, start, end):
+        """Holders whose existing locks block this request (Figure 1)."""
+        blockers = []
+        for rec in self.records():
+            if rec.holder == holder:
+                continue
+            if rec.ranges.overlaps(start, end) and not compatible(mode, rec.mode):
+                blockers.append(rec.holder)
+        return sorted(set(blockers))
+
+    def unix_conflicts(self, accessor, want_write, start, end):
+        """Holders blocking an unlocked Unix access (Figure 1 row 1)."""
+        blockers = []
+        for rec in self.records():
+            if rec.holder == accessor:
+                continue
+            if rec.ranges.overlaps(start, end) and not unix_access_allowed(
+                want_write, rec.mode
+            ):
+                blockers.append(rec.holder)
+        return sorted(set(blockers))
+
+    def covering_mode(self, holder, start, end, nontrans=None):
+        """The strongest mode with which ``holder`` covers the whole
+        range, or None.  EXCLUSIVE wins over SHARED.  ``nontrans``
+        filters to only non-transaction (True) or only two-phase (False)
+        locks when not None."""
+        window = RangeSet.single(start, end)
+        for mode in (LockMode.EXCLUSIVE, LockMode.SHARED):
+            covered = RangeSet()
+            for rec in self.records():
+                if rec.holder != holder or rec.mode is not mode:
+                    continue
+                if nontrans is not None and rec.nontrans != nontrans:
+                    continue
+                covered = covered.union(rec.ranges)
+            if not window.difference(covered):
+                return mode
+        return None
+
+    def is_locked_by(self, holder, start, end, mode=None):
+        """Does the holder hold any lock overlapping the range?"""
+        for rec in self.records():
+            if rec.holder != holder:
+                continue
+            if mode is not None and rec.mode is not mode:
+                continue
+            if rec.ranges.overlaps(start, end):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # mutation (callers have already validated compatibility)
+    # ------------------------------------------------------------------
+
+    def grant(self, holder, mode, start, end, nontrans=False):
+        """Record a granted lock; overlapping ranges held by the same
+        holder in *other* modes are converted (upgrade/downgrade,
+        section 3.2)."""
+        for rec in list(self._records.values()):
+            if rec.holder == holder and rec.key() != (holder, mode, nontrans):
+                rec.ranges.remove(start, end)
+                rec.retained.remove(start, end)
+                if not rec.ranges:
+                    del self._records[rec.key()]
+        key = (holder, mode, nontrans)
+        rec = self._records.get(key)
+        if rec is None:
+            rec = LockRecord(holder=holder, mode=mode, nontrans=nontrans)
+            self._records[key] = rec
+        rec.ranges.add(start, end)
+        rec.retained.remove(start, end)  # explicit reacquisition un-retains
+
+    def release(self, holder, start, end):
+        """Drop the holder's locks in the range outright."""
+        for rec in list(self._records.values()):
+            if rec.holder != holder:
+                continue
+            rec.ranges.remove(start, end)
+            rec.retained.remove(start, end)
+            if not rec.ranges:
+                del self._records[rec.key()]
+
+    def retain(self, holder, start, end):
+        """Mark the holder's locks in the range as retained: still held
+        (and still blocking others) until commit/abort (section 3.3)."""
+        for rec in self._records.values():
+            if rec.holder != holder:
+                continue
+            hit = rec.ranges.clamp(start, end)
+            rec.retained = rec.retained.union(hit)
+
+    def release_holder(self, holder):
+        """Commit/abort: drop everything the holder has."""
+        for key in [k for k, r in self._records.items() if r.holder == holder]:
+            del self._records[key]
+
+    def is_empty(self) -> bool:
+        """No live lock records at all?"""
+        return not any(r.ranges for r in self._records.values())

@@ -1,0 +1,34 @@
+"""The simulated Locus distributed operating system: sites, the kernel
+syscall layer, processes with migration, and the cluster with failure
+injection and system service processes."""
+
+from .cluster import Cluster
+from .errors import (
+    AccessDenied,
+    BadChannel,
+    KernelError,
+    NotWritable,
+    ProcessError,
+    TransactionAborted,
+    TransactionError,
+)
+from .kernel import Kernel, Syscalls
+from .process import OsProcess, PidGenerator
+from .site import Site, SiteCrashed
+
+__all__ = [
+    "AccessDenied",
+    "BadChannel",
+    "Cluster",
+    "Kernel",
+    "KernelError",
+    "NotWritable",
+    "OsProcess",
+    "PidGenerator",
+    "ProcessError",
+    "Site",
+    "SiteCrashed",
+    "Syscalls",
+    "TransactionAborted",
+    "TransactionError",
+]

@@ -1,0 +1,47 @@
+"""Errors surfaced by the simulated Locus kernel to programs."""
+
+from repro.sim import SimError
+
+__all__ = [
+    "KernelError",
+    "AccessDenied",
+    "BadChannel",
+    "NotWritable",
+    "TransactionAborted",
+    "TransactionError",
+    "ProcessError",
+]
+
+
+class KernelError(SimError):
+    """Base class for syscall failures."""
+
+
+class AccessDenied(KernelError):
+    """An enforced lock refused the access (Figure 1)."""
+
+
+class BadChannel(KernelError):
+    """Operation on a closed or unknown channel number."""
+
+
+class NotWritable(KernelError):
+    """Locking requires write access to the file (section 3.1 policy)."""
+
+
+class TransactionError(KernelError):
+    """Misuse of BeginTrans/EndTrans (e.g. unmatched EndTrans)."""
+
+
+class TransactionAborted(KernelError):
+    """Delivered to processes whose transaction was aborted (explicitly,
+    by a failure, by a deadlock victim decision, or by partition)."""
+
+    def __init__(self, tid, reason=""):
+        super().__init__("transaction %s aborted%s" % (tid, ": " + reason if reason else ""))
+        self.tid = tid
+        self.reason = reason
+
+
+class ProcessError(KernelError):
+    """Process-management failures (bad pid, wait on non-child, ...)."""

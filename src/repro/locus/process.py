@@ -1,0 +1,165 @@
+"""Simulated Locus processes.
+
+An :class:`OsProcess` is the kernel's view of one process: identity,
+current site, Unix-style parent/child links, the open-file channel
+table, and the transaction context (transaction id, nesting counter,
+whether this process *started* the transaction).
+
+Programs are Python generator functions.  The kernel runs each program
+as a simulation process, passing it a :class:`~repro.locus.kernel.Syscalls`
+facade; everything the program does to the outside world goes through
+that facade, mirroring the syscall boundary of the real system.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.fs import Channel
+
+__all__ = ["OsProcess", "PidGenerator"]
+
+_EXIT_RUNNING = "running"
+_EXIT_DONE = "done"
+_EXIT_FAILED = "failed"
+
+
+class PidGenerator:
+    """Cluster-wide unique process ids."""
+
+    def __init__(self):
+        self._next = itertools.count(1)
+
+    def next(self) -> int:
+        """A cluster-wide unique process id."""
+        return next(self._next)
+
+
+class OsProcess:
+    """Kernel bookkeeping for one process."""
+
+    def __init__(self, engine, pid, site_id, parent=None, name=None):
+        self._engine = engine
+        self.pid = pid
+        self.site_id = site_id
+        self.parent = parent
+        self.children = []
+        self.name = name or ("proc%d" % pid)
+
+        # open-file table
+        self.channels = {}
+        self._next_fd = itertools.count(3)  # 0-2 reserved, Unix-style
+
+        # transaction context (section 2, 4.1)
+        self.tid = None            # TransactionId when inside a transaction
+        self.nesting = 0           # BeginTrans/EndTrans pairing counter
+        self.is_txn_top_level = False
+        self.file_list = set()     # (vol_id, ino, storage_site) used in txn
+
+        # set when the process's transaction is aborted out from under
+        # it (so a later EndTrans reports the abort, not a pairing error)
+        self.aborted_notice = None
+
+        # migration (section 4.1)
+        self.in_transit = False
+
+        # lifecycle
+        self.exit_status = _EXIT_RUNNING
+        self.exit_value = None
+        self.exit_event = engine.event()
+        self.sim_proc = None       # attached by the kernel when started
+
+    # ------------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self.exit_status == _EXIT_RUNNING
+
+    @property
+    def failed(self) -> bool:
+        return self.exit_status == _EXIT_FAILED
+
+    def holder(self):
+        """This process's lock-holder identity: the transaction when in
+        one (all members share locks, section 3.1), else the process."""
+        if self.tid is not None:
+            return ("txn", self.tid)
+        return ("proc", self.pid)
+
+    def proc_holder(self):
+        """The process-identity lock holder key ("proc", pid)."""
+        return ("proc", self.pid)
+
+    # ------------------------------------------------------------------
+    # channels
+    # ------------------------------------------------------------------
+
+    def add_channel(self, path, file_id, storage_site, writable, append=False) -> Channel:
+        """Allocate a channel number for a freshly opened file."""
+        fd = next(self._next_fd)
+        ch = Channel(
+            fd=fd, path=path, file_id=file_id, storage_site=storage_site,
+            writable=writable, append=append,
+        )
+        self.channels[fd] = ch
+        return ch
+
+    def channel(self, fd) -> Channel:
+        """The Channel for ``fd``, or None."""
+        return self.channels.get(fd)
+
+    def drop_channel(self, fd):
+        """Remove a channel from the open-file table."""
+        self.channels.pop(fd, None)
+
+    def inherit_channels(self, parent):
+        """Fork: the child receives copies of the parent's channels with
+        identical channel numbers and access rights (section 3.1)."""
+        for fd, ch in parent.channels.items():
+            self.channels[fd] = ch.clone()
+        if parent.channels:
+            top = max(parent.channels) + 1
+            self._next_fd = itertools.count(top)
+
+    # ------------------------------------------------------------------
+    # transaction context inheritance (section 2)
+    # ------------------------------------------------------------------
+
+    def inherit_transaction(self, parent):
+        """Fork: the child joins the parent's transaction (section 2)."""
+        self.tid = parent.tid
+        self.nesting = parent.nesting
+        self.is_txn_top_level = False
+
+    # ------------------------------------------------------------------
+    # descendants (abort cascades and EndTrans barriers walk these)
+    # ------------------------------------------------------------------
+
+    def descendants(self):
+        """Every transitive child, depth-first."""
+        out = []
+        stack = list(self.children)
+        while stack:
+            proc = stack.pop()
+            out.append(proc)
+            stack.extend(proc.children)
+        return out
+
+    def finish(self, value):
+        """Mark the process completed with ``value`` and wake joiners."""
+        if self.exit_status == _EXIT_RUNNING:
+            self.exit_status = _EXIT_DONE
+            self.exit_value = value
+            self.exit_event.succeed(value)
+
+    def fail(self, exc):
+        """Mark the process failed with ``exc`` and wake joiners."""
+        if self.exit_status == _EXIT_RUNNING:
+            self.exit_status = _EXIT_FAILED
+            self.exit_value = exc
+            self.exit_event.succeed(exc)
+
+    def __repr__(self):
+        return "<OsProcess %s pid=%d site=%s tid=%s>" % (
+            self.name, self.pid, self.site_id, self.tid,
+        )

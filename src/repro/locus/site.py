@@ -1,0 +1,421 @@
+"""A Locus site: volumes, caches, lock manager, transaction service,
+message handlers, and crash/reboot behaviour.
+
+What survives a crash: the volumes (disks) including inode tables,
+coordinator and prepare log *contents*.  What dies: every in-core
+structure -- working buffers (:class:`OpenFileState`), lock lists, lock
+caches, the buffer cache, prepared-transaction tables, and all local
+processes.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.core import TransactionService
+from repro.core.filelist import handle_filelist_merge
+from repro.core.recovery import run_recovery
+from repro.core.twophase import (
+    abort_participant,
+    commit_participant,
+    coordinator_status,
+    prepare_participant,
+)
+from repro.locking import LockCache, LockManager, LockMode
+from repro.net import MessageKinds, RpcEndpoint
+from repro.storage import BufferCache, LogFile, OpenFileState, Volume
+
+from .errors import AccessDenied, KernelError
+
+__all__ = ["Site", "SiteCrashed"]
+
+
+class SiteCrashed(KernelError):
+    """Delivered to processes killed by their site crashing."""
+
+
+class Site:
+    """One machine in the cluster."""
+
+    def __init__(self, cluster, site_id, volume_names=("root",)):
+        self.cluster = cluster
+        self.engine = cluster.engine
+        self.config = cluster.config
+        self.cost = cluster.config.cost
+        self.site_id = site_id
+        self.up = True
+
+        self.cache = BufferCache(self.config.buffer_cache_pages)
+        self.volumes = {}
+        self._volume_order = []
+        for name in volume_names:
+            self.add_volume(name)
+
+        self.rpc = RpcEndpoint(
+            self.engine, cluster.network, site_id, timeout=self.config.rpc_timeout
+        )
+        self.coordinator_log = LogFile(
+            self.engine, self.cost, self.root_volume, "coordinator",
+            optimized=self.config.optimized_log_writes,
+        )
+        self._prepare_logs = {}
+
+        self._reset_incore()
+        self.txn_service = TransactionService(self)
+        self._register_handlers()
+
+    # ------------------------------------------------------------------
+    # volumes and logs
+    # ------------------------------------------------------------------
+
+    def add_volume(self, name) -> Volume:
+        """Mount an additional volume at this site."""
+        vol_id = "%s:%s" % (self.site_id, name)
+        if vol_id in self.volumes:
+            raise KernelError("volume %s exists" % vol_id)
+        vol = Volume(
+            self.engine, self.cost, vol_id, name=vol_id, cache=self.cache,
+            max_direct=self.config.max_direct_pointers,
+        )
+        self.volumes[vol_id] = vol
+        self._volume_order.append(vol_id)
+        return vol
+
+    @property
+    def root_volume(self) -> Volume:
+        return self.volumes[self._volume_order[0]]
+
+    def volume_of(self, file_id) -> Volume:
+        """The local volume holding ``file_id`` (raises if remote)."""
+        vol = self.volumes.get(file_id[0])
+        if vol is None:
+            raise KernelError(
+                "file %r is not stored at site %r" % (file_id, self.site_id)
+            )
+        return vol
+
+    def prepare_log(self, vol_id) -> LogFile:
+        """The per-volume prepare log (section 4.4: logs live on the
+        same medium as the files they describe)."""
+        log = self._prepare_logs.get(vol_id)
+        if log is None:
+            log = LogFile(
+                self.engine, self.cost, self.volumes[vol_id], "prepare",
+                optimized=self.config.optimized_log_writes,
+            )
+            self._prepare_logs[vol_id] = log
+        return log
+
+    # ------------------------------------------------------------------
+    # in-core state
+    # ------------------------------------------------------------------
+
+    def _reset_incore(self):
+        self.lock_manager = LockManager(self.engine, self.cost)
+        self.lock_cache = LockCache()
+        self.update_states = {}   # file_id -> OpenFileState
+        self.open_refs = {}       # file_id -> int
+        self.prepared = {}        # tid -> [IntentionsList]
+        self.prepared_coordinator = {}
+        self.procs = {}           # pid -> OsProcess resident here
+        self.repl_staging = {}    # (vol_id, ino) -> {page_index: block}
+        from repro.fs.prefetch import PrefetchCache
+
+        self.prefetch_cache = PrefetchCache()
+
+    def trace(self, kind, pid=0, **detail):
+        """Record a site-level event (2PC protocol steps, recovery)."""
+        tracer = self.cluster.tracer
+        if tracer is not None:
+            tracer.record(self.engine.now, self.site_id, pid, kind, **detail)
+
+    def update_state(self, file_id) -> OpenFileState:
+        """The in-core update state of a locally stored file (created on
+        demand; registered with the lock manager for rule 2)."""
+        state = self.update_states.get(file_id)
+        if state is None:
+            volume = self.volume_of(file_id)
+            state = OpenFileState(
+                self.engine, self.cost, volume, file_id[1],
+                keep_clean_copies=getattr(self.config, "keep_clean_copies", False),
+            )
+            self.update_states[file_id] = state
+            self.lock_manager.register_file_state(file_id, state)
+        return state
+
+    def maybe_drop_state(self, file_id):
+        """Drop an idle, unreferenced update state."""
+        state = self.update_states.get(file_id)
+        if state is None:
+            return
+        if self.open_refs.get(file_id, 0) <= 0 and state.is_idle():
+            if self.lock_manager.table(file_id).is_empty():
+                del self.update_states[file_id]
+                self.lock_manager.forget_file(file_id)
+
+    # ------------------------------------------------------------------
+    # storage-site operations (used locally and by RPC handlers)
+    # ------------------------------------------------------------------
+
+    def do_open(self, file_id):
+        """Generator: register an open; returns the working size."""
+        state = self.update_state(file_id)
+        self.open_refs[file_id] = self.open_refs.get(file_id, 0) + 1
+        return state.size
+        yield  # pragma: no cover - keeps this a generator
+
+    def do_close(self, file_id, proc_owner, commit_dirty):
+        """Generator: deregister an open.  A non-transaction closer's
+        dirty records are committed (the base system's atomic file
+        update on close) and its locks on the file released."""
+        state = self.update_states.get(file_id)
+        if state is not None and commit_dirty:
+            if state.dirty_owners(0, max(state.size, 1)).get(proc_owner):
+                yield from state.commit(proc_owner)
+            self.lock_manager.release_holder_on_file(file_id, proc_owner)
+        self.open_refs[file_id] = max(0, self.open_refs.get(file_id, 1) - 1)
+        self.maybe_drop_state(file_id)
+
+    def do_lock(self, file_id, holder, mode, start, length, nontrans, wait, append,
+                proc_holder=None, want_prefetch=False):
+        """Generator: lock (or unlock) a byte range at the storage site.
+
+        Append-mode requests resolve relative to end-of-file and extend
+        the file atomically (section 3.2, footnote 2).  For unlocks by a
+        transaction, ``proc_holder`` lets the same request also release
+        the process's own pre-transaction locks in the range (those are
+        exempt from two-phase locking, section 3.4)."""
+        state = self.update_state(file_id)
+        if append and mode != "unlock":
+            # Read EOF and reserve the extension in one step -- no yield
+            # between them, so concurrent appenders can never see the
+            # same end-of-file (the footnote-2 livelock/overlap race).
+            start = state.size
+            end = start + length
+            state.reserve_extent(holder, end)
+        else:
+            if append:
+                start = state.size
+            end = start + length
+        if mode == "unlock":
+            yield from self.lock_manager.unlock_auto(file_id, holder, start, end)
+            if (
+                proc_holder is not None
+                and proc_holder != holder
+                and self.lock_manager.table(file_id).is_locked_by(
+                    proc_holder, start, end
+                )
+            ):
+                # Also release the process's own pre-transaction locks
+                # in the range (section 3.4's second method).
+                yield from self.lock_manager.unlock_auto(
+                    file_id, proc_holder, start, end
+                )
+            return (start, end)
+        lock_mode = LockMode.EXCLUSIVE if mode == "exclusive" else LockMode.SHARED
+        yield from self.lock_manager.lock(
+            file_id, holder, lock_mode, start, end, nontrans=nontrans, wait=wait
+        )
+        if want_prefetch and self.config.prefetch_on_lock:
+            span = yield from state.page_span_image(start, end)
+            return (start, end, span)
+        return (start, end)
+
+    def do_read(self, file_id, accessor_holder, is_txn, start, nbytes):
+        """Generator: read at the storage site.  Non-transaction readers
+        get the Figure 1 Unix-row check; transaction readers were
+        already locked by the kernel's implicit-locking step."""
+        state = self.update_state(file_id)
+        if not is_txn:
+            blockers = self.lock_manager.unix_access_blockers(
+                file_id, accessor_holder, False, start, start + max(nbytes, 1)
+            )
+            if blockers:
+                raise AccessDenied(
+                    "read [%d,%d) blocked by %s" % (start, start + nbytes, blockers)
+                )
+        data = yield from state.read(start, nbytes)
+        return data
+
+    def do_write(self, file_id, pid, tid, start, data, append=False):
+        """Generator: write at the storage site, attributing the bytes
+        to the right owner (transaction, or process when covered by a
+        non-transaction lock, section 3.4)."""
+        state = self.update_state(file_id)
+        if append:
+            start = state.size
+        end = start + len(data)
+        if tid is None:
+            blockers = self.lock_manager.unix_access_blockers(
+                file_id, ("proc", pid), True, start, end
+            )
+            if blockers:
+                raise AccessDenied(
+                    "write [%d,%d) blocked by %s" % (start, end, blockers)
+                )
+        owner = self.lock_manager.write_attribution(file_id, pid, tid, start, end)
+        yield from state.write(owner, start, data)
+        return (start, end)
+
+    def do_file_size(self, file_id):
+        """Working size of a locally stored file."""
+        return self.update_state(file_id).size
+
+    # ------------------------------------------------------------------
+    # RPC handlers
+    # ------------------------------------------------------------------
+
+    def _register_handlers(self):
+        reg = self.rpc.register
+        reg(MessageKinds.LOCK_REQUEST, functools.partial(_h_lock, self))
+        reg(MessageKinds.LOCK_RELEASE, functools.partial(_h_unlock, self))
+        reg(MessageKinds.FILE_OPEN, functools.partial(_h_open, self))
+        reg(MessageKinds.FILE_CLOSE, functools.partial(_h_close, self))
+        reg(MessageKinds.PAGE_READ, functools.partial(_h_read, self))
+        reg(MessageKinds.PAGE_WRITE, functools.partial(_h_write, self))
+        reg(MessageKinds.FILE_COMMIT, functools.partial(_h_commit_file, self))
+        reg(MessageKinds.PREPARE, functools.partial(_h_prepare, self))
+        reg(MessageKinds.COMMIT, functools.partial(_h_commit, self))
+        reg(MessageKinds.ABORT, functools.partial(_h_abort, self))
+        reg(MessageKinds.TXN_STATUS, functools.partial(_h_status, self))
+        reg(MessageKinds.FILELIST_MERGE, functools.partial(handle_filelist_merge, self))
+        reg(MessageKinds.WAITFOR_QUERY, functools.partial(_h_waitfor, self))
+        from repro.core.treecommit import TREE_PREPARE, handle_tree_prepare
+
+        reg(TREE_PREPARE, functools.partial(handle_tree_prepare, self))
+        from repro.fs.replication import register_handlers as _register_repl
+
+        _register_repl(self)
+
+    # ------------------------------------------------------------------
+    # failure and recovery
+    # ------------------------------------------------------------------
+
+    def crash(self):
+        """Power off: every process dies, every in-core structure is
+        lost; disks (and their logs) survive."""
+        if not self.up:
+            return
+        self.up = False
+        for proc in list(self.procs.values()):
+            if proc.sim_proc is not None:
+                proc.sim_proc.kill()
+            proc.fail(SiteCrashed("site %r crashed" % self.site_id))
+        self.rpc.stop()
+        self.cluster.network.crash_site(self.site_id)
+        self.cache.clear()
+        self._reset_incore()
+
+    def reboot(self, recover=True):
+        """Power on; transaction recovery runs before anything else
+        (section 4.4).  Returns the recovery process (or None)."""
+        if self.up:
+            return None
+        self.up = True
+        self.cluster.network.restart_site(self.site_id)
+        self.rpc.restart()
+        if recover:
+            return self.engine.process(
+                run_recovery(self), name="recovery@%s" % self.site_id
+            )
+        return None
+
+    def __repr__(self):
+        return "<Site %r %s>" % (self.site_id, "up" if self.up else "down")
+
+
+# ----------------------------------------------------------------------
+# handler bodies (module-level so they read as the site's protocol spec)
+# ----------------------------------------------------------------------
+
+def _h_lock(site, body, _src):
+    result = yield from site.do_lock(
+        tuple(body["file_id"]), body["holder"], body["mode"], body["start"],
+        body["length"], body["nontrans"], body["wait"], body["append"],
+        proc_holder=body.get("proc_holder"), want_prefetch=True,
+    )
+    if len(result) == 3:
+        start, end, (span_start, data) = result
+        from repro.net import HEADER_BYTES
+
+        return (
+            {"range": (start, end), "prefetch": (span_start, data)},
+            HEADER_BYTES + len(data),
+        )
+    return {"range": result}
+
+
+def _h_unlock(site, body, _src):
+    result = yield from site.do_lock(
+        tuple(body["file_id"]), body["holder"], "unlock", body["start"],
+        body["length"], False, True, body.get("append", False),
+        proc_holder=body.get("proc_holder"),
+    )
+    return {"range": result}
+
+
+def _h_open(site, body, _src):
+    size = yield from site.do_open(tuple(body["file_id"]))
+    return {"size": size}
+
+
+def _h_close(site, body, _src):
+    yield from site.do_close(
+        tuple(body["file_id"]), tuple(body["proc_owner"]), body["commit_dirty"]
+    )
+    return {}
+
+
+def _h_read(site, body, _src):
+    data = yield from site.do_read(
+        tuple(body["file_id"]), tuple(body["accessor"]), body["is_txn"],
+        body["start"], body["nbytes"],
+    )
+    from repro.net import HEADER_BYTES
+
+    size = site.do_file_size(tuple(body["file_id"]))
+    return {"data": data, "size": size}, HEADER_BYTES + len(data)
+
+
+def _h_write(site, body, _src):
+    rng = yield from site.do_write(
+        tuple(body["file_id"]), body["pid"], body["tid"], body["start"],
+        body["data"], body.get("append", False),
+    )
+    return {"range": rng}
+
+
+def _h_commit_file(site, body, _src):
+    state = site.update_state(tuple(body["file_id"]))
+    yield from state.commit(tuple(body["owner"]))
+    return {}
+
+
+def _h_prepare(site, body, _src):
+    yield site.engine.charge(site.cost.instr(site.cost.trans_msg_instr))
+    result = yield from prepare_participant(
+        site, body["tid"], [tuple(f) for f in body["files"]], body["coordinator"]
+    )
+    return result
+
+
+def _h_commit(site, body, _src):
+    yield site.engine.charge(site.cost.instr(site.cost.trans_msg_instr))
+    return (yield from commit_participant(site, body["tid"]))
+
+
+def _h_abort(site, body, _src):
+    yield site.engine.charge(site.cost.instr(site.cost.trans_msg_instr))
+    return (yield from abort_participant(site, body["tid"]))
+
+
+def _h_status(site, body, _src):
+    yield site.engine.charge(site.cost.instr(site.cost.trans_msg_instr))
+    return {"status": coordinator_status(site, body["tid"])}
+
+
+def _h_waitfor(site, body, _src):
+    """Section 3.1's 'interface to operating system data': expose this
+    kernel's wait-for edges to the deadlock-detector system process."""
+    yield site.engine.charge(site.cost.instr(site.cost.trans_msg_instr))
+    return {"edges": site.lock_manager.wait_edges()}

@@ -1,0 +1,18 @@
+"""Simulated LAN: typed messages, delivery with latency and failures,
+and the lightweight RPC protocol used between Locus kernels."""
+
+from .messages import HEADER_BYTES, Message, MessageKinds
+from .network import Network, NetworkError
+from .rpc import RemoteError, RpcEndpoint, RpcError, SiteUnreachable
+
+__all__ = [
+    "HEADER_BYTES",
+    "Message",
+    "MessageKinds",
+    "Network",
+    "NetworkError",
+    "RemoteError",
+    "RpcEndpoint",
+    "RpcError",
+    "SiteUnreachable",
+]

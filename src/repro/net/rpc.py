@@ -1,0 +1,168 @@
+"""Lightweight request/response protocol over the simulated network.
+
+Each site owns one :class:`RpcEndpoint`.  Handlers are *generators*
+(simulation coroutines) registered by message kind; each incoming request
+is served by a fresh simulation process, so a slow handler (one doing
+disk I/O) never blocks the site's dispatcher.
+
+Failure semantics mirror the paper's environment: a request to an
+unreachable or crashed site is silently lost and the caller's RPC times
+out, raising :class:`SiteUnreachable`.  A handler exception is shipped
+back and re-raised at the caller as :class:`RemoteError`.
+"""
+
+from __future__ import annotations
+
+from repro.sim import AnyOf, SimError
+
+from .messages import HEADER_BYTES, Message
+
+__all__ = ["RpcEndpoint", "RpcError", "RemoteError", "SiteUnreachable"]
+
+
+class RpcError(SimError):
+    """Base class for RPC failures."""
+
+
+class SiteUnreachable(RpcError):
+    """The destination did not answer within the RPC timeout."""
+
+
+class RemoteError(RpcError):
+    """The remote handler raised; the message is the remote traceback text."""
+
+
+class RpcEndpoint:
+    """One site's attachment to the network."""
+
+    def __init__(self, engine, network, site_id, timeout=2.0):
+        self._engine = engine
+        self._network = network
+        self.site_id = site_id
+        self.timeout = timeout
+        self._mailbox = network.attach(site_id)
+        self._handlers = {}
+        self._pending = {}  # msg_id -> Event awaiting the reply
+        self._dispatcher = engine.process(self._dispatch_loop(), name="rpc@%s" % site_id)
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # server side
+    # ------------------------------------------------------------------
+
+    def register(self, kind, handler):
+        """Register ``handler(body, src) -> generator returning reply body``."""
+        if kind in self._handlers:
+            raise RpcError("handler for %r already registered" % kind)
+        self._handlers[kind] = handler
+
+    def _dispatch_loop(self):
+        while True:
+            try:
+                msg = yield self._mailbox.get()
+            except SimError:
+                return  # mailbox closed: site crashed
+            if msg.is_reply:
+                ev = self._pending.pop(msg.reply_to, None)
+                if ev is not None:
+                    ev.succeed(msg)
+            else:
+                self._engine.process(
+                    self._serve(msg), name="serve:%s@%s" % (msg.kind, self.site_id)
+                )
+
+    def _serve(self, msg):
+        handler = self._handlers.get(msg.kind)
+        if handler is None:
+            self._reply(msg, ok=False, body={"error": "no handler for %r" % msg.kind})
+            return
+        try:
+            result = yield from handler(msg.body, msg.src)
+        except Exception as exc:  # noqa: BLE001 - errors travel back to caller
+            self._reply(msg, ok=False, body={"error": "%s: %s" % (type(exc).__name__, exc)})
+            return
+        body, nbytes = _split_result(result)
+        self._reply(msg, ok=True, body=body, nbytes=nbytes)
+
+    def _reply(self, request, ok, body, nbytes=HEADER_BYTES):
+        self._network.send(
+            Message(
+                src=self.site_id,
+                dst=request.src,
+                kind=request.kind + ".reply",
+                body=body,
+                nbytes=nbytes,
+                reply_to=request.msg_id,
+                ok=ok,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+
+    def call(self, dst, kind, body=None, nbytes=HEADER_BYTES, timeout=None):
+        """Generator: send a request and wait for the reply body.
+
+        Raises :class:`SiteUnreachable` on timeout and
+        :class:`RemoteError` if the handler failed.
+        """
+        msg = Message(src=self.site_id, dst=dst, kind=kind, body=body or {}, nbytes=nbytes)
+        reply_ev = self._engine.event()
+        self._pending[msg.msg_id] = reply_ev
+        self._network.send(msg)
+        limit = self.timeout if timeout is None else timeout
+        if limit == float("inf"):
+            # No timer: the caller waits as long as it takes (queued lock
+            # requests); cancellation arrives via abort/interrupt paths.
+            reply = yield reply_ev
+        else:
+            index, value = yield AnyOf(
+                self._engine, [reply_ev, self._engine.timeout(limit)]
+            )
+            if index == 1:
+                self._pending.pop(msg.msg_id, None)
+                raise SiteUnreachable("no reply from site %r for %s" % (dst, kind))
+            reply = value
+        if not reply.ok:
+            raise RemoteError(reply.body.get("error", "remote failure"))
+        return reply.body
+
+    def cast(self, dst, kind, body=None, nbytes=HEADER_BYTES):
+        """One-way send; no reply expected (used for async phase-two
+        commit messages, section 4.2)."""
+        self._network.send(
+            Message(src=self.site_id, dst=dst, kind=kind, body=body or {}, nbytes=nbytes)
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def stop(self):
+        """Crash: kill the dispatcher and fail outstanding calls."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._dispatcher.kill()
+        pending, self._pending = self._pending, {}
+        for ev in pending.values():
+            if not ev.triggered:
+                ev.fail(SiteUnreachable("local site crashed"))
+
+    def restart(self):
+        """Reboot: a fresh dispatcher on the reopened mailbox."""
+        if not self._stopped:
+            return
+        self._stopped = False
+        self._dispatcher = self._engine.process(
+            self._dispatch_loop(), name="rpc@%s" % self.site_id
+        )
+
+
+def _split_result(result):
+    """Handlers may return ``body`` or ``(body, nbytes)`` to model bulk
+    replies (for example a data page)."""
+    if isinstance(result, tuple) and len(result) == 2 and isinstance(result[1], int):
+        return result[0] or {}, result[1]
+    return result or {}, HEADER_BYTES

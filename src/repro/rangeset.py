@@ -1,0 +1,177 @@
+"""Byte-range interval algebra.
+
+Both halves of the paper's contribution manipulate sets of byte ranges:
+
+* record locks cover ``[start, end)`` ranges of a file and can be
+  extended, contracted, upgraded and downgraded (section 3.2);
+* the page-differencing commit tracks which bytes of a physical page
+  each transaction or process modified (section 5.2, Figure 4).
+
+:class:`RangeSet` is a normalized (sorted, coalesced, non-overlapping)
+set of half-open integer intervals supporting the algebra both need.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+__all__ = ["RangeSet"]
+
+
+class RangeSet:
+    """A set of non-negative integers stored as disjoint half-open runs."""
+
+    __slots__ = ("_runs",)
+
+    def __init__(self, runs=()):
+        self._runs = []
+        for start, end in runs:
+            self.add(start, end)
+
+    @classmethod
+    def single(cls, start, end):
+        rs = cls()
+        rs.add(start, end)
+        return rs
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+
+    def __bool__(self):
+        return bool(self._runs)
+
+    def __len__(self):
+        """Total number of integers covered."""
+        return sum(end - start for start, end in self._runs)
+
+    def __eq__(self, other):
+        if not isinstance(other, RangeSet):
+            return NotImplemented
+        return self._runs == other._runs
+
+    def __hash__(self):
+        return hash(tuple(self._runs))
+
+    def __iter__(self):
+        """Iterate the runs as (start, end) tuples."""
+        return iter(tuple(self._runs))
+
+    def __contains__(self, point):
+        i = bisect_left(self._runs, (point + 1,)) - 1
+        return i >= 0 and self._runs[i][0] <= point < self._runs[i][1]
+
+    def __repr__(self):
+        return "RangeSet(%s)" % (self._runs,)
+
+    @property
+    def runs(self):
+        return tuple(self._runs)
+
+    @property
+    def span(self):
+        """(min, max-exclusive) covered, or None when empty."""
+        if not self._runs:
+            return None
+        return (self._runs[0][0], self._runs[-1][1])
+
+    def copy(self) -> "RangeSet":
+        """An independent copy of this set."""
+        rs = RangeSet()
+        rs._runs = list(self._runs)
+        return rs
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def add(self, start, end):
+        """Union in ``[start, end)``; adjacent runs coalesce."""
+        self._check(start, end)
+        if start == end:
+            return
+        left, right = [], []
+        for s, e in self._runs:
+            if e < start:
+                left.append((s, e))
+            elif s > end:
+                right.append((s, e))
+            else:  # overlapping or exactly touching: coalesce
+                start, end = min(start, s), max(end, e)
+        self._runs = left + [(start, end)] + right
+
+    def remove(self, start, end):
+        """Subtract ``[start, end)``."""
+        self._check(start, end)
+        if start == end:
+            return
+        out = []
+        for s, e in self._runs:
+            if e <= start or s >= end:
+                out.append((s, e))
+                continue
+            if s < start:
+                out.append((s, start))
+            if e > end:
+                out.append((end, e))
+        self._runs = out
+
+    # ------------------------------------------------------------------
+    # algebra (non-mutating)
+    # ------------------------------------------------------------------
+
+    def union(self, other) -> "RangeSet":
+        """A new set covering both operands."""
+        rs = self.copy()
+        for s, e in other:
+            rs.add(s, e)
+        return rs
+
+    def difference(self, other) -> "RangeSet":
+        """A new set with ``other``'s runs removed."""
+        rs = self.copy()
+        for s, e in other:
+            rs.remove(s, e)
+        return rs
+
+    def intersection(self, other) -> "RangeSet":
+        """A new set covering only the shared bytes."""
+        out = RangeSet()
+        for s1, e1 in self:
+            for s2, e2 in other:
+                lo, hi = max(s1, s2), min(e1, e2)
+                if lo < hi:
+                    out.add(lo, hi)
+        return out
+
+    def overlaps(self, start, end) -> bool:
+        """Does any run intersect ``[start, end)``?"""
+        self._check(start, end)
+        if start == end:
+            return False
+        for s, e in self._runs:
+            if s < end and start < e:
+                return True
+        return False
+
+    def overlaps_set(self, other) -> bool:
+        """Does any byte appear in both sets?"""
+        return bool(self.intersection(other))
+
+    def clamp(self, start, end) -> "RangeSet":
+        """The part of this set inside ``[start, end)``."""
+        return self.intersection(RangeSet.single(start, end))
+
+    def shift(self, delta) -> "RangeSet":
+        """Translate every run by ``delta`` (used to map file-relative
+        ranges onto page-relative offsets)."""
+        out = RangeSet()
+        out._runs = [(s + delta, e + delta) for s, e in self._runs]
+        if out._runs and out._runs[0][0] < 0:
+            raise ValueError("shift would produce negative offsets")
+        return out
+
+    @staticmethod
+    def _check(start, end):
+        if start < 0 or end < start:
+            raise ValueError("invalid range [%r, %r)" % (start, end))

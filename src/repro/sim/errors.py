@@ -1,0 +1,30 @@
+"""Exception types raised by the simulation kernel."""
+
+
+class SimError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class ProcessKilled(SimError):
+    """Raised inside (or delivered to joiners of) a killed process.
+
+    Killing models abrupt termination -- a site crash, or the kernel
+    reaping a process tree -- as opposed to :class:`Interrupt`, which a
+    process may catch and handle.
+    """
+
+
+class Interrupt(SimError):
+    """Delivered into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value supplied by the
+    interrupter (for example, a deadlock-victim notice).
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class StaleWait(SimError):
+    """Internal guard: a waitable fired for a superseded wait epoch."""

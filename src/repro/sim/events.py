@@ -1,0 +1,153 @@
+"""Waitables: the values a simulation process may ``yield``.
+
+Every waitable implements ``_subscribe(callback)`` where ``callback`` is
+invoked exactly once as ``callback(ok, value)`` -- ``ok`` False meaning
+the wait failed and ``value`` is then an exception to raise inside the
+waiting process.  Callbacks always run via the engine's scheduler, never
+synchronously, which keeps event ordering deterministic.
+"""
+
+from __future__ import annotations
+
+from .errors import SimError
+
+__all__ = ["Waitable", "Event", "Timeout", "AllOf", "AnyOf"]
+
+
+class Waitable:
+    """Abstract base: something a process can wait for."""
+
+    def _subscribe(self, callback):
+        raise NotImplementedError
+
+
+class Timeout(Waitable):
+    """Fires ``value`` after ``delay`` seconds of virtual time."""
+
+    def __init__(self, engine, delay, value=None):
+        self._engine = engine
+        self._delay = delay
+        self._value = value
+
+    def _subscribe(self, callback):
+        self._engine.schedule(self._delay, callback, True, self._value)
+
+
+class Event(Waitable):
+    """A one-shot event that some other process triggers.
+
+    ``succeed(value)`` wakes all waiters with ``value``; ``fail(exc)``
+    raises ``exc`` inside them.  Waiting on an already-triggered event
+    completes (asynchronously) with the stored outcome, so there is no
+    lost-wakeup hazard.
+    """
+
+    def __init__(self, engine):
+        self._engine = engine
+        self._callbacks = []
+        self._triggered = False
+        self._ok = None
+        self._value = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def ok(self):
+        """True/False once triggered, None before."""
+        return self._ok
+
+    @property
+    def value(self):
+        """The success value or failure exception, once triggered."""
+        return self._value
+
+    def succeed(self, value=None):
+        """Trigger the event: waiters resume with ``value``."""
+        self._trigger(True, value)
+        return self
+
+    def fail(self, exc):
+        """Trigger the event as a failure: waiters raise ``exc``."""
+        if not isinstance(exc, BaseException):
+            raise SimError("Event.fail() requires an exception instance")
+        self._trigger(False, exc)
+        return self
+
+    def _trigger(self, ok, value):
+        if self._triggered:
+            raise SimError("event already triggered")
+        self._triggered = True
+        self._ok = ok
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self._engine.schedule(0, cb, ok, value)
+
+    def _subscribe(self, callback):
+        if self._triggered:
+            self._engine.schedule(0, callback, self._ok, self._value)
+        else:
+            self._callbacks.append(callback)
+
+
+class AllOf(Waitable):
+    """Completes when every child waitable has completed.
+
+    Succeeds with the list of child values (in the order given).  Fails
+    with the first failure observed; remaining children are left to
+    complete unobserved.
+    """
+
+    def __init__(self, engine, waitables):
+        self._engine = engine
+        self._waitables = list(waitables)
+
+    def _subscribe(self, callback):
+        remaining = len(self._waitables)
+        if remaining == 0:
+            self._engine.schedule(0, callback, True, [])
+            return
+        results = [None] * remaining
+        state = {"left": remaining, "failed": False}
+
+        def child_cb(index, ok, value):
+            if state["failed"]:
+                return
+            if not ok:
+                state["failed"] = True
+                callback(False, value)
+                return
+            results[index] = value
+            state["left"] -= 1
+            if state["left"] == 0:
+                callback(True, results)
+
+        for i, w in enumerate(self._waitables):
+            w._subscribe(lambda ok, value, i=i: child_cb(i, ok, value))
+
+
+class AnyOf(Waitable):
+    """Completes with ``(index, value)`` of the first child to complete."""
+
+    def __init__(self, engine, waitables):
+        self._engine = engine
+        self._waitables = list(waitables)
+        if not self._waitables:
+            raise SimError("AnyOf requires at least one waitable")
+
+    def _subscribe(self, callback):
+        state = {"done": False}
+
+        def child_cb(index, ok, value):
+            if state["done"]:
+                return
+            state["done"] = True
+            if ok:
+                callback(True, (index, value))
+            else:
+                callback(False, value)
+
+        for i, w in enumerate(self._waitables):
+            w._subscribe(lambda ok, value, i=i: child_cb(i, ok, value))

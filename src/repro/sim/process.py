@@ -1,0 +1,152 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator that yields :class:`Waitable` objects.
+The process suspends until the waitable completes; its success value is
+sent back into the generator (``x = yield some_event``), and a failure is
+raised at the yield point.  A process is itself a waitable: yielding a
+process joins it, producing the generator's return value.
+
+Processes can be interrupted (an :class:`Interrupt` is raised at the
+current yield point and may be caught) or killed (the generator is closed
+unconditionally -- this models site crashes).
+"""
+
+from __future__ import annotations
+
+from .errors import Interrupt, ProcessKilled, SimError
+from .events import Waitable
+
+__all__ = ["Process"]
+
+_PENDING = "pending"
+_DONE = "done"
+_FAILED = "failed"
+_KILLED = "killed"
+
+
+class Process(Waitable):
+    """Drives a generator through the engine.  Create via ``engine.process``."""
+
+    def __init__(self, engine, generator, name=None):
+        self._engine = engine
+        self._gen = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.state = _PENDING
+        self.value = None          # return value once done, or the exception
+        self.cpu_time = 0.0        # CPU seconds booked via Engine.charge()
+        self._joiners = []
+        self._epoch = 0            # guards against stale waitable callbacks
+        # Kick the generator off asynchronously so creation order, not
+        # creation nesting, determines execution order.
+        engine.schedule(0, self._resume, self._epoch, True, None)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self.state == _PENDING
+
+    @property
+    def failed(self) -> bool:
+        return self.state == _FAILED
+
+    @property
+    def killed(self) -> bool:
+        return self.state == _KILLED
+
+    def __repr__(self):
+        return "<Process %s %s at t=%g>" % (self.name, self.state, self._engine.now)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def _resume(self, epoch, ok, value):
+        if self.state != _PENDING or epoch != self._epoch:
+            return  # stale wakeup from a superseded wait
+        prev = self._engine._current
+        self._engine._current = self
+        try:
+            if ok:
+                waitable = self._gen.send(value)
+            else:
+                waitable = self._gen.throw(value)
+        except StopIteration as stop:
+            self._finish(_DONE, stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - process bodies may raise anything
+            self._finish(_FAILED, exc)
+            return
+        finally:
+            self._engine._current = prev
+        if not isinstance(waitable, Waitable):
+            self._finish(
+                _FAILED,
+                SimError("process %s yielded a non-waitable: %r" % (self.name, waitable)),
+            )
+            return
+        self._epoch += 1
+        waitable._subscribe(
+            lambda okk, val, epoch=self._epoch: self._resume(epoch, okk, val)
+        )
+
+    def _finish(self, state, value):
+        self.state = state
+        self.value = value
+        self._epoch += 1
+        joiners, self._joiners = self._joiners, []
+        ok = state == _DONE
+        for cb in joiners:
+            if ok:
+                self._engine.schedule(0, cb, True, value)
+            else:
+                self._engine.schedule(0, cb, False, self._join_error())
+
+    def _join_error(self):
+        if self.state == _FAILED:
+            return self.value
+        return ProcessKilled("process %s was killed" % self.name)
+
+    def interrupt(self, cause=None):
+        """Raise :class:`Interrupt` inside the process at its wait point.
+
+        No-op if the process already finished.  The process may catch the
+        interrupt and continue.
+        """
+        if self.state != _PENDING:
+            return
+        self._epoch += 1  # invalidate the outstanding wait
+        self._engine.schedule(0, self._deliver_interrupt, self._epoch, cause)
+
+    def _deliver_interrupt(self, epoch, cause):
+        if self.state != _PENDING or epoch != self._epoch:
+            return  # superseded by a later interrupt or completion
+        self._resume(epoch, False, Interrupt(cause))
+
+    def kill(self):
+        """Terminate the process unconditionally (models a crash).
+
+        The generator's ``finally`` blocks run, but the process cannot
+        continue.  Joiners see :class:`ProcessKilled`.
+        """
+        if self.state != _PENDING:
+            return
+        try:
+            self._gen.close()
+        except BaseException:  # noqa: BLE001 - crash teardown must not propagate
+            pass
+        self._finish(_KILLED, None)
+
+    # ------------------------------------------------------------------
+    # waitable protocol: joining
+    # ------------------------------------------------------------------
+
+    def _subscribe(self, callback):
+        if self.state == _DONE:
+            self._engine.schedule(0, callback, True, self.value)
+        elif self.state == _PENDING:
+            self._joiners.append(callback)
+        else:
+            self._engine.schedule(0, callback, False, self._join_error())

@@ -1,0 +1,27 @@
+"""Storage substrate: simulated disks, volumes, buffer cache, and the
+shadow-page (intentions list + page differencing) and WAL commit
+mechanisms."""
+
+from .buffercache import BufferCache
+from .disk import Disk, IOCategory
+from .inode import Inode, inode_write_ios, pages_needed
+from .logfile import LogFile
+from .shadow import IntentEntry, IntentionsList, OpenFileState, ShadowError
+from .volume import Volume
+from .wal import WalFile
+
+__all__ = [
+    "BufferCache",
+    "Disk",
+    "IOCategory",
+    "Inode",
+    "IntentEntry",
+    "IntentionsList",
+    "LogFile",
+    "OpenFileState",
+    "ShadowError",
+    "Volume",
+    "WalFile",
+    "inode_write_ios",
+    "pages_needed",
+]

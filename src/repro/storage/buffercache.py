@@ -1,0 +1,62 @@
+"""Per-site LRU buffer cache.
+
+Section 6.3: "all necessary pages were in buffers (due to the LRU buffer
+replacement algorithm employed)" -- the paper's commit measurements
+depend on recently used pages being cached, so the cache is modelled
+explicitly.  Keys are ``(volume_id, block_no)``; values are the block
+bytes as last read or written.  The cache is write-through: durability
+always comes from the disk write, the cache only short-circuits reads.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["BufferCache"]
+
+
+class BufferCache:
+    """LRU cache of disk blocks."""
+
+    def __init__(self, capacity):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = capacity
+        self._blocks = OrderedDict()  # (vol_id, block_no) -> bytes
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self):
+        return len(self._blocks)
+
+    def get(self, vol_id, block_no):
+        """Cached bytes for a block, or None (and count a miss)."""
+        key = (vol_id, block_no)
+        data = self._blocks.get(key)
+        if data is None:
+            self.misses += 1
+            return None
+        self._blocks.move_to_end(key)
+        self.hits += 1
+        return data
+
+    def put(self, vol_id, block_no, data):
+        """Cache a block's bytes (evicting LRU past capacity)."""
+        key = (vol_id, block_no)
+        self._blocks[key] = bytes(data)
+        self._blocks.move_to_end(key)
+        while len(self._blocks) > self._capacity:
+            self._blocks.popitem(last=False)
+
+    def invalidate(self, vol_id, block_no):
+        """Drop one block from the cache."""
+        self._blocks.pop((vol_id, block_no), None)
+
+    def invalidate_volume(self, vol_id):
+        """Drop every cached block of one volume."""
+        for key in [k for k in self._blocks if k[0] == vol_id]:
+            del self._blocks[key]
+
+    def clear(self):
+        """Crash: volatile contents are lost."""
+        self._blocks.clear()

@@ -1,0 +1,82 @@
+"""Append-only log files on a volume.
+
+Both levels of transaction log -- the coordinator log and the per-volume
+prepare logs (section 4.2) -- are ordinary files on a volume, appended
+durably.  Footnote 9 of the paper: the measured implementation needed
+*two* I/Os per append (the log's data page and its inode) while the
+corrected design needs one; ``optimized`` selects between them and is
+what makes Figure 5 reproducible in both variants.
+
+Entries are deep-copied on append so that later in-core mutation cannot
+retroactively change "what was on disk" -- essential for honest crash
+recovery tests.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from .disk import IOCategory
+
+__all__ = ["LogFile"]
+
+
+class LogFile:
+    """A durable, append-only sequence of dictionary records."""
+
+    def __init__(self, engine, cost, volume, name, optimized=False):
+        self._engine = engine
+        self._cost = cost
+        self._volume = volume
+        self.name = name
+        self.optimized = optimized
+        self._entries = []  # durable: survives crashes
+
+    def __len__(self):
+        return len(self._entries)
+
+    def append(self, entry: dict):
+        """Generator: durably append one record.
+
+        One log-page write, plus a log-inode write unless running the
+        optimized (footnote 9, "being corrected") design.  CPU cost of
+        formatting the entry is charged to the caller.
+        """
+        frozen = copy.deepcopy(entry)
+        yield self._engine.charge(self._cost.instr(self._cost.trans_log_write_instr))
+        # Log pages live in their own block namespace; they never collide
+        # with (or leak from) the volume's data-block allocator.
+        data_block = ("log", self.name, len(self._entries))
+        yield from self._volume.disk.write_block(data_block, b"", IOCategory.LOG_WRITE)
+        if not self.optimized:
+            inode_block = ("log-inode", self.name)
+            yield from self._volume.disk.write_block(
+                inode_block, b"", IOCategory.LOG_INODE_WRITE
+            )
+        self._entries.append(frozen)
+
+    def append_in_place(self, entry: dict):
+        """Generator: durably append a record that overwrites space
+        already allocated to this log -- one data-page I/O regardless of
+        the optimized flag.  This models the commit-point status marker:
+        "the coordinator changes the status marker in its log" (section
+        4.2), an in-place update that never grows the log's inode
+        (footnote 9 doubles only the *appending* writes, steps 1 and 3).
+        """
+        frozen = copy.deepcopy(entry)
+        yield self._engine.charge(self._cost.instr(self._cost.trans_log_write_instr))
+        data_block = ("log", self.name, "in-place", len(self._entries))
+        yield from self._volume.disk.write_block(data_block, b"", IOCategory.LOG_WRITE)
+        self._entries.append(frozen)
+
+    def entries(self):
+        """All durable records, oldest first (recovery-time scan)."""
+        return tuple(copy.deepcopy(e) for e in self._entries)
+
+    def remove_where(self, predicate):
+        """Garbage-collect records (e.g. a fully resolved transaction's).
+
+        Log truncation is background housekeeping the paper does not
+        charge against transaction latency, so no I/O is modelled.
+        """
+        self._entries = [e for e in self._entries if not predicate(e)]

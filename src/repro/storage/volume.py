@@ -1,0 +1,142 @@
+"""Logical volumes (filesystems).
+
+A volume owns one disk, a block allocator, and an on-disk inode table.
+Per section 4.4 the transaction mechanism keeps "a separate log per
+logical volume" so that a removable medium carries its own recovery
+state; the prepare log for a volume therefore lives here too (see
+:mod:`repro.storage.logfile`).
+
+The inode table and block store model the *durable* state: they survive
+simulated crashes.  Everything in-core (working buffers, caches, lock
+lists) lives in higher layers and is discarded on a crash.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from .buffercache import BufferCache
+from .disk import Disk, IOCategory
+from .inode import Inode, inode_write_ios
+
+__all__ = ["Volume"]
+
+
+class Volume:
+    """One mounted filesystem on one simulated disk."""
+
+    def __init__(self, engine, cost, vol_id, name=None, cache=None, max_direct=10):
+        self._engine = engine
+        self._cost = cost
+        self.vol_id = vol_id
+        self.name = name or ("vol%s" % (vol_id,))
+        self.max_direct = max_direct
+        self.disk = Disk(engine, cost, name="%s.disk" % self.name)
+        self.cache = cache if cache is not None else BufferCache(64)
+        self._inodes = {}  # ino -> Inode (the on-disk table)
+        self._next_ino = itertools.count(2)  # 1 reserved for the root dir
+        self._next_block = itertools.count(1)
+
+    @property
+    def stats(self):
+        return self.disk.stats
+
+    # ------------------------------------------------------------------
+    # block allocation
+    # ------------------------------------------------------------------
+
+    def alloc_block(self) -> int:
+        """Block numbers are never reused.
+
+        An intentions list identifies the image it was merged against
+        by block number (its ``merge_base_block``); reissuing a freed
+        number would let a *different* image impersonate that base --
+        the ABA problem -- and a later apply would silently overwrite
+        commits that happened in between.  The real system equivalently
+        defers block reuse until the referencing logs are garbage
+        collected; with a dict-backed simulated disk, never reusing is
+        free.
+        """
+        return next(self._next_block)
+
+    def free_block(self, block_no):
+        """Release the block's storage; the number is retired forever."""
+        self.disk.free_block(block_no)
+        self.cache.invalidate(self.vol_id, block_no)
+
+    # ------------------------------------------------------------------
+    # inode table
+    # ------------------------------------------------------------------
+
+    def create_file(self):
+        """Generator: allocate and durably write a fresh empty inode."""
+        ino = next(self._next_ino)
+        inode = Inode(ino=ino)
+        yield from self.disk.write_block(
+            self._inode_block(ino), b"", category=IOCategory.INODE_WRITE
+        )
+        self._inodes[ino] = inode
+        return ino
+
+    def inode(self, ino) -> Inode:
+        """A *copy* of the on-disk inode (callers must never alias it)."""
+        if ino not in self._inodes:
+            raise FileNotFoundError("no inode %r on %s" % (ino, self.name))
+        return self._inodes[ino].copy()
+
+    def exists(self, ino) -> bool:
+        """Is the inode allocated on this volume?"""
+        return ino in self._inodes
+
+    def install_inode(self, inode: Inode, changed_pages=None):
+        """Generator: atomically replace the on-disk inode.
+
+        This is the commit point of the single-file commit mechanism
+        (section 4): after this returns, the new page pointers are what
+        recovery sees.  Costs one I/O plus one per indirect block whose
+        pointers changed (``changed_pages``; None = assume all).
+        """
+        ios = inode_write_ios(inode.npages(), self.max_direct, changed_pages)
+        for _ in range(ios):
+            yield from self.disk.write_block(
+                self._inode_block(inode.ino), b"", category=IOCategory.INODE_WRITE
+            )
+        self._inodes[inode.ino] = inode.copy()
+
+    def remove_file(self, ino):
+        """Delete a file: drop its inode and free its blocks."""
+        inode = self._inodes.pop(ino, None)
+        if inode is not None:
+            for block in inode.pages:
+                if block is not None:
+                    self.free_block(block)
+
+    def inos(self):
+        """All allocated inode numbers, sorted."""
+        return sorted(self._inodes)
+
+    # ------------------------------------------------------------------
+    # block I/O through the cache
+    # ------------------------------------------------------------------
+
+    def read_block_cached(self, block_no, category=IOCategory.DATA_READ):
+        """Generator: read via the LRU cache; a miss goes to disk and
+        populates the cache."""
+        data = self.cache.get(self.vol_id, block_no)
+        if data is not None:
+            return data
+        data = yield from self.disk.read_block(block_no, category)
+        self.cache.put(self.vol_id, block_no, data)
+        return data
+
+    def write_block(self, block_no, data, category=IOCategory.DATA_WRITE):
+        """Generator: write-through -- durable on disk and cached."""
+        yield from self.disk.write_block(block_no, data, category)
+        self.cache.put(self.vol_id, block_no, data)
+
+    # ------------------------------------------------------------------
+
+    def _inode_block(self, ino):
+        # Inode blocks live in a reserved negative namespace so they can
+        # never collide with data blocks.
+        return -ino

@@ -1,0 +1,16 @@
+"""Workload generators for benchmarks and examples."""
+
+from .banking import AccountFile, audit_program, transfer_program
+from .driver import LoadDriver, LoadResult
+from .records import AccessString, RecordLayout, RecordWorkload
+
+__all__ = [
+    "AccessString",
+    "AccountFile",
+    "LoadDriver",
+    "LoadResult",
+    "RecordLayout",
+    "RecordWorkload",
+    "audit_program",
+    "transfer_program",
+]

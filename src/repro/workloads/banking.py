@@ -1,0 +1,98 @@
+"""A small debit/credit workload (the classic motivating application).
+
+Accounts are fixed-width decimal balances in a flat file; a *transfer*
+is a two-record transaction: debit one account, credit another, with
+record-level locks so transfers on disjoint accounts run concurrently.
+Used by the examples and the concurrency benchmarks.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AccountFile", "transfer_program", "audit_program"]
+
+BALANCE_WIDTH = 12  # zero-padded decimal, one record per account
+
+
+class AccountFile:
+    """Layout helper for the accounts file."""
+
+    def __init__(self, path, account_count, initial_balance=1000):
+        self.path = path
+        self.account_count = account_count
+        self.initial_balance = initial_balance
+
+    @property
+    def file_size(self):
+        return self.account_count * BALANCE_WIDTH
+
+    def initial_image(self) -> bytes:
+        """The file contents with every balance at its initial value."""
+        one = self.encode(self.initial_balance)
+        return one * self.account_count
+
+    def offset_of(self, account) -> int:
+        """Byte offset of an account's record."""
+        if not 0 <= account < self.account_count:
+            raise IndexError("account %d out of range" % account)
+        return account * BALANCE_WIDTH
+
+    @staticmethod
+    def encode(balance) -> bytes:
+        return b"%0*d" % (BALANCE_WIDTH, balance)
+
+    @staticmethod
+    def decode(record) -> int:
+        return int(record)
+
+    def total_expected(self) -> int:
+        """The invariant sum of all balances."""
+        return self.initial_balance * self.account_count
+
+
+def transfer_program(accounts: AccountFile, src, dst, amount):
+    """A program moving ``amount`` from ``src`` to ``dst`` atomically.
+
+    Locks both records (in account order, which avoids deadlock among
+    transfers), applies the debit and credit, commits.
+    """
+
+    def prog(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open(accounts.path, write=True)
+        for account in sorted((src, dst)):
+            yield from sys.seek(fd, accounts.offset_of(account))
+            yield from sys.lock(fd, BALANCE_WIDTH)
+        for account, delta in ((src, -amount), (dst, amount)):
+            yield from sys.seek(fd, accounts.offset_of(account))
+            record = yield from sys.read(fd, BALANCE_WIDTH)
+            balance = accounts.decode(record) + delta
+            if balance < 0:
+                yield from sys.abort_trans()
+                return "insufficient-funds"
+            yield from sys.seek(fd, accounts.offset_of(account))
+            yield from sys.write(fd, accounts.encode(balance))
+        yield from sys.end_trans()
+        return "ok"
+
+    return prog
+
+
+def audit_program(accounts: AccountFile, result):
+    """Read every balance inside one transaction and record the sum in
+    ``result['total']`` -- a consistent snapshot (transfers cannot slip
+    between the reads thanks to two-phase locking)."""
+
+    def prog(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open(accounts.path, write=True)
+        total = 0
+        for account in range(accounts.account_count):
+            yield from sys.seek(fd, accounts.offset_of(account))
+            yield from sys.lock(fd, BALANCE_WIDTH, mode="shared")
+            record = yield from sys.read(fd, BALANCE_WIDTH)
+            total += accounts.decode(record)
+        yield from sys.end_trans()
+        result["total"] = total
+        return total
+
+    return prog

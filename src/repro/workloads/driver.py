@@ -1,0 +1,156 @@
+"""A load driver: run a record workload against a cluster and collect
+throughput / abort statistics.
+
+This is the harness the concurrency experiments share: N worker
+processes each execute transactions drawn from a seeded
+:class:`~repro.workloads.records.RecordWorkload` (read the records,
+update them), with deadlock victims retried a bounded number of times.
+Results come back as a :class:`LoadResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import drive
+from repro.locus import TransactionAborted
+from repro.sim import Interrupt
+
+from .records import RecordLayout, RecordWorkload
+
+__all__ = ["LoadDriver", "LoadResult"]
+
+
+@dataclass
+class LoadResult:
+    """Aggregate outcome of one driver run."""
+
+    committed: int = 0
+    aborted: int = 0        # victims that exhausted their retries
+    retries: int = 0        # individual aborted attempts
+    elapsed: float = 0.0
+    worker_times: list = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per simulated second."""
+        return self.committed / self.elapsed if self.elapsed else 0.0
+
+    @property
+    def abort_rate(self) -> float:
+        """Aborted attempts per attempt."""
+        attempts = self.committed + self.retries + self.aborted
+        return (self.retries + self.aborted) / attempts if attempts else 0.0
+
+
+class LoadDriver:
+    """Run ``txns_per_worker`` transactions on each of ``workers``."""
+
+    def __init__(self, cluster, path, layout: RecordLayout, *,
+                 workers=4, txns_per_worker=5, reads=1, writes=2,
+                 hot_fraction=0.0, hot_weight=0.0, max_retries=5, seed=0,
+                 upgrades=False):
+        self.cluster = cluster
+        self.path = path
+        self.layout = layout
+        self.workers = workers
+        self.txns_per_worker = txns_per_worker
+        self.max_retries = max_retries
+        # upgrades=True takes shared locks first and upgrades at write
+        # time -- the read-then-update idiom that produces conversion
+        # deadlocks under contention.
+        self.upgrades = upgrades
+        self._workloads = [
+            RecordWorkload(layout, reads_per_txn=reads, writes_per_txn=writes,
+                           hot_fraction=hot_fraction, hot_weight=hot_weight,
+                           seed=seed * 1000 + w)
+            for w in range(workers)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def setup(self):
+        """Create and populate the shared file (call before run)."""
+        drive(self.cluster.engine,
+              self.cluster.create_file(self.path,
+                                       site_id=self.cluster.default_site_id))
+        drive(self.cluster.engine,
+              self.cluster.populate(self.path, b"." * self.layout.file_size))
+
+    def run(self) -> LoadResult:
+        """Execute the load; returns aggregate statistics."""
+        result = LoadResult()
+        site_ids = sorted(self.cluster.sites)
+        start = self.cluster.engine.now
+        procs = []
+        for w in range(self.workers):
+            prog = self._worker_program(self._workloads[w], result)
+            procs.append(
+                self.cluster.spawn(prog, site_id=site_ids[w % len(site_ids)],
+                                   name="load-worker-%d" % w)
+            )
+        self.cluster.run()
+        failures = [p.exit_value for p in procs if p.failed]
+        if failures:
+            raise failures[0]
+        result.elapsed = (max(result.worker_times) - start
+                          if result.worker_times else 0.0)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _worker_program(self, workload, result):
+        layout, path = self.layout, self.path
+        rsize = layout.record_size
+        max_retries = self.max_retries
+
+        upgrades = self.upgrades
+
+        def prog(sys):
+            for _n in range(self.txns_per_worker):
+                txn = workload.next_transaction()
+                attempts = 0
+                while True:
+                    try:
+                        yield from self._one_txn(sys, path, layout, txn,
+                                                 upgrades)
+                        result.committed += 1
+                        break
+                    except (TransactionAborted, Interrupt):
+                        # Victimized: the abort may surface either as the
+                        # failed lock wait or as the member interrupt.
+                        attempts += 1
+                        if attempts > max_retries:
+                            result.aborted += 1
+                            break
+                        result.retries += 1
+                        try:
+                            yield from sys.sleep(0.01 * attempts)  # backoff
+                        except (TransactionAborted, Interrupt):
+                            pass  # absorb a straggling duplicate notice
+            result.worker_times.append(sys.now)
+
+        return prog
+
+    @staticmethod
+    def _one_txn(sys, path, layout, txn, upgrades):
+        rsize = layout.record_size
+        yield from sys.begin_trans()
+        fd = yield from sys.open(path, write=True)
+        for rec in txn.touched():
+            yield from sys.seek(fd, layout.offset_of(rec))
+            if upgrades:
+                mode = "shared"  # read first; upgrade when writing
+            else:
+                mode = "exclusive" if rec in txn.writes else "shared"
+            yield from sys.lock(fd, rsize, mode=mode)
+        for rec in txn.reads:
+            yield from sys.seek(fd, layout.offset_of(rec))
+            yield from sys.read(fd, rsize)
+        for rec in txn.writes:
+            yield from sys.seek(fd, layout.offset_of(rec))
+            if upgrades:
+                yield from sys.lock(fd, rsize, mode="exclusive")
+                yield from sys.seek(fd, layout.offset_of(rec))
+            yield from sys.write(fd, b"u" * rsize)
+        yield from sys.end_trans()

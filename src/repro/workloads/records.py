@@ -1,0 +1,109 @@
+"""Record-oriented workload generation.
+
+The paper's environment is "a substantial number of relatively small
+machines ... performing database-oriented operations" (section 1).
+These generators produce the record access patterns the benchmarks and
+the [Weinstein85]-style analysis consume: fixed-size records in a flat
+file, selected uniformly or with a hot set, read or updated by
+transactions of configurable size.
+
+Everything is seeded: the same parameters produce the same access
+string on every run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["RecordLayout", "AccessString", "RecordWorkload"]
+
+
+@dataclass(frozen=True)
+class RecordLayout:
+    """A flat file of fixed-size records."""
+
+    record_size: int
+    record_count: int
+
+    @property
+    def file_size(self) -> int:
+        return self.record_size * self.record_count
+
+    def offset_of(self, index) -> int:
+        """Byte offset of a record."""
+        if not 0 <= index < self.record_count:
+            raise IndexError("record %d out of range" % index)
+        return index * self.record_size
+
+    def records_per_page(self, page_size) -> float:
+        """How many records fit on one page."""
+        return page_size / self.record_size
+
+    def pages_touched(self, indices, page_size):
+        """Distinct pages covered by the given record indices."""
+        pages = set()
+        for i in indices:
+            start = self.offset_of(i)
+            end = start + self.record_size
+            pages.update(range(start // page_size, (end - 1) // page_size + 1))
+        return sorted(pages)
+
+
+@dataclass
+class AccessString:
+    """One transaction's worth of record accesses."""
+
+    reads: list = field(default_factory=list)    # record indices
+    writes: list = field(default_factory=list)   # record indices
+
+    def touched(self):
+        """All distinct record indices this transaction accesses."""
+        return sorted(set(self.reads) | set(self.writes))
+
+
+class RecordWorkload:
+    """Seeded generator of per-transaction access strings.
+
+    ``hot_fraction``/``hot_weight`` give a simple two-temperature skew:
+    a ``hot_fraction`` of the records receives ``hot_weight`` of the
+    accesses -- enough to explore the locality axis the paper says the
+    shadow-vs-log comparison hinges on (section 6).
+    """
+
+    def __init__(self, layout, reads_per_txn=2, writes_per_txn=2,
+                 hot_fraction=0.0, hot_weight=0.0, seed=0):
+        if not 0.0 <= hot_fraction <= 1.0 or not 0.0 <= hot_weight <= 1.0:
+            raise ValueError("hot parameters must be fractions")
+        self.layout = layout
+        self.reads_per_txn = reads_per_txn
+        self.writes_per_txn = writes_per_txn
+        self.hot_fraction = hot_fraction
+        self.hot_weight = hot_weight
+        self._rng = random.Random(seed)
+
+    def _pick(self):
+        n = self.layout.record_count
+        hot_count = max(1, int(n * self.hot_fraction)) if self.hot_fraction else 0
+        if hot_count and self._rng.random() < self.hot_weight:
+            return self._rng.randrange(hot_count)
+        return self._rng.randrange(n)
+
+    def next_transaction(self) -> AccessString:
+        """Generate the next transaction's access string."""
+        return AccessString(
+            reads=[self._pick() for _ in range(self.reads_per_txn)],
+            writes=[self._pick() for _ in range(self.writes_per_txn)],
+        )
+
+    def transactions(self, count):
+        """Generate ``count`` access strings."""
+        return [self.next_transaction() for _ in range(count)]
+
+    def disjoint_writer_slots(self, nwriters):
+        """Partition the record space so concurrent writers never
+        conflict (used by the granularity ablation)."""
+        per = self.layout.record_count // nwriters
+        if per == 0:
+            raise ValueError("more writers than records")
+        return [list(range(w * per, (w + 1) * per)) for w in range(nwriters)]

@@ -1,0 +1,36 @@
+"""Shared test helpers."""
+
+import pytest
+
+from repro.config import CostModel, SystemConfig
+from repro.sim import Engine
+
+
+def drive(engine, generator):
+    """Run a simulation generator to completion and return its value.
+
+    Failures inside the generator re-raise in the test for a clean
+    traceback.
+    """
+    proc = engine.process(generator)
+    engine.run()
+    if proc.failed:
+        raise proc.value
+    if proc.killed:
+        raise RuntimeError("process was killed")
+    return proc.value
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+@pytest.fixture
+def cost():
+    return CostModel()
+
+
+@pytest.fixture
+def config():
+    return SystemConfig()

@@ -1,0 +1,116 @@
+"""The file-list merge protocol (section 4.1) at the message level."""
+
+import pytest
+
+from repro import Cluster, drive
+from repro.core.filelist import MergeFailed, handle_filelist_merge, merge_file_list
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(site_ids=(1, 2))
+
+
+def make_txn(cluster, top_site=1):
+    """A top-level process with a transaction and one remote child."""
+    top = cluster.kernel.spawn(lambda sys: iter(()), site_id=top_site, name="top")
+    drive(cluster.engine, cluster.site(top_site).txn_service.begin(top))
+    child = cluster.kernel.spawn(lambda sys: iter(()), site_id=2,
+                                 parent=top, name="child")
+    cluster.run()  # let the trivial programs finish
+    return top, child
+
+
+def test_local_merge_is_direct(cluster):
+    top, child = make_txn(cluster)
+    child.site_id = 1  # co-located with top
+    child.tid = top.tid
+    child.file_list = {("1:root", 5, 1)}
+    drive(cluster.engine, merge_file_list(cluster.site(1), child))
+    assert ("1:root", 5, 1) in top.file_list
+
+
+def test_remote_merge_via_message(cluster):
+    top, child = make_txn(cluster)
+    child.tid = top.tid
+    child.file_list = {("2:root", 9, 2)}
+    # top is registered at site 1's process table for the handler.
+    cluster.site(1).procs[top.pid] = top
+    drive(cluster.engine, merge_file_list(cluster.site(2), child))
+    assert ("2:root", 9, 2) in top.file_list
+
+
+def test_handler_rejects_in_transit_target(cluster):
+    top, _child = make_txn(cluster)
+    cluster.site(1).procs[top.pid] = top
+    top.in_transit = True
+    reply = drive(
+        cluster.engine,
+        handle_filelist_merge(cluster.site(1), {"pid": top.pid, "files": []}, 2),
+    )
+    assert reply == {"ok": False}
+
+
+def test_handler_rejects_absent_target(cluster):
+    reply = drive(
+        cluster.engine,
+        handle_filelist_merge(cluster.site(1), {"pid": 12345, "files": []}, 2),
+    )
+    assert reply == {"ok": False}
+
+
+def test_merge_retries_until_target_lands(cluster):
+    top, child = make_txn(cluster)
+    child.tid = top.tid
+    child.file_list = {("2:root", 7, 2)}
+    cluster.site(1).procs[top.pid] = top
+    top.in_transit = True  # migrating right now
+
+    def finish_migration():
+        top.in_transit = False
+
+    cluster.engine.schedule(0.5, finish_migration)
+    drive(cluster.engine, merge_file_list(cluster.site(2), child))
+    assert ("2:root", 7, 2) in top.file_list
+    assert cluster.engine.now >= 0.5  # had to wait out the transit
+
+
+def test_merge_follows_relocation(cluster):
+    """Target moves between attempts; the sender re-resolves the site."""
+    top, child = make_txn(cluster)
+    child.tid = top.tid
+    child.file_list = {("2:root", 3, 2)}
+    cluster.site(1).procs[top.pid] = top
+    top.in_transit = True
+
+    def relocate():
+        cluster.site(1).procs.pop(top.pid, None)
+        top.site_id = 2
+        cluster.site(2).procs[top.pid] = top
+        top.in_transit = False
+
+    cluster.engine.schedule(0.3, relocate)
+    drive(cluster.engine, merge_file_list(cluster.site(2), child))
+    assert ("2:root", 3, 2) in top.file_list
+
+
+def test_merge_gives_up_after_max_attempts(cluster):
+    top, child = make_txn(cluster)
+    child.tid = top.tid
+    child.file_list = {("2:root", 1, 2)}
+    cluster.site(1).procs[top.pid] = top
+    top.in_transit = True  # forever
+    with pytest.raises(MergeFailed):
+        drive(
+            cluster.engine,
+            merge_file_list(cluster.site(2), child, max_attempts=5),
+        )
+
+
+def test_empty_file_list_short_circuits(cluster):
+    top, child = make_txn(cluster)
+    child.tid = top.tid
+    child.file_list = set()
+    msgs = cluster.network.stats.get("net.messages")
+    drive(cluster.engine, merge_file_list(cluster.site(2), child))
+    assert cluster.network.stats.get("net.messages") == msgs

@@ -1,0 +1,44 @@
+"""Transaction identifiers: temporal uniqueness and ordering."""
+
+from repro.core import TransactionIdGenerator
+from repro.sim import Engine
+
+
+def test_ids_are_unique_at_one_instant():
+    eng = Engine()
+    gen = TransactionIdGenerator(eng, site_id=1)
+    ids = [gen.next() for _ in range(100)]
+    assert len(set(ids)) == 100
+
+
+def test_ids_are_unique_across_sites():
+    eng = Engine()
+    a = TransactionIdGenerator(eng, site_id=1)
+    b = TransactionIdGenerator(eng, site_id=2)
+    assert a.next() != b.next()
+
+
+def test_later_ids_are_larger():
+    eng = Engine()
+    gen = TransactionIdGenerator(eng, site_id=1)
+    first = gen.next()
+    eng.schedule(5.0, lambda: None)
+    eng.run()
+    second = gen.next()
+    assert second > first
+    assert second.timestamp == 5.0
+
+
+def test_sequence_breaks_same_time_ties():
+    eng = Engine()
+    gen = TransactionIdGenerator(eng, site_id=1)
+    a, b = gen.next(), gen.next()
+    assert a < b
+
+
+def test_ids_are_hashable_and_stable():
+    eng = Engine()
+    gen = TransactionIdGenerator(eng, site_id=1)
+    tid = gen.next()
+    assert tid in {tid}
+    assert ("txn", tid) == ("txn", tid)

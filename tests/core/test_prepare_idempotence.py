@@ -1,0 +1,57 @@
+"""Duplicate protocol messages (recovery resends, section 4.4)."""
+
+import pytest
+
+from repro import Cluster, drive
+from repro.core.twophase import (
+    abort_participant,
+    commit_participant,
+    prepare_participant,
+)
+
+
+@pytest.fixture
+def rig():
+    cluster = Cluster(site_ids=(1,))
+    drive(cluster.engine, cluster.create_file("/f", site_id=1))
+    drive(cluster.engine, cluster.populate("/f", b"base" * 16))
+    site = cluster.site(1)
+    file_id = cluster.namespace.lookup("/f").primary.file_id
+    state = site.update_state(file_id)
+    drive(cluster.engine, state.write(("txn", "T1"), 0, b"payload!"))
+    return cluster, site, file_id
+
+
+def test_duplicate_prepare_is_idempotent(rig):
+    cluster, site, file_id = rig
+    drive(cluster.engine, prepare_participant(site, "T1", [file_id], 1))
+    log_len = len(site.prepare_log(file_id[0]))
+    io_snap = cluster.io_snapshot()
+    drive(cluster.engine, prepare_participant(site, "T1", [file_id], 1))
+    assert len(site.prepare_log(file_id[0])) == log_len  # no duplicate entry
+    assert not cluster.io_delta(io_snap)                 # and no extra I/O
+
+
+def test_prepare_commit_prepare_sequence(rig):
+    """A stale duplicate prepare arriving after the commit completed
+    must not resurrect the transaction's prepared state destructively."""
+    cluster, site, file_id = rig
+    drive(cluster.engine, prepare_participant(site, "T1", [file_id], 1))
+    drive(cluster.engine, commit_participant(site, "T1"))
+    committed = drive(cluster.engine, cluster.committed_bytes("/f", 0, 8))
+    assert committed == b"payload!"
+    # Stale prepare: the transaction has no dirty data left, so this
+    # prepares an empty intentions list; a follow-up duplicate commit
+    # applies nothing.
+    drive(cluster.engine, prepare_participant(site, "T1", [file_id], 1))
+    drive(cluster.engine, commit_participant(site, "T1"))
+    assert drive(cluster.engine, cluster.committed_bytes("/f", 0, 8)) == b"payload!"
+
+
+def test_abort_after_duplicate_prepare(rig):
+    cluster, site, file_id = rig
+    drive(cluster.engine, prepare_participant(site, "T1", [file_id], 1))
+    drive(cluster.engine, prepare_participant(site, "T1", [file_id], 1))
+    drive(cluster.engine, abort_participant(site, "T1"))
+    assert len(site.prepare_log(file_id[0])) == 0
+    assert drive(cluster.engine, cluster.committed_bytes("/f", 0, 4)) == b"base"

@@ -1,0 +1,115 @@
+"""R*-style tree commit: correctness and topology."""
+
+import pytest
+
+from repro import Cluster, SystemConfig, drive
+from repro.core import TxnState
+from repro.core.treecommit import build_tree
+
+
+# ----------------------------------------------------------------------
+# tree construction
+# ----------------------------------------------------------------------
+
+def flatten(nodes):
+    out = []
+    for n in nodes:
+        out.append(n["site"])
+        out.extend(flatten(n["children"]))
+    return out
+
+
+def depth(node):
+    if not node["children"]:
+        return 1
+    return 1 + max(depth(c) for c in node["children"])
+
+
+def test_build_tree_covers_all_participants():
+    roots = build_tree([1, 2, 3, 4, 5, 6, 7], branching=2)
+    assert len(roots) == 1
+    assert sorted(flatten(roots)) == [1, 2, 3, 4, 5, 6, 7]
+    assert depth(roots[0]) == 3  # balanced binary: 1 + 2 + 4
+
+
+def test_build_tree_branching_one_is_a_chain():
+    roots = build_tree([1, 2, 3, 4], branching=1)
+    assert depth(roots[0]) == 4
+
+
+def test_build_tree_wide():
+    roots = build_tree([1, 2, 3, 4], branching=10)
+    assert depth(roots[0]) == 2
+
+
+def test_build_tree_empty_and_invalid():
+    assert build_tree([], branching=2) == []
+    with pytest.raises(ValueError):
+        build_tree([1], branching=0)
+
+
+# ----------------------------------------------------------------------
+# end-to-end
+# ----------------------------------------------------------------------
+
+def make_cluster(nsites, protocol):
+    config = SystemConfig(commit_protocol=protocol)
+    cluster = Cluster(site_ids=tuple(range(1, nsites + 1)), config=config)
+    for s in range(2, nsites + 1):
+        drive(cluster.engine, cluster.create_file("/f%d" % s, site_id=s))
+        drive(cluster.engine, cluster.populate("/f%d" % s, b"-" * 32))
+    return cluster
+
+
+def commit_all(cluster, nsites):
+    def prog(sys):
+        yield from sys.begin_trans()
+        for s in range(2, nsites + 1):
+            fd = yield from sys.open("/f%d" % s, write=True)
+            yield from sys.write(fd, b"site%02d!" % s)
+        yield from sys.end_trans()
+        return sys.now
+
+    proc = cluster.spawn(prog, site_id=1)
+    cluster.run()
+    if proc.failed:
+        raise proc.exit_value
+    return proc
+
+
+def test_tree_commit_is_correct(cluster_sites=6):
+    cluster = make_cluster(cluster_sites, "tree")
+    commit_all(cluster, cluster_sites)
+    for s in range(2, cluster_sites + 1):
+        data = drive(cluster.engine, cluster.committed_bytes("/f%d" % s, 0, 7))
+        assert data == b"site%02d!" % s
+    txn = cluster.txn_registry.all()[0]
+    assert txn.state == TxnState.RESOLVED
+
+
+def test_tree_prepare_failure_aborts_everywhere():
+    cluster = make_cluster(6, "tree")
+    cluster.engine.schedule(0.05, cluster.crash_site, 5)
+
+    def prog(sys):
+        yield from sys.begin_trans()
+        for s in (2, 3, 4, 5, 6):
+            fd = yield from sys.open("/f%d" % s, write=True)
+            yield from sys.write(fd, b"doomed!")
+        yield from sys.sleep(1.0)
+        yield from sys.end_trans()
+
+    proc = cluster.spawn(prog, site_id=1)
+    cluster.run()
+    assert proc.failed
+    for s in (2, 3, 4, 6):
+        data = drive(cluster.engine, cluster.committed_bytes("/f%d" % s, 0, 7))
+        assert data == b"-" * 7
+
+
+def test_flat_beats_tree_on_commit_latency():
+    """The section 7.5 claim: the Locus protocol involves less latency
+    than hierarchical propagation, for the same transaction."""
+    flat = commit_all(make_cluster(7, "flat"), 7).exit_value
+    tree = commit_all(make_cluster(7, "tree"), 7).exit_value
+    assert flat < tree

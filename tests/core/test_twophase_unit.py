@@ -1,0 +1,130 @@
+"""Two-phase commit participant machinery, driven directly (no
+program layer): prepare/commit/abort handlers, coordinator status."""
+
+import pytest
+
+from repro import Cluster, SystemConfig, drive
+from repro.core.twophase import (
+    abort_participant,
+    commit_participant,
+    coordinator_status,
+    prepare_participant,
+)
+
+
+@pytest.fixture
+def rig():
+    cluster = Cluster(site_ids=(1,))
+    drive(cluster.engine, cluster.create_file("/f", site_id=1))
+    drive(cluster.engine, cluster.populate("/f", b"base" * 64))
+    site = cluster.site(1)
+    info = cluster.namespace.lookup("/f")
+    return cluster, site, info.primary.file_id
+
+
+def dirty(cluster, site, file_id, tid, payload):
+    state = site.update_state(file_id)
+    drive(cluster.engine, state.write(("txn", tid), 0, payload))
+    return state
+
+
+def test_prepare_writes_log_and_stashes_intents(rig):
+    cluster, site, file_id = rig
+    dirty(cluster, site, file_id, "t1", b"prepared-data")
+    drive(cluster.engine, prepare_participant(site, "t1", [file_id], 1))
+    assert "t1" in site.prepared
+    log = site.prepare_log(file_id[0])
+    assert len(log) == 1
+    entry = log.entries()[0]
+    assert entry["tid"] == "t1"
+    assert entry["coordinator"] == 1
+    assert len(entry["intents"]) == 1
+
+
+def test_commit_applies_and_clears_log(rig):
+    cluster, site, file_id = rig
+    dirty(cluster, site, file_id, "t1", b"committed-data")
+    drive(cluster.engine, prepare_participant(site, "t1", [file_id], 1))
+    drive(cluster.engine, commit_participant(site, "t1"))
+    assert "t1" not in site.prepared
+    assert len(site.prepare_log(file_id[0])) == 0
+    vol = site.volumes[file_id[0]]
+    assert vol.inode(file_id[1]).version > 1
+
+
+def test_commit_from_log_after_incore_loss(rig):
+    """The crash path: prepared table gone, prepare log drives commit."""
+    cluster, site, file_id = rig
+    dirty(cluster, site, file_id, "t1", b"from-log-data")
+    drive(cluster.engine, prepare_participant(site, "t1", [file_id], 1))
+    site.prepared.clear()
+    site.update_states.clear()  # simulate in-core loss
+    drive(cluster.engine, commit_participant(site, "t1"))
+    state = site.update_state(file_id)
+    data = drive(cluster.engine, state.read(0, 13))
+    assert data == b"from-log-data"
+
+
+def test_abort_discards_prepared_blocks(rig):
+    cluster, site, file_id = rig
+    vol = site.volumes[file_id[0]]
+    dirty(cluster, site, file_id, "t1", b"doomed-data")
+    drive(cluster.engine, prepare_participant(site, "t1", [file_id], 1))
+    blocks_before = vol.disk.block_count
+    drive(cluster.engine, abort_participant(site, "t1"))
+    assert vol.disk.block_count < blocks_before  # shadow block freed
+    assert len(site.prepare_log(file_id[0])) == 0
+    state = site.update_state(file_id)
+    assert drive(cluster.engine, state.read(0, 4)) == b"base"
+
+
+def test_abort_without_prepare_is_safe(rig):
+    cluster, site, file_id = rig
+    dirty(cluster, site, file_id, "t1", b"never-prepared")
+    drive(cluster.engine, abort_participant(site, "t1"))
+    state = site.update_state(file_id)
+    assert drive(cluster.engine, state.read(0, 4)) == b"base"
+
+
+def test_abort_is_idempotent(rig):
+    cluster, site, file_id = rig
+    dirty(cluster, site, file_id, "t1", b"doomed")
+    drive(cluster.engine, prepare_participant(site, "t1", [file_id], 1))
+    drive(cluster.engine, abort_participant(site, "t1"))
+    drive(cluster.engine, abort_participant(site, "t1"))  # duplicate message
+    state = site.update_state(file_id)
+    assert drive(cluster.engine, state.read(0, 4)) == b"base"
+
+
+def test_coordinator_status_transitions(rig):
+    cluster, site, _file_id = rig
+    assert coordinator_status(site, "tX") == "presumed-aborted"
+    drive(cluster.engine, site.coordinator_log.append(
+        {"type": "txn", "tid": "tX", "files": [], "status": "unknown"}))
+    assert coordinator_status(site, "tX") == "unknown"
+    drive(cluster.engine, site.coordinator_log.append_in_place(
+        {"type": "status", "tid": "tX", "status": "committed"}))
+    assert coordinator_status(site, "tX") == "committed"
+
+
+def test_readonly_prepare_produces_empty_intents(rig):
+    cluster, site, file_id = rig
+    site.update_state(file_id)  # opened but never written
+    drive(cluster.engine, prepare_participant(site, "t1", [file_id], 1))
+    intents = site.prepared["t1"]
+    assert len(intents) == 1
+    assert intents[0].entries == []
+    drive(cluster.engine, commit_participant(site, "t1"))  # no-op apply
+
+
+def test_footnote10_per_file_prepare_entries(rig):
+    cluster, site, file_id = rig
+    cluster.config.prepare_log_per_volume = False
+    drive(cluster.engine, cluster.create_file("/g", site_id=1))
+    g_id = cluster.namespace.lookup("/g").primary.file_id
+    dirty(cluster, site, file_id, "t1", b"f-data")
+    state_g = site.update_state(g_id)
+    drive(cluster.engine, state_g.write(("txn", "t1"), 0, b"g-data"))
+    drive(cluster.engine, prepare_participant(site, "t1", [file_id, g_id], 1))
+    # Per-file mode: two log entries on the same volume.
+    assert len(site.prepare_log(file_id[0])) == 2

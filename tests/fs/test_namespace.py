@@ -1,0 +1,71 @@
+"""Namespace and replica bookkeeping."""
+
+import pytest
+
+from repro.fs import FileInfo, Namespace, NamespaceError, Replica
+
+
+def reps(*sids):
+    return [Replica(site_id=s, vol_id="%s:root" % s, ino=10 + s) for s in sids]
+
+
+def test_add_lookup_remove():
+    ns = Namespace()
+    info = ns.add("/a/b", reps(1))
+    assert ns.lookup("/a/b") is info
+    assert ns.exists("/a/b")
+    ns.remove("/a/b")
+    assert not ns.exists("/a/b")
+
+
+def test_duplicate_add_rejected():
+    ns = Namespace()
+    ns.add("/x", reps(1))
+    with pytest.raises(NamespaceError):
+        ns.add("/x", reps(2))
+
+
+def test_lookup_missing_rejected():
+    with pytest.raises(NamespaceError):
+        Namespace().lookup("/nope")
+
+
+def test_remove_missing_rejected():
+    with pytest.raises(NamespaceError):
+        Namespace().remove("/nope")
+
+
+def test_file_needs_replicas():
+    with pytest.raises(NamespaceError):
+        Namespace().add("/x", [])
+
+
+def test_primary_defaults_to_first_replica():
+    info = FileInfo(path="/x", replicas=reps(3, 1, 2))
+    assert info.primary.site_id == 3
+
+
+def test_replica_at():
+    info = FileInfo(path="/x", replicas=reps(1, 2))
+    assert info.replica_at(2).site_id == 2
+    assert info.replica_at(9) is None
+
+
+def test_set_primary_migrates_update_service():
+    info = FileInfo(path="/x", replicas=reps(1, 2))
+    info.set_primary(2)
+    assert info.primary.site_id == 2
+    with pytest.raises(NamespaceError):
+        info.set_primary(9)
+
+
+def test_replica_file_id():
+    rep = Replica(site_id=1, vol_id="1:root", ino=42)
+    assert rep.file_id == ("1:root", 42)
+
+
+def test_paths_sorted():
+    ns = Namespace()
+    ns.add("/b", reps(1))
+    ns.add("/a", reps(1))
+    assert ns.paths() == ["/a", "/b"]

@@ -1,0 +1,138 @@
+"""Replication: primary update site, propagation, storage-site
+migration (section 5.2)."""
+
+import pytest
+
+from repro import Cluster, drive
+from repro.fs import ReplicationError, migrate_primary, propagate_file
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(site_ids=(1, 2, 3))
+    drive(c.engine, c.create_file("/r", replicas=[1, 2, 3]))
+    drive(c.engine, c.populate("/r", b"v1" * 50))
+    return c
+
+
+def replica_bytes(cluster, path, site_id, start, n):
+    from repro.storage import OpenFileState
+
+    rep = cluster.namespace.lookup(path).replica_at(site_id)
+    site = cluster.site(site_id)
+    vol = site.volumes[rep.vol_id]
+    fresh = OpenFileState(cluster.engine, cluster.cost, vol, rep.ino)
+    return drive(cluster.engine, fresh.read(start, n))
+
+
+def update_primary(cluster, payload):
+    def prog(sys):
+        fd = yield from sys.open("/r", write=True)
+        yield from sys.lock(fd, len(payload))
+        yield from sys.write(fd, payload)
+        yield from sys.close(fd)
+
+    p = cluster.spawn(prog, site_id=1)
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value
+
+
+def test_update_goes_to_primary_only(cluster):
+    update_primary(cluster, b"UPDATED!")
+    assert replica_bytes(cluster, "/r", 1, 0, 8) == b"UPDATED!"
+    assert replica_bytes(cluster, "/r", 2, 0, 8) == b"v1" * 4  # stale
+
+
+def test_propagate_brings_replicas_current(cluster):
+    update_primary(cluster, b"UPDATED!")
+    updated = drive(cluster.engine, propagate_file(cluster, "/r"))
+    assert sorted(updated) == [2, 3]
+    for sid in (2, 3):
+        assert replica_bytes(cluster, "/r", sid, 0, 8) == b"UPDATED!"
+
+
+def test_propagate_is_idempotent_and_version_aware(cluster):
+    update_primary(cluster, b"UPDATED!")
+    drive(cluster.engine, propagate_file(cluster, "/r"))
+    again = drive(cluster.engine, propagate_file(cluster, "/r"))
+    assert again == []  # versions already match: no work, no messages
+
+
+def test_propagate_skips_unreachable_replicas(cluster):
+    update_primary(cluster, b"UPDATED!")
+    cluster.crash_site(3)
+    updated = drive(cluster.engine, propagate_file(cluster, "/r"))
+    assert updated == [2]
+    cluster.restart_site(3)
+    cluster.run()
+    updated = drive(cluster.engine, propagate_file(cluster, "/r"))
+    assert updated == [3]  # catches up once reachable
+
+
+def test_propagation_costs_messages_and_replica_io(cluster):
+    update_primary(cluster, b"UPDATED!")
+    msgs_before = cluster.network.stats.get("net.messages")
+    drive(cluster.engine, propagate_file(cluster, "/r"))
+    assert cluster.network.stats.get("net.messages") > msgs_before
+
+
+def test_migrate_primary_moves_update_service(cluster):
+    update_primary(cluster, b"UPDATED!")
+    drive(cluster.engine, migrate_primary(cluster, "/r", 2))
+    assert cluster.namespace.lookup("/r").primary.site_id == 2
+    # New updates now land at site 2.
+    def prog(sys):
+        fd = yield from sys.open("/r", write=True)
+        yield from sys.lock(fd, 8)
+        yield from sys.write(fd, b"AT-SITE2")
+        yield from sys.close(fd)
+
+    p = cluster.spawn(prog, site_id=3)
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value
+    assert replica_bytes(cluster, "/r", 2, 0, 8) == b"AT-SITE2"
+    assert replica_bytes(cluster, "/r", 1, 0, 8) == b"UPDATED!"  # old primary stale
+
+
+def test_migrate_primary_requires_replica(cluster):
+    with pytest.raises(ReplicationError):
+        drive(cluster.engine, migrate_primary(cluster, "/r", 99))
+
+
+def test_migrate_primary_refuses_busy_file(cluster):
+    def writer(sys):
+        fd = yield from sys.open("/r", write=True)
+        yield from sys.lock(fd, 10)
+        yield from sys.write(fd, b"uncommitted"[:10])
+        yield from sys.sleep(100.0)
+
+    cluster.spawn(writer, site_id=1)
+    cluster.run(until=1.0)
+    with pytest.raises(ReplicationError):
+        drive(cluster.engine, migrate_primary(cluster, "/r", 2))
+
+
+def test_migrate_primary_noop_when_already_there(cluster):
+    info = drive(cluster.engine, migrate_primary(cluster, "/r", 1))
+    assert info.primary.site_id == 1
+
+
+def test_auto_propagate_after_commit():
+    from repro import SystemConfig
+
+    c = Cluster(site_ids=(1, 2, 3), config=SystemConfig(auto_propagate=True))
+    drive(c.engine, c.create_file("/auto", replicas=[1, 2, 3]))
+    drive(c.engine, c.populate("/auto", b"v1" * 20))
+
+    def prog(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/auto", write=True)
+        yield from sys.lock(fd, 8)
+        yield from sys.write(fd, b"PUSHED!!")
+        yield from sys.end_trans()
+
+    p = c.spawn(prog, site_id=2)
+    c.run()
+    assert p.exit_status == "done", p.exit_value
+    for sid in (2, 3):
+        assert replica_bytes(c, "/auto", sid, 0, 8) == b"PUSHED!!"

@@ -1,0 +1,41 @@
+"""The ``python -m repro`` demo CLI."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=180,
+    )
+
+
+@pytest.mark.parametrize("scenario, expect", [
+    ("commit", "durable: a distributed transaction paper!"),
+    ("abort", "deadlock victim"),
+    ("recovery", "state = resolved"),
+])
+def test_scenarios(scenario, expect):
+    result = run_cli(scenario, "--quiet")
+    assert result.returncode == 0, result.stderr
+    assert expect in result.stdout
+
+
+def test_trace_shown_by_default():
+    result = run_cli("commit")
+    assert "event trace:" in result.stdout
+    assert "begin_trans" in result.stdout
+
+
+def test_report_flag():
+    result = run_cli("commit", "--quiet", "--report")
+    assert "== transactions ==" in result.stdout
+    assert "resolved" in result.stdout
+
+
+def test_bad_scenario_rejected():
+    result = run_cli("nonsense")
+    assert result.returncode != 0

@@ -1,0 +1,136 @@
+"""System-level invariants under randomized concurrent load.
+
+The atomicity + serializability guarantees imply an accounting
+invariant: money moved by committed transfers is conserved, no matter
+how transfers interleave, how many abort (voluntarily, by deadlock
+victimization, or by injected crashes), and from which sites they run.
+Seeded randomness keeps every case reproducible.
+"""
+
+import random
+
+import pytest
+
+from repro import Cluster, drive
+from repro.workloads import AccountFile, audit_program, transfer_program
+
+N_ACCOUNTS = 16
+
+
+def build(seed):
+    cluster = Cluster(site_ids=(1, 2, 3))
+    accounts = AccountFile("/bank", N_ACCOUNTS, initial_balance=500)
+    drive(cluster.engine, cluster.create_file(accounts.path, site_id=1))
+    drive(cluster.engine, cluster.populate(accounts.path, accounts.initial_image()))
+    return cluster, accounts, random.Random(seed)
+
+
+def run_audit(cluster, accounts):
+    result = {}
+    auditor = cluster.spawn(audit_program(accounts, result), site_id=1)
+    cluster.run()
+    assert auditor.exit_status == "done", auditor.exit_value
+    return result["total"]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_concurrent_transfers_conserve_money(seed):
+    cluster, accounts, rng = build(seed)
+    procs = []
+    for _ in range(30):
+        src, dst = rng.sample(range(N_ACCOUNTS), 2)
+        prog = transfer_program(accounts, src, dst, rng.randrange(1, 100))
+        procs.append(cluster.spawn(prog, site_id=rng.choice((1, 2, 3))))
+    cluster.run()
+    assert all(p.exit_status == "done" for p in procs)
+    assert run_audit(cluster, accounts) == accounts.total_expected()
+
+
+@pytest.mark.parametrize("seed", [10, 11])
+def test_aborted_transfers_leave_no_trace(seed):
+    """Transfers that abort midway (after the debit!) must not lose or
+    create money."""
+    cluster, accounts, rng = build(seed)
+
+    def aborting_transfer(src, dst, amount):
+        def prog(sys):
+            yield from sys.begin_trans()
+            fd = yield from sys.open(accounts.path, write=True)
+            for account in sorted((src, dst)):
+                yield from sys.seek(fd, accounts.offset_of(account))
+                yield from sys.lock(fd, 12)
+            # Debit applied...
+            yield from sys.seek(fd, accounts.offset_of(src))
+            rec = yield from sys.read(fd, 12)
+            yield from sys.seek(fd, accounts.offset_of(src))
+            yield from sys.write(fd, accounts.encode(accounts.decode(rec) - amount))
+            # ...then the transaction gives up.
+            yield from sys.abort_trans()
+
+        return prog
+
+    procs = []
+    for i in range(20):
+        src, dst = rng.sample(range(N_ACCOUNTS), 2)
+        amount = rng.randrange(1, 100)
+        if i % 2:
+            procs.append(cluster.spawn(
+                aborting_transfer(src, dst, amount), site_id=rng.choice((1, 2, 3))))
+        else:
+            procs.append(cluster.spawn(
+                transfer_program(accounts, src, dst, amount),
+                site_id=rng.choice((1, 2, 3))))
+    cluster.run()
+    assert all(p.exit_status == "done" for p in procs)
+    assert run_audit(cluster, accounts) == accounts.total_expected()
+
+
+@pytest.mark.parametrize("seed", [20, 21])
+def test_deadlock_victims_do_not_corrupt(seed):
+    """Ill-ordered lock acquisition causes deadlocks; victims abort and
+    the books still balance."""
+    cluster, accounts, rng = build(seed)
+
+    def ill_ordered(src, dst, amount):
+        def prog(sys):
+            yield from sys.begin_trans()
+            fd = yield from sys.open(accounts.path, write=True)
+            for account in (src, dst):  # arbitrary order: deadlock bait
+                yield from sys.seek(fd, accounts.offset_of(account))
+                yield from sys.lock(fd, 12)
+                yield from sys.sleep(0.05)
+            for account, delta in ((src, -amount), (dst, amount)):
+                yield from sys.seek(fd, accounts.offset_of(account))
+                rec = yield from sys.read(fd, 12)
+                yield from sys.seek(fd, accounts.offset_of(account))
+                yield from sys.write(fd, accounts.encode(accounts.decode(rec) + delta))
+            yield from sys.end_trans()
+
+        return prog
+
+    procs = []
+    for _ in range(12):
+        src, dst = rng.sample(range(6), 2)  # small hot set: many conflicts
+        procs.append(cluster.spawn(
+            ill_ordered(src, dst, rng.randrange(1, 50)),
+            site_id=rng.choice((1, 2, 3))))
+    cluster.run()
+    committed = sum(1 for p in procs if p.exit_status == "done")
+    assert committed >= 1  # progress guaranteed
+    assert run_audit(cluster, accounts) == accounts.total_expected()
+
+
+def test_crash_during_load_conserves_committed_money():
+    """Crash a non-storage site mid-workload: transactions hosted there
+    die, everything else completes, books balance after recovery."""
+    cluster, accounts, rng = build(seed=30)
+    procs = []
+    for _ in range(20):
+        src, dst = rng.sample(range(N_ACCOUNTS), 2)
+        prog = transfer_program(accounts, src, dst, rng.randrange(1, 100))
+        procs.append(cluster.spawn(prog, site_id=rng.choice((2, 3))))
+    cluster.engine.schedule(0.5, cluster.crash_site, 3)
+    cluster.run()
+    cluster.restart_site(3)
+    cluster.run()
+    assert run_audit(cluster, accounts) == accounts.total_expected()

@@ -1,0 +1,81 @@
+"""Deadlock: graph construction, cycle detection, victim policy."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.locking import build_wait_graph, choose_victim, find_cycle
+
+T = lambda n: ("txn", n)  # noqa: E731
+P = lambda n: ("proc", n)  # noqa: E731
+
+
+def test_no_cycle_in_chain():
+    graph = build_wait_graph([[(T(1), T(2)), (T(2), T(3))]])
+    assert find_cycle(graph) is None
+
+
+def test_two_node_cycle():
+    graph = build_wait_graph([[(T(1), T(2)), (T(2), T(1))]])
+    cycle = find_cycle(graph)
+    assert cycle is not None
+    assert set(cycle) == {T(1), T(2)}
+
+
+def test_three_node_cycle_across_sites():
+    """Edges merged from several sites' lock managers."""
+    graph = build_wait_graph([
+        [(T(1), T(2))],          # site A
+        [(T(2), T(3))],          # site B
+        [(T(3), T(1))],          # site C
+    ])
+    cycle = find_cycle(graph)
+    assert set(cycle) == {T(1), T(2), T(3)}
+
+
+def test_self_edge_is_a_cycle():
+    graph = build_wait_graph([[(T(7), T(7))]])
+    assert find_cycle(graph) == [T(7)]
+
+
+def test_cycle_found_among_noise():
+    graph = build_wait_graph([[
+        (T(1), T(2)), (T(2), T(3)), (T(9), T(1)),
+        (T(4), T(5)), (T(5), T(4)),  # the actual cycle
+    ]])
+    cycle = find_cycle(graph)
+    assert set(cycle) == {T(4), T(5)}
+
+
+def test_victim_is_youngest_transaction():
+    assert choose_victim([T(3), T(7), T(5)]) == T(7)
+
+
+def test_victim_prefers_transactions_over_processes():
+    assert choose_victim([P(99), T(1)]) == T(1)
+
+
+def test_victim_among_processes_only():
+    assert choose_victim([P(3), P(9)]) == P(9)
+
+
+@settings(max_examples=100)
+@given(st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=20))
+def test_prop_reported_cycle_is_a_real_cycle(raw_edges):
+    edges = [(T(a), T(b)) for a, b in raw_edges]
+    graph = build_wait_graph([edges])
+    cycle = find_cycle(graph)
+    if cycle is None:
+        return
+    # Every consecutive pair (wrapping) must be an edge of the graph.
+    for i, node in enumerate(cycle):
+        succ = cycle[(i + 1) % len(cycle)]
+        assert succ in graph[node]
+
+
+@settings(max_examples=100)
+@given(st.lists(st.tuples(st.integers(0, 6), st.integers(0, 6)), max_size=15))
+def test_prop_acyclic_graphs_report_none(raw_edges):
+    # Force acyclicity: only edges from smaller to larger ids.
+    edges = [(T(a), T(b)) for a, b in raw_edges if a < b]
+    graph = build_wait_graph([edges])
+    assert find_cycle(graph) is None

@@ -1,0 +1,49 @@
+"""Whole-file locking baseline (section 7.1)."""
+
+import pytest
+
+from repro.locking import LockConflict, LockManager, LockMode, WholeFileLockManager
+from tests.conftest import drive
+
+X = LockMode.EXCLUSIVE
+T1, T2 = ("txn", 1), ("txn", 2)
+F = (1, 2)
+
+
+def test_disjoint_records_conflict_under_whole_file_locking(eng, cost):
+    mgr = WholeFileLockManager(LockManager(eng, cost))
+
+    def prog():
+        yield from mgr.lock(F, T1, X, 0, 10)
+        yield from mgr.lock(F, T2, X, 1000, 1010, wait=False)
+
+    with pytest.raises(LockConflict):
+        drive(eng, prog())
+
+
+def test_record_locking_allows_what_file_locking_forbids(eng, cost):
+    record_mgr = LockManager(eng, cost)
+
+    def prog():
+        yield from record_mgr.lock(F, T1, X, 0, 10)
+        yield from record_mgr.lock(F, T2, X, 1000, 1010, wait=False)
+
+    drive(eng, prog())  # no conflict at record granularity
+
+
+def test_whole_file_unlock_releases_whole_file(eng, cost):
+    mgr = WholeFileLockManager(LockManager(eng, cost))
+
+    def prog():
+        yield from mgr.lock(F, T1, X, 5, 6)
+        yield from mgr.unlock(F, T1, 5, 6, two_phase=False)
+        yield from mgr.lock(F, T2, X, 0, 1, wait=False)
+
+    drive(eng, prog())
+
+
+def test_delegates_other_methods(eng, cost):
+    inner = LockManager(eng, cost)
+    mgr = WholeFileLockManager(inner)
+    assert mgr.wait_edges() == []
+    assert mgr.table(F) is inner.table(F)

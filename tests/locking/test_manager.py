@@ -1,0 +1,270 @@
+"""Lock manager: granting, FIFO queueing, retention rules 1 and 2,
+non-transaction locks, cancellation, wait-for edges."""
+
+import pytest
+
+from repro.locking import LockCancelled, LockConflict, LockManager, LockMode
+from repro.storage import OpenFileState, Volume
+from tests.conftest import drive
+
+S, X = LockMode.SHARED, LockMode.EXCLUSIVE
+T1, T2, T3 = ("txn", 1), ("txn", 2), ("txn", 3)
+P1 = ("proc", 10)
+F = (1, 2)  # (vol_id, ino)
+
+
+@pytest.fixture
+def mgr(eng, cost):
+    return LockManager(eng, cost)
+
+
+def test_grant_costs_750_instructions(eng, cost, mgr):
+    def prog():
+        yield from mgr.lock(F, T1, X, 0, 10)
+
+    p = eng.process(prog())
+    eng.run()
+    assert p.cpu_time == pytest.approx(750 * cost.instruction_time)
+
+
+def test_nonwaiting_conflict_raises(eng, cost, mgr):
+    def prog():
+        yield from mgr.lock(F, T1, X, 0, 10)
+        yield from mgr.lock(F, T2, X, 5, 15, wait=False)
+
+    with pytest.raises(LockConflict) as info:
+        drive(eng, prog())
+    assert info.value.blockers == [T1]
+
+
+def test_waiting_request_granted_on_release(eng, cost, mgr):
+    order = []
+
+    def holder():
+        yield from mgr.lock(F, T1, X, 0, 10)
+        order.append(("t1-granted", eng.now))
+        yield eng.timeout(1.0)
+        yield from mgr.unlock(F, T1, 0, 10, two_phase=False)
+
+    def waiter():
+        yield from mgr.lock(F, T2, X, 0, 10)
+        order.append(("t2-granted", eng.now))
+
+    eng.process(holder())
+    eng.process(waiter())
+    eng.run()
+    assert order[0][0] == "t1-granted"
+    assert order[1][0] == "t2-granted"
+    assert order[1][1] >= 1.0
+
+
+def test_two_phase_unlock_retains_rule1(eng, cost, mgr):
+    """Rule 1: a transaction's unlock retains -- others stay blocked."""
+
+    def prog():
+        yield from mgr.lock(F, T1, X, 0, 10)
+        yield from mgr.unlock(F, T1, 0, 10, two_phase=True)
+        yield from mgr.lock(F, T2, X, 0, 10, wait=False)
+
+    with pytest.raises(LockConflict):
+        drive(eng, prog())
+    assert mgr.table(F).retained_of(T1).runs == ((0, 10),)
+
+
+def test_retained_lock_reacquirable_by_same_transaction(eng, cost, mgr):
+    def prog():
+        yield from mgr.lock(F, T1, X, 0, 10)
+        yield from mgr.unlock(F, T1, 0, 10, two_phase=True)
+        yield from mgr.lock(F, T1, X, 0, 10, wait=False)  # reacquire ok
+
+    drive(eng, prog())
+    assert mgr.table(F).retained_of(T1).runs == ()
+
+
+def test_release_holder_frees_waiters(eng, cost, mgr):
+    granted = []
+
+    def t1():
+        yield from mgr.lock(F, T1, X, 0, 10)
+        yield eng.timeout(1.0)
+        mgr.release_holder(T1)  # commit/abort releases everything
+
+    def t2():
+        yield from mgr.lock(F, T2, X, 0, 10)
+        granted.append(eng.now)
+
+    eng.process(t1())
+    eng.process(t2())
+    eng.run()
+    assert granted and granted[0] >= 1.0
+
+
+def test_cancel_waits_fails_queued_request(eng, cost, mgr):
+    failures = []
+
+    def t1():
+        yield from mgr.lock(F, T1, X, 0, 10)
+
+    def t2():
+        try:
+            yield from mgr.lock(F, T2, X, 0, 10)
+        except LockCancelled:
+            failures.append(eng.now)
+
+    eng.process(t1())
+    eng.process(t2())
+    eng.schedule(1.0, mgr.cancel_waits, T2, LockCancelled("victim"))
+    eng.run()
+    assert failures == [1.0]
+
+
+def test_fifo_wakeup_grants_compatible_batch(eng, cost, mgr):
+    granted = []
+
+    def holder():
+        yield from mgr.lock(F, T1, X, 0, 10)
+        yield eng.timeout(1.0)
+        yield from mgr.unlock(F, T1, 0, 10, two_phase=False)
+
+    def reader(holder_key):
+        yield from mgr.lock(F, holder_key, S, 0, 10)
+        granted.append(holder_key)
+
+    eng.process(holder())
+    eng.process(reader(T2))
+    eng.process(reader(T3))
+    eng.run()
+    assert sorted(granted) == [T2, T3]  # both shared waiters wake together
+
+
+def test_wait_edges_expose_blockers(eng, cost, mgr):
+    def t1():
+        yield from mgr.lock(F, T1, X, 0, 10)
+
+    def t2():
+        yield from mgr.lock(F, T2, X, 0, 10)
+
+    eng.process(t1())
+    eng.process(t2())
+    eng.run(until=1.0)
+    assert mgr.wait_edges() == [(T2, T1)]
+    assert mgr.waiting_holders() == [T2]
+
+
+def test_disjoint_ranges_no_queueing(eng, cost, mgr):
+    done = []
+
+    def prog(holder, lo):
+        yield from mgr.lock(F, holder, X, lo, lo + 10)
+        done.append(holder)
+
+    eng.process(prog(T1, 0))
+    eng.process(prog(T2, 10))
+    eng.run()
+    assert sorted(done) == [T1, T2]
+
+
+# ----------------------------------------------------------------------
+# rule 2: adoption of dirty-uncommitted records
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def file_rig(eng, cost, mgr):
+    vol = Volume(eng, cost, vol_id=F[0])
+    ino = drive(eng, vol.create_file())
+    state = OpenFileState(eng, cost, vol, ino)
+
+    def setup():
+        yield from state.write(("proc", 0), 0, b"." * 100)
+        yield from state.commit(("proc", 0))
+
+    drive(eng, setup())
+    mgr.register_file_state(F, state)
+    return vol, state
+
+
+def test_rule2_adopts_dirty_bytes_into_transaction(eng, cost, mgr, file_rig):
+    vol, state = file_rig
+
+    def prog():
+        # A non-transaction process writes and releases its lock.
+        yield from mgr.lock(F, P1, X, 10, 20)
+        yield from state.write(P1, 10, b"dirty bytes".replace(b" ", b"")[:10])
+        yield from mgr.unlock(F, P1, 10, 20, two_phase=False)
+        # A transaction then locks the dirty record, in SHARED mode even.
+        yield from mgr.lock(F, T1, S, 0, 50)
+
+    drive(eng, prog())
+    owners = state.dirty_owners(0, 100)
+    assert P1 not in owners
+    assert T1 in owners
+    # The covering lock is marked retained (rule 2).
+    assert mgr.table(F).retained_of(T1).runs == ((10, 20),)
+
+
+def test_rule2_adopted_bytes_commit_with_transaction(eng, cost, mgr, file_rig):
+    vol, state = file_rig
+
+    def prog():
+        yield from mgr.lock(F, P1, X, 10, 20)
+        yield from state.write(P1, 10, b"0123456789")
+        yield from mgr.unlock(F, P1, 10, 20, two_phase=False)
+        yield from mgr.lock(F, T1, S, 10, 20)
+        yield from state.commit(("txn", 1))
+        mgr.release_holder(T1)
+
+    drive(eng, prog())
+    fresh = OpenFileState(eng, cost, vol, state.ino)
+    assert drive(eng, fresh.read(10, 10)) == b"0123456789"
+
+
+def test_rule2_skips_other_transactions_data(eng, cost, mgr, file_rig):
+    vol, state = file_rig
+
+    def prog():
+        yield from mgr.lock(F, T2, X, 0, 10)
+        yield from state.write(("txn", 2), 0, b"T2T2")
+        # T1 locks a disjoint range; T2's dirty bytes must stay T2's.
+        yield from mgr.lock(F, T1, X, 50, 60)
+
+    drive(eng, prog())
+    owners = state.dirty_owners(0, 100)
+    assert ("txn", 2) in owners
+    assert ("txn", 1) not in owners
+
+
+# ----------------------------------------------------------------------
+# non-transaction locks (section 3.4) and attribution
+# ----------------------------------------------------------------------
+
+def test_nontrans_lock_release_really_releases(eng, cost, mgr):
+    def prog():
+        yield from mgr.lock(F, T1, X, 0, 10, nontrans=True)
+        yield from mgr.unlock(F, T1, 0, 10, two_phase=False)
+        yield from mgr.lock(F, T2, X, 0, 10, wait=False)  # no conflict
+
+    drive(eng, prog())
+    assert mgr.table(F).ranges_of(T2, X).runs == ((0, 10),)
+
+
+def test_write_attribution(eng, cost, mgr):
+    def prog():
+        yield from mgr.lock(F, ("txn", 5), X, 0, 10)
+        yield from mgr.lock(F, ("txn", 5), X, 20, 30, nontrans=True)
+
+    drive(eng, prog())
+    # Plain transaction lock: writes belong to the transaction.
+    assert mgr.write_attribution(F, 99, 5, 0, 10) == ("txn", 5)
+    # Non-transaction lock: writes belong to the process.
+    assert mgr.write_attribution(F, 99, 5, 20, 30) == ("proc", 99)
+    # No transaction at all: process-owned.
+    assert mgr.write_attribution(F, 99, None, 0, 10) == ("proc", 99)
+
+
+def test_unix_access_blockers_delegation(eng, cost, mgr):
+    def prog():
+        yield from mgr.lock(F, T1, S, 0, 100)
+
+    drive(eng, prog())
+    assert mgr.unix_access_blockers(F, P1, True, 0, 10) == [T1]
+    assert mgr.unix_access_blockers(F, P1, False, 0, 10) == []

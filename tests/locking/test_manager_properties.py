@@ -1,0 +1,123 @@
+"""Property-based checks of the lock manager.
+
+Invariant under any operation sequence: the lock table never contains
+two *different* holders with incompatible locks on overlapping ranges
+(Figure 1), and a non-waiting request is granted exactly when the model
+says it should be.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CostModel
+from repro.locking import LockConflict, LockManager, LockMode
+from repro.sim import Engine
+from tests.conftest import drive
+
+F = (1, 1)
+HOLDERS = [("txn", 1), ("txn", 2), ("proc", 3)]
+S, X = LockMode.SHARED, LockMode.EXCLUSIVE
+
+ranges = st.tuples(st.integers(0, 40), st.integers(1, 20)).map(
+    lambda t: (t[0], t[0] + t[1])
+)
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("lock"), st.sampled_from(HOLDERS),
+                  st.sampled_from([S, X]), ranges),
+        st.tuples(st.just("unlock"), st.sampled_from(HOLDERS), ranges),
+        st.tuples(st.just("release"), st.sampled_from(HOLDERS)),
+    ),
+    max_size=30,
+)
+
+
+def table_invariant_holds(table):
+    """Figure 1 as a global predicate over the lock list."""
+    records = table.records()
+    for i, a in enumerate(records):
+        for b in records[i + 1:]:
+            if a.holder == b.holder:
+                continue
+            if not a.ranges.overlaps_set(b.ranges):
+                continue
+            if a.mode is X or b.mode is X:
+                return False
+    return True
+
+
+class ModelLocks:
+    """Per-byte model of who holds what."""
+
+    def __init__(self):
+        self.held = {}  # byte -> {holder: mode}
+
+    def can_grant(self, holder, mode, start, end):
+        for byte in range(start, end):
+            for other, omode in self.held.get(byte, {}).items():
+                if other == holder:
+                    continue
+                if mode is X or omode is X:
+                    return False
+        return True
+
+    def grant(self, holder, mode, start, end):
+        for byte in range(start, end):
+            self.held.setdefault(byte, {})[holder] = mode
+
+    def release(self, holder, start, end):
+        for byte in range(start, end):
+            self.held.get(byte, {}).pop(holder, None)
+
+    def release_all(self, holder):
+        for owners in self.held.values():
+            owners.pop(holder, None)
+
+
+@settings(max_examples=150, deadline=None)
+@given(operations)
+def test_manager_matches_model_and_invariant(ops):
+    eng = Engine()
+    mgr = LockManager(eng, CostModel())
+    model = ModelLocks()
+
+    for op in ops:
+        if op[0] == "lock":
+            _tag, holder, mode, (start, end) = op
+            expected = model.can_grant(holder, mode, start, end)
+
+            def attempt(h=holder, m=mode, s=start, e=end):
+                try:
+                    yield from mgr.lock(F, h, m, s, e, wait=False)
+                    return True
+                except LockConflict:
+                    return False
+
+            granted = drive(eng, attempt())
+            assert granted == expected, (op, mgr.table(F).records())
+            if granted:
+                model.release(holder, start, end)  # mode conversion
+                model.grant(holder, mode, start, end)
+        elif op[0] == "unlock":
+            _tag, holder, (start, end) = op
+            # Model the two-phase=False (really release) discipline.
+            def release(h=holder, s=start, e=end):
+                yield from mgr.unlock(F, h, s, e, two_phase=False)
+
+            drive(eng, release())
+            model.release(holder, start, end)
+        else:
+            _tag, holder = op
+            mgr.release_holder(holder)
+            model.release_all(holder)
+
+        assert table_invariant_holds(mgr.table(F))
+
+    # Final cross-check: per-byte holders agree with the model.
+    for holder in HOLDERS:
+        for mode in (S, X):
+            held = mgr.table(F).ranges_of(holder, mode)
+            for byte in range(0, 64):
+                in_table = byte in held
+                in_model = model.held.get(byte, {}).get(holder) is mode
+                assert in_table == in_model, (holder, mode, byte)

@@ -1,0 +1,39 @@
+"""Figure 1: the full compatibility matrix, exhaustively."""
+
+import pytest
+
+from repro.locking import LockMode, compatible, unix_access_allowed
+
+S, X = LockMode.SHARED, LockMode.EXCLUSIVE
+
+
+@pytest.mark.parametrize(
+    "requested, held, allowed",
+    [
+        (S, S, True),    # Shared vs Shared: read
+        (S, X, False),   # Shared vs Exclusive: no
+        (X, S, False),   # Exclusive vs Shared: no
+        (X, X, False),   # Exclusive vs Exclusive: no
+    ],
+)
+def test_lock_lock_matrix(requested, held, allowed):
+    assert compatible(requested, held) is allowed
+
+
+@pytest.mark.parametrize(
+    "want_write, held, allowed",
+    [
+        (False, S, True),   # Unix read vs Shared: read allowed
+        (True, S, False),   # Unix write vs Shared: no
+        (False, X, False),  # Unix read vs Exclusive: no
+        (True, X, False),   # Unix write vs Exclusive: no
+    ],
+)
+def test_unix_lock_matrix(want_write, held, allowed):
+    assert unix_access_allowed(want_write, held) is allowed
+
+
+def test_matrix_is_symmetric_for_locks():
+    for a in LockMode:
+        for b in LockMode:
+            assert compatible(a, b) == compatible(b, a)

@@ -1,0 +1,122 @@
+"""Lock table (Figure 3): records, conflicts, conversion, retention."""
+
+from repro.locking import LockMode, LockTable
+
+S, X = LockMode.SHARED, LockMode.EXCLUSIVE
+T1 = ("txn", 1)
+T2 = ("txn", 2)
+P1 = ("proc", 10)
+
+
+def test_grant_and_query():
+    t = LockTable()
+    t.grant(T1, X, 0, 100)
+    assert t.holders() == [T1]
+    assert t.ranges_of(T1, X).runs == ((0, 100),)
+    assert t.is_locked_by(T1, 50, 60)
+    assert not t.is_locked_by(T1, 100, 200)
+
+
+def test_conflicts_follow_figure1():
+    t = LockTable()
+    t.grant(T1, S, 0, 100)
+    assert t.conflicts(T2, S, 0, 100) == []          # shared/shared ok
+    assert t.conflicts(T2, X, 50, 60) == [T1]        # exclusive blocked
+    t.grant(T2, S, 0, 100)
+    t.grant(T1, X, 200, 300)
+    assert t.conflicts(P1, S, 250, 260) == [T1]
+
+
+def test_no_self_conflict():
+    t = LockTable()
+    t.grant(T1, X, 0, 100)
+    assert t.conflicts(T1, X, 0, 100) == []
+    assert t.conflicts(T1, S, 0, 100) == []
+
+
+def test_disjoint_ranges_do_not_conflict():
+    t = LockTable()
+    t.grant(T1, X, 0, 100)
+    assert t.conflicts(T2, X, 100, 200) == []
+
+
+def test_upgrade_converts_mode():
+    t = LockTable()
+    t.grant(T1, S, 0, 100)
+    t.grant(T1, X, 40, 60)  # upgrade the middle
+    assert t.ranges_of(T1, S).runs == ((0, 40), (60, 100))
+    assert t.ranges_of(T1, X).runs == ((40, 60),)
+    assert t.covering_mode(T1, 0, 100) is None       # mixed modes
+    assert t.covering_mode(T1, 45, 55) is X
+    assert t.covering_mode(T1, 0, 30) is S
+
+
+def test_downgrade_converts_mode():
+    t = LockTable()
+    t.grant(T1, X, 0, 100)
+    t.grant(T1, S, 0, 100)
+    assert t.ranges_of(T1, X).runs == ()
+    assert t.covering_mode(T1, 0, 100) is S
+
+
+def test_release_partial_range():
+    t = LockTable()
+    t.grant(T1, X, 0, 100)
+    t.release(T1, 25, 75)
+    assert t.ranges_of(T1, X).runs == ((0, 25), (75, 100))
+
+
+def test_retain_marks_but_keeps_blocking():
+    t = LockTable()
+    t.grant(T1, X, 0, 100)
+    t.retain(T1, 0, 100)
+    assert t.retained_of(T1).runs == ((0, 100),)
+    assert t.conflicts(T2, S, 10, 20) == [T1]  # retained still blocks
+
+
+def test_reacquire_clears_retained():
+    t = LockTable()
+    t.grant(T1, X, 0, 100)
+    t.retain(T1, 0, 100)
+    t.grant(T1, X, 20, 30)
+    assert t.retained_of(T1).runs == ((0, 20), (30, 100))
+
+
+def test_release_holder_clears_everything():
+    t = LockTable()
+    t.grant(T1, X, 0, 10)
+    t.grant(T1, S, 20, 30)
+    t.grant(T2, S, 40, 50)
+    t.release_holder(T1)
+    assert t.holders() == [T2]
+    assert t.is_empty() is False
+    t.release_holder(T2)
+    assert t.is_empty() is True
+
+
+def test_unix_conflicts():
+    t = LockTable()
+    t.grant(T1, S, 0, 100)
+    assert t.unix_conflicts(P1, False, 0, 50) == []     # read vs shared
+    assert t.unix_conflicts(P1, True, 0, 50) == [T1]    # write vs shared
+    t.grant(T2, X, 200, 300)
+    assert t.unix_conflicts(P1, False, 250, 260) == [T2]
+    assert t.unix_conflicts(T2, True, 250, 260) == []   # own lock
+
+
+def test_covering_mode_nontrans_filter():
+    t = LockTable()
+    t.grant(T1, X, 0, 50, nontrans=True)
+    t.grant(T1, X, 50, 100, nontrans=False)
+    assert t.covering_mode(T1, 0, 100) is LockMode.EXCLUSIVE
+    assert t.covering_mode(T1, 0, 50, nontrans=True) is LockMode.EXCLUSIVE
+    assert t.covering_mode(T1, 0, 100, nontrans=True) is None
+    assert t.covering_mode(T1, 50, 100, nontrans=False) is LockMode.EXCLUSIVE
+
+
+def test_nontrans_and_trans_records_are_separate():
+    t = LockTable()
+    t.grant(T1, X, 0, 50, nontrans=True)
+    recs = t.records()
+    assert len(recs) == 1
+    assert recs[0].nontrans is True

@@ -1,0 +1,203 @@
+"""Kernel syscalls: files, channels, local and remote data paths."""
+
+import pytest
+
+from repro import Cluster, drive
+from repro.locus import BadChannel, KernelError, NotWritable
+from repro.fs import NamespaceError
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(site_ids=(1, 2))
+    drive(c.engine, c.create_file("/data", site_id=1))
+    drive(c.engine, c.populate("/data", b"0123456789" * 10))
+    return c
+
+
+def run_prog(cluster, prog, site_id=1):
+    proc = cluster.spawn(prog, site_id=site_id)
+    cluster.run()
+    if proc.failed:
+        raise proc.exit_value
+    return proc
+
+
+def test_open_read_close_local(cluster):
+    out = {}
+
+    def prog(sys):
+        fd = yield from sys.open("/data")
+        out["data"] = yield from sys.read(fd, 10)
+        yield from sys.close(fd)
+
+    run_prog(cluster, prog, site_id=1)
+    assert out["data"] == b"0123456789"
+
+
+def test_open_read_remote_is_transparent_but_slower(cluster):
+    times = {}
+
+    def reader(sys, label):
+        t0 = sys.now
+        fd = yield from sys.open("/data")
+        data = yield from sys.read(fd, 10)
+        assert data == b"0123456789"
+        times[label] = sys.now - t0
+        yield from sys.close(fd)
+
+    run_prog(cluster, lambda s: reader(s, "local"), site_id=1)
+    run_prog(cluster, lambda s: reader(s, "remote"), site_id=2)
+    # Same answer, strictly more time: network transparency.
+    assert times["remote"] > times["local"]
+
+
+def test_write_then_read_back(cluster):
+    out = {}
+
+    def prog(sys):
+        fd = yield from sys.open("/data", write=True)
+        yield from sys.write(fd, b"NEWDATA")
+        yield from sys.seek(fd, 0)
+        out["data"] = yield from sys.read(fd, 10)
+
+    run_prog(cluster, prog)
+    assert out["data"] == b"NEWDATA789"
+
+
+def test_seek_and_offset_tracking(cluster):
+    out = {}
+
+    def prog(sys):
+        fd = yield from sys.open("/data")
+        yield from sys.seek(fd, 5)
+        a = yield from sys.read(fd, 3)
+        b = yield from sys.read(fd, 3)
+        out["parts"] = (a, b)
+
+    run_prog(cluster, prog)
+    assert out["parts"] == (b"567", b"890")
+
+
+def test_nonexistent_path_raises(cluster):
+    def prog(sys):
+        yield from sys.open("/missing")
+
+    with pytest.raises(NamespaceError):
+        run_prog(cluster, prog)
+
+
+def test_write_on_readonly_channel_rejected(cluster):
+    def prog(sys):
+        fd = yield from sys.open("/data")
+        yield from sys.write(fd, b"x")
+
+    with pytest.raises(NotWritable):
+        run_prog(cluster, prog)
+
+
+def test_bad_channel_rejected(cluster):
+    def prog(sys):
+        yield from sys.read(99, 10)
+
+    with pytest.raises(BadChannel):
+        run_prog(cluster, prog)
+
+
+def test_negative_seek_rejected(cluster):
+    def prog(sys):
+        fd = yield from sys.open("/data")
+        yield from sys.seek(fd, -1)
+
+    with pytest.raises(KernelError):
+        run_prog(cluster, prog)
+
+
+def test_nontxn_close_commits_dirty_data(cluster):
+    def prog(sys):
+        fd = yield from sys.open("/data", write=True)
+        yield from sys.write(fd, b"COMMITTED!")
+        yield from sys.close(fd)
+
+    run_prog(cluster, prog)
+    got = drive(cluster.engine, cluster.committed_bytes("/data", 0, 10))
+    assert got == b"COMMITTED!"
+
+
+def test_nontxn_exit_commits_dirty_data(cluster):
+    """Process exit closes channels, which commits like close does."""
+
+    def prog(sys):
+        fd = yield from sys.open("/data", write=True)
+        yield from sys.write(fd, b"VIA-EXIT--")
+
+    run_prog(cluster, prog)
+    got = drive(cluster.engine, cluster.committed_bytes("/data", 0, 10))
+    assert got == b"VIA-EXIT--"
+
+
+def test_uncommitted_data_visible_across_processes(cluster):
+    """Section 5: uncommitted changes are generally visible."""
+    out = {}
+
+    def writer(sys):
+        fd = yield from sys.open("/data", write=True)
+        yield from sys.write(fd, b"DIRTY")
+        yield from sys.commit_file(fd)  # keep the test focused on reads
+        yield from sys.sleep(1.0)
+
+    def reader(sys):
+        yield from sys.sleep(0.5)  # after the write, before writer exit
+        fd = yield from sys.open("/data")
+        out["data"] = yield from sys.read(fd, 5)
+
+    cluster.spawn(writer, site_id=1)
+    cluster.spawn(reader, site_id=1)
+    cluster.run()
+    assert out["data"] == b"DIRTY"
+
+
+def test_file_size_local_and_remote(cluster):
+    out = {}
+
+    def prog(sys, label):
+        fd = yield from sys.open("/data")
+        out[label] = yield from sys.file_size(fd)
+
+    run_prog(cluster, lambda s: prog(s, "local"), site_id=1)
+    run_prog(cluster, lambda s: prog(s, "remote"), site_id=2)
+    assert out == {"local": 100, "remote": 100}
+
+
+def test_append_mode_writes_at_eof(cluster):
+    def prog(sys):
+        fd = yield from sys.open("/data", append=True)
+        yield from sys.write(fd, b"TAIL")
+        yield from sys.close(fd)
+
+    run_prog(cluster, prog)
+    got = drive(cluster.engine, cluster.committed_bytes("/data", 100, 4))
+    assert got == b"TAIL"
+
+
+def test_remote_write_lands_at_storage_site(cluster):
+    def prog(sys):
+        fd = yield from sys.open("/data", write=True)
+        yield from sys.write(fd, b"FROM-SITE2")
+        yield from sys.close(fd)
+
+    run_prog(cluster, prog, site_id=2)
+    got = drive(cluster.engine, cluster.committed_bytes("/data", 0, 10))
+    assert got == b"FROM-SITE2"
+
+
+def test_read_past_eof_truncates(cluster):
+    out = {}
+
+    def prog(sys):
+        fd = yield from sys.open("/data")
+        yield from sys.seek(fd, 95)
+        out["data"] = yield from sys.read(fd, 50)
+
+    run_prog(cluster, prog)
+    assert out["data"] == b"56789"

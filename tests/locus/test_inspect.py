@@ -1,0 +1,98 @@
+"""The inspection tables."""
+
+import pytest
+
+from repro import Cluster, drive
+from repro.locus.inspect import (
+    cluster_report,
+    lock_table,
+    process_table,
+    storage_table,
+    transaction_table,
+)
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(site_ids=(1, 2))
+    drive(c.engine, c.create_file("/f", site_id=1))
+    drive(c.engine, c.populate("/f", b"." * 100))
+    return c
+
+
+def test_process_table(cluster):
+    def prog(sys):
+        yield from sys.sleep(1.0)
+
+    p = cluster.spawn(prog, site_id=2, name="sleeper")
+    cluster.run(until=0.5)
+    rows = process_table(cluster)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["pid"] == p.pid
+    assert row["name"] == "sleeper"
+    assert row["site"] == 2
+    assert row["state"] == "running"
+    cluster.run()
+    assert process_table(cluster)[0]["state"] == "done"
+
+
+def test_transaction_table(cluster):
+    def prog(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.write(fd, b"x")
+        yield from sys.end_trans()
+
+    cluster.spawn(prog, site_id=2)
+    cluster.run()
+    rows = transaction_table(cluster)
+    assert len(rows) == 1
+    assert rows[0]["state"] == "resolved"
+    assert rows[0]["coordinator"] == 2
+    assert rows[0]["participants"] == [1]
+
+
+def test_lock_table_shows_holders_and_waiters(cluster):
+    def holder(sys):
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50)
+        yield from sys.sleep(5.0)
+
+    def waiter(sys):
+        yield from sys.sleep(0.1)
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50)
+
+    cluster.spawn(holder, site_id=1)
+    cluster.spawn(waiter, site_id=1)
+    cluster.run(until=1.0)
+    rows = lock_table(cluster.site(1))
+    modes = sorted(r["mode"] for r in rows)
+    assert modes == ["EXCLUSIVE", "WAITING:EXCLUSIVE"]
+    held = [r for r in rows if r["mode"] == "EXCLUSIVE"][0]
+    assert held["ranges"] == [(0, 50)]
+
+
+def test_storage_table(cluster):
+    rows = storage_table(cluster)
+    assert len(rows) == 2  # one root volume per site
+    site1 = [r for r in rows if r["site"] == 1][0]
+    assert site1["files"] == 1
+    assert site1["blocks"] >= 1
+    assert site1["io_total"] > 0
+
+
+def test_cluster_report_renders(cluster):
+    def prog(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.write(fd, b"report")
+        yield from sys.end_trans()
+
+    cluster.spawn(prog, site_id=1)
+    cluster.run()
+    report = cluster_report(cluster)
+    for heading in ("processes", "transactions", "locks @ site 1", "storage"):
+        assert heading in report
+    assert "resolved" in report

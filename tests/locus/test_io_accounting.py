@@ -1,0 +1,108 @@
+"""I/O accounting through the full stack (the tests/ twin of the
+Figure 5 benchmarks, so `pytest tests/` alone guards the headline
+result)."""
+
+import pytest
+
+from repro import Cluster, SystemConfig, drive
+
+
+def run_simple_txn(optimized):
+    cluster = Cluster(site_ids=(1,), config=SystemConfig(
+        optimized_log_writes=optimized))
+    drive(cluster.engine, cluster.create_file("/f", site_id=1))
+    drive(cluster.engine, cluster.populate("/f", b"." * 1024))
+    snap = cluster.io_snapshot()
+
+    def prog(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 100)
+        yield from sys.write(fd, b"x" * 100)
+        yield from sys.end_trans()
+
+    p = cluster.spawn(prog, site_id=1)
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value
+    return cluster.io_delta(snap)
+
+
+def test_figure5_five_ios_optimized():
+    delta = run_simple_txn(optimized=True)
+    assert delta["io.total"] == 5
+    assert delta["io.write.log"] == 3       # coordinator, prepare, mark
+    assert delta["io.write.data"] == 1      # the shadow page
+    assert delta["io.write.inode"] == 1     # deferred phase-two swap
+    assert delta.get("io.write.log_inode", 0) == 0
+
+
+def test_figure5_seven_ios_footnote9():
+    delta = run_simple_txn(optimized=False)
+    assert delta["io.total"] == 7
+    assert delta["io.write.log_inode"] == 2  # steps 1 and 3 doubled
+
+
+def test_aborted_txn_writes_no_commit_mark():
+    cluster = Cluster(site_ids=(1,), config=SystemConfig(
+        optimized_log_writes=True))
+    drive(cluster.engine, cluster.create_file("/f", site_id=1))
+    drive(cluster.engine, cluster.populate("/f", b"." * 1024))
+    snap = cluster.io_snapshot()
+
+    def prog(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.write(fd, b"x" * 100)
+        yield from sys.abort_trans()
+
+    p = cluster.spawn(prog, site_id=1)
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value
+    delta = cluster.io_delta(snap)
+    # Abort before prepare: no coordinator log, no prepare log, no data
+    # flush, no inode write -- the shadow was purely in core.
+    assert delta.get("io.write.log", 0) == 0
+    assert delta.get("io.write.data", 0) == 0
+    assert delta.get("io.write.inode", 0) == 0
+
+
+def test_non_txn_record_commit_costs_two_ios():
+    """The base system's single-file commit: data page + inode, no
+    transaction logs at all."""
+    cluster = Cluster(site_ids=(1,))
+    drive(cluster.engine, cluster.create_file("/f", site_id=1))
+    drive(cluster.engine, cluster.populate("/f", b"." * 1024))
+    snap = cluster.io_snapshot()
+
+    def prog(sys):
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.write(fd, b"x" * 100)
+        yield from sys.commit_file(fd)
+
+    p = cluster.spawn(prog, site_id=1)
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value
+    delta = cluster.io_delta(snap)
+    assert delta["io.write.data"] == 1
+    assert delta["io.write.inode"] == 1
+    assert delta.get("io.write.log", 0) == 0
+
+
+def test_read_only_access_costs_one_read_io():
+    cluster = Cluster(site_ids=(1,))
+    drive(cluster.engine, cluster.create_file("/f", site_id=1))
+    drive(cluster.engine, cluster.populate("/f", b"." * 1024))
+    cluster.site(1).cache.clear()  # cold cache
+    snap = cluster.io_snapshot()
+
+    def prog(sys):
+        fd = yield from sys.open("/f")
+        yield from sys.read(fd, 100)
+        yield from sys.read(fd, 100)  # second read: cache hit
+
+    p = cluster.spawn(prog, site_id=1)
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value
+    delta = cluster.io_delta(snap)
+    assert delta.get("io.read.data", 0) == 1
+    assert sum(v for k, v in delta.items() if k.startswith("io.write")) == 0

@@ -1,0 +1,180 @@
+"""Kernel edge cases: process management, channel lifecycle, errors."""
+
+import pytest
+
+from repro import Cluster, drive
+from repro.locus import BadChannel, KernelError, ProcessError, TransactionError
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(site_ids=(1, 2))
+    drive(c.engine, c.create_file("/f", site_id=1))
+    drive(c.engine, c.populate("/f", b"x" * 50))
+    return c
+
+
+def run_prog(cluster, prog, site_id=1):
+    proc = cluster.spawn(prog, site_id=site_id)
+    cluster.run()
+    return proc
+
+
+def test_spawn_at_down_site_rejected(cluster):
+    cluster.crash_site(2)
+    with pytest.raises(KernelError):
+        cluster.spawn(lambda sys: iter(()), site_id=2)
+
+
+def test_remote_fork_to_down_site_fails(cluster):
+    cluster.crash_site(2)
+
+    def prog(sys):
+        yield from sys.fork(lambda s: iter(()), site=2)
+
+    proc = run_prog(cluster, prog)
+    assert proc.failed
+    assert isinstance(proc.exit_value, KernelError)
+
+
+def test_wait_on_non_child_rejected(cluster):
+    stranger = cluster.spawn(lambda sys: iter(()), site_id=1)
+
+    def prog(sys):
+        yield from sys.wait(stranger)
+
+    proc = run_prog(cluster, prog)
+    assert proc.failed
+    assert isinstance(proc.exit_value, ProcessError)
+
+
+def test_wait_reports_child_failure(cluster):
+    def bad_child(sys):
+        raise ValueError("child bug")
+        yield  # pragma: no cover
+
+    def prog(sys):
+        kid = yield from sys.fork(bad_child)
+        try:
+            yield from sys.wait(kid)
+        except ProcessError as exc:
+            return "caught: %s" % exc
+
+    proc = run_prog(cluster, prog)
+    assert proc.exit_status == "done"
+    assert "child bug" in proc.exit_value
+
+
+def test_fork_inherits_channels_with_same_descriptors(cluster):
+    out = {}
+
+    def child(sys, fd):
+        # The inherited channel number works and has the parent's offset.
+        out["child_read"] = yield from sys.read(fd, 5)
+
+    def prog(sys):
+        fd = yield from sys.open("/f")
+        yield from sys.seek(fd, 10)
+        kid = yield from sys.fork(child, fd)
+        yield from sys.wait(kid)
+        out["parent_read"] = yield from sys.read(fd, 5)
+
+    proc = run_prog(cluster, prog)
+    assert proc.exit_status == "done", proc.exit_value
+    assert out["child_read"] == b"x" * 5
+    # Offsets are per-process copies: the parent's pointer is unmoved.
+    assert out["parent_read"] == b"x" * 5
+
+
+def test_double_close_is_harmless(cluster):
+    def prog(sys):
+        fd = yield from sys.open("/f")
+        yield from sys.close(fd)
+        yield from sys.close(fd)  # no channel: silently ignored
+        with pytest.raises(BadChannel):
+            yield from sys.read(fd, 1)
+
+    proc = run_prog(cluster, prog)
+    assert proc.exit_status == "done", proc.exit_value
+
+
+def test_abort_trans_outside_transaction_rejected(cluster):
+    def prog(sys):
+        yield from sys.abort_trans()
+
+    proc = run_prog(cluster, prog)
+    assert proc.failed
+    assert isinstance(proc.exit_value, TransactionError)
+
+
+def test_top_level_exit_mid_transaction_aborts(cluster):
+    """A program that forgets EndTrans: its updates must not survive."""
+
+    def prog(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.write(fd, b"leaked?")
+        # exits without EndTrans
+
+    proc = run_prog(cluster, prog)
+    assert proc.exit_status == "done"  # the exit itself succeeds
+    data = drive(cluster.engine, cluster.committed_bytes("/f", 0, 7))
+    assert data == b"x" * 7
+    txn = cluster.txn_registry.all()[0]
+    assert txn.state == "aborted"
+
+
+def test_child_inherits_transaction_membership(cluster):
+    out = {}
+
+    def child(sys):
+        out["child_in_txn"] = sys.in_transaction
+        out["child_tid"] = sys.tid
+
+    def prog(sys):
+        yield from sys.begin_trans()
+        kid = yield from sys.fork(child)
+        yield from sys.wait(kid)
+        out["parent_tid"] = sys.tid
+        yield from sys.end_trans()
+
+    proc = run_prog(cluster, prog)
+    assert proc.exit_status == "done", proc.exit_value
+    assert out["child_in_txn"] is True
+    assert out["child_tid"] == out["parent_tid"]
+
+
+def test_zero_byte_read_and_write(cluster):
+    def prog(sys):
+        fd = yield from sys.open("/f", write=True)
+        data = yield from sys.read(fd, 0)
+        assert data == b""
+        n = yield from sys.write(fd, b"")
+        assert n == 0
+        return "ok"
+
+    proc = run_prog(cluster, prog)
+    assert proc.exit_value == "ok", proc.exit_value
+
+
+def test_compute_charges_cpu(cluster):
+    def prog(sys):
+        yield from sys.compute(10000)  # 20 ms of application CPU
+
+    proc = run_prog(cluster, prog)
+    assert proc.exit_status == "done"
+    assert proc.sim_proc.cpu_time == pytest.approx(0.020, abs=0.002)
+
+
+def test_migration_preserves_open_channels(cluster):
+    out = {}
+
+    def prog(sys):
+        fd = yield from sys.open("/f")
+        yield from sys.seek(fd, 20)
+        yield from sys.migrate(2)
+        out["data"] = yield from sys.read(fd, 5)  # now a remote read
+
+    proc = run_prog(cluster, prog)
+    assert proc.exit_status == "done", proc.exit_value
+    assert out["data"] == b"x" * 5

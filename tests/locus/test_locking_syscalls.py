@@ -1,0 +1,345 @@
+"""Record locking through the syscall interface: enforcement, waiting,
+retention, non-transaction locks, append-mode lock-and-extend."""
+
+import pytest
+
+from repro import Cluster, drive
+from repro.locking import LockConflict
+from repro.locus import AccessDenied, NotWritable
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(site_ids=(1, 2))
+    drive(c.engine, c.create_file("/f", site_id=1))
+    drive(c.engine, c.populate("/f", b"." * 200))
+    return c
+
+
+def run_all(cluster, *progs):
+    procs = [cluster.spawn(p, site_id=s) for p, s in progs]
+    cluster.run()
+    return procs
+
+
+def test_exclusive_lock_blocks_other_process(cluster):
+    order = []
+
+    def holder(sys):
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50)
+        order.append(("granted-1", sys.now))
+        yield from sys.sleep(1.0)
+        yield from sys.unlock(fd, 50)
+
+    def contender(sys):
+        yield from sys.sleep(0.1)
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50)
+        order.append(("granted-2", sys.now))
+
+    run_all(cluster, (holder, 1), (contender, 1))
+    assert order[0][0] == "granted-1"
+    assert order[1][0] == "granted-2"
+    assert order[1][1] >= 1.0
+
+
+def test_nonwaiting_lock_conflict_raises(cluster):
+    failures = []
+
+    def holder(sys):
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50)
+        yield from sys.sleep(1.0)
+
+    def contender(sys):
+        yield from sys.sleep(0.1)
+        fd = yield from sys.open("/f", write=True)
+        try:
+            yield from sys.lock(fd, 50, wait=False)
+        except LockConflict:
+            failures.append(sys.now)
+
+    run_all(cluster, (holder, 1), (contender, 1))
+    assert len(failures) == 1
+
+
+def test_shared_locks_coexist(cluster):
+    granted = []
+
+    def reader(sys, tag):
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50, mode="shared")
+        granted.append((tag, sys.now))
+        yield from sys.sleep(1.0)
+
+    run_all(cluster, (lambda s: reader(s, 1), 1), (lambda s: reader(s, 2), 1))
+    assert len(granted) == 2
+    assert abs(granted[0][1] - granted[1][1]) < 0.5  # neither waited
+
+
+def test_enforced_lock_denies_unlocked_unix_write(cluster):
+    denied = []
+
+    def locker(sys):
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50, mode="shared")
+        yield from sys.sleep(1.0)
+
+    def unix_writer(sys):
+        yield from sys.sleep(0.1)
+        fd = yield from sys.open("/f", write=True)
+        try:
+            yield from sys.write(fd, b"x" * 10)
+        except AccessDenied:
+            denied.append(True)
+
+    run_all(cluster, (locker, 1), (unix_writer, 1))
+    assert denied == [True]
+
+
+def test_unix_read_allowed_against_shared_lock(cluster):
+    got = []
+
+    def locker(sys):
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50, mode="shared")
+        yield from sys.sleep(1.0)
+
+    def unix_reader(sys):
+        yield from sys.sleep(0.1)
+        fd = yield from sys.open("/f")
+        got.append((yield from sys.read(fd, 10)))
+
+    run_all(cluster, (locker, 1), (unix_reader, 1))
+    assert got == [b"." * 10]
+
+
+def test_unix_read_denied_against_exclusive_lock(cluster):
+    denied = []
+
+    def locker(sys):
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50, mode="exclusive")
+        yield from sys.sleep(1.0)
+
+    def unix_reader(sys):
+        yield from sys.sleep(0.1)
+        fd = yield from sys.open("/f")
+        try:
+            yield from sys.read(fd, 10)
+        except AccessDenied:
+            denied.append(True)
+
+    run_all(cluster, (locker, 1), (unix_reader, 1))
+    assert denied == [True]
+
+
+def test_lock_requires_write_access(cluster):
+    def prog(sys):
+        fd = yield from sys.open("/f")  # read-only open
+        yield from sys.lock(fd, 10)
+
+    proc = cluster.spawn(prog, site_id=1)
+    cluster.run()
+    assert proc.failed
+    assert isinstance(proc.exit_value, NotWritable)
+
+
+def test_transaction_unlock_retains_until_commit(cluster):
+    """Rule 1 through the syscall interface: after a transaction unlocks,
+    others stay blocked until EndTrans."""
+    order = []
+
+    def txn(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50)
+        yield from sys.write(fd, b"T" * 50)
+        yield from sys.unlock(fd, 50)   # retained, not released
+        yield from sys.sleep(1.0)
+        yield from sys.end_trans()
+        order.append(("committed", sys.now))
+
+    def contender(sys):
+        yield from sys.sleep(0.1)
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50)
+        order.append(("contender", sys.now))
+
+    run_all(cluster, (txn, 1), (contender, 1))
+    assert order[0][0] == "committed"
+    assert order[1][1] >= order[0][1]
+
+
+def test_nontxn_unlock_really_releases(cluster):
+    order = []
+
+    def nontxn(sys):
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50)
+        yield from sys.unlock(fd, 50)
+        order.append(("released", sys.now))
+        yield from sys.sleep(5.0)
+
+    def contender(sys):
+        yield from sys.sleep(0.1)
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50)
+        order.append(("granted", sys.now))
+
+    run_all(cluster, (nontxn, 1), (contender, 1))
+    assert order[1][1] < 1.0  # did not wait for the holder's exit
+
+
+def test_nontrans_lock_inside_transaction_releases_early(cluster):
+    """Section 3.4: a non-transaction lock taken by a transaction is
+    exempt from two-phase locking."""
+    order = []
+
+    def txn(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50, nontrans=True)
+        yield from sys.unlock(fd, 50)
+        yield from sys.sleep(2.0)
+        yield from sys.end_trans()
+        order.append(("committed", sys.now))
+
+    def contender(sys):
+        yield from sys.sleep(0.1)
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50)
+        order.append(("granted", sys.now))
+
+    run_all(cluster, (txn, 1), (contender, 1))
+    assert order[0][0] == "granted"
+    assert order[0][1] < 1.0
+
+
+def test_implicit_locking_serializes_transactions(cluster):
+    """Section 3.1: transactions lock implicitly at access time."""
+    order = []
+
+    def txn(sys, tag, delay):
+        yield from sys.sleep(delay)
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.write(fd, tag * 50)   # implicit exclusive lock
+        yield from sys.sleep(1.0)
+        yield from sys.end_trans()
+        order.append((tag, sys.now))
+
+    run_all(
+        cluster,
+        (lambda s: txn(s, b"1", 0.0), 1),
+        (lambda s: txn(s, b"2", 0.1), 1),
+    )
+    assert order[0][0] == b"1"
+    assert order[1][1] > order[0][1]  # second waited for first's commit
+    got = drive(cluster.engine, cluster.committed_bytes("/f", 0, 50))
+    assert got == b"2" * 50
+
+
+def test_append_lock_and_extend_prevents_livelock(cluster):
+    """Footnote 2: two processes appending to a shared log each get
+    their own range, atomically, even interleaved."""
+    ranges = []
+
+    def appender(sys, tag):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/f", write=True, append=True)
+        rng = yield from sys.lock(fd, 20)
+        ranges.append((tag, rng))
+        yield from sys.seek(fd, rng[0])
+        yield from sys.write(fd, tag * 20)
+        yield from sys.end_trans()
+
+    run_all(cluster, (lambda s: appender(s, b"x"), 1), (lambda s: appender(s, b"y"), 2))
+    spans = sorted(r for _t, r in ranges)
+    assert spans[0] == (200, 220)
+    assert spans[1] == (220, 240)
+    data = drive(cluster.engine, cluster.committed_bytes("/f", 200, 40))
+    assert sorted((data[:20], data[20:])) == [b"x" * 20, b"y" * 20]
+
+
+def test_many_concurrent_appenders_never_overlap(cluster):
+    """Regression for the footnote-2 race: EOF lookup and extension
+    must be atomic at the storage site, even for interleaved appenders
+    from several sites."""
+    reservations = []
+
+    def appender(sys, tag):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/f", write=True, append=True)
+        for _ in range(4):
+            rng = yield from sys.lock(fd, 10)
+            reservations.append(rng)
+            yield from sys.write(fd, tag * 10)
+        yield from sys.end_trans()
+
+    procs = [
+        cluster.spawn(lambda s, t=bytes([97 + i]): appender(s, t),
+                      site_id=1 + i % 2)
+        for i in range(6)
+    ]
+    cluster.run()
+    assert all(p.exit_status == "done" for p in procs), [
+        p.exit_value for p in procs if p.failed
+    ]
+    starts = sorted(r[0] for r in reservations)
+    assert starts == [200 + 10 * i for i in range(24)]  # gap-free, disjoint
+
+
+def test_remote_locking_is_transparent(cluster):
+    """Locks acquired from a remote site behave identically (and the
+    conflict is detected at the storage site)."""
+    order = []
+
+    def holder(sys):
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50)
+        order.append("held")
+        yield from sys.sleep(1.0)
+        yield from sys.unlock(fd, 50)
+
+    def remote_contender(sys):
+        yield from sys.sleep(0.1)
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50)
+        order.append("remote-granted")
+
+    run_all(cluster, (holder, 1), (remote_contender, 2))
+    assert order == ["held", "remote-granted"]
+
+
+def test_figure2_rule2_prevents_nonserializable_composition(cluster):
+    """The Figure 2 scenario: a non-transaction writes x[1] and unlocks
+    without committing; a transaction reads x[1] and writes x[2].  Rule 2
+    adopts the dirty x[1] into the transaction, so commit makes both
+    durable together and the consistency constraint x[1] == x[2] holds."""
+    def nontxn(sys):
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 10)
+        yield from sys.write(fd, b"C" * 10)   # x[1] := C
+        yield from sys.seek(fd, 0)
+        yield from sys.unlock(fd, 10)         # released, NOT committed
+        yield from sys.sleep(10.0)            # stays alive: no close-commit
+
+    def txn(sys):
+        yield from sys.sleep(0.5)
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 10, mode="shared")
+        t = yield from sys.read(fd, 10)       # reads uncommitted C's
+        yield from sys.seek(fd, 100)
+        yield from sys.lock(fd, 10)
+        yield from sys.write(fd, t)           # x[2] := t
+        yield from sys.end_trans()
+
+    run_all(cluster, (nontxn, 1), (txn, 1))
+    x1 = drive(cluster.engine, cluster.committed_bytes("/f", 0, 10))
+    x2 = drive(cluster.engine, cluster.committed_bytes("/f", 100, 10))
+    assert x1 == b"C" * 10  # adopted and committed with the transaction
+    assert x2 == b"C" * 10
+    assert x1 == x2         # the constraint survives

@@ -1,0 +1,132 @@
+"""Process migration: transparency within transactions, the in-transit
+file-list merge race (section 4.1), coordinator-follows-process."""
+
+import pytest
+
+from repro import Cluster, drive
+from repro.locus import KernelError
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(site_ids=(1, 2, 3))
+    drive(c.engine, c.create_file("/f", site_id=1))
+    drive(c.engine, c.populate("/f", b"." * 100))
+    return c
+
+
+def test_migrate_moves_the_process(cluster):
+    seen = []
+
+    def prog(sys):
+        seen.append((sys.site_id, sys.pid in cluster.site(sys.site_id).procs))
+        yield from sys.migrate(2)
+        seen.append((sys.site_id, sys.pid in cluster.site(sys.site_id).procs))
+        assert sys.pid not in cluster.site(1).procs
+        yield from sys.migrate(3)
+        seen.append((sys.site_id, sys.pid in cluster.site(sys.site_id).procs))
+
+    p = cluster.spawn(prog, site_id=1)
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value
+    assert seen == [(1, True), (2, True), (3, True)]
+    # Exit deregisters the process from its final site.
+    assert p.pid not in cluster.site(3).procs
+
+
+def test_migrate_to_same_site_is_noop(cluster):
+    def prog(sys):
+        yield from sys.migrate(1)
+        return sys.site_id
+
+    p = cluster.spawn(prog, site_id=1)
+    cluster.run()
+    assert p.exit_value == 1
+
+
+def test_migrate_to_down_site_fails(cluster):
+    cluster.crash_site(3)
+
+    def prog(sys):
+        yield from sys.migrate(3)
+
+    p = cluster.spawn(prog, site_id=1)
+    cluster.run()
+    assert p.failed
+    assert isinstance(p.exit_value, KernelError)
+
+
+def test_transaction_survives_migration_and_commits(cluster):
+    """A process migrates mid-transaction; the commit coordinator is its
+    *final* site and the transaction still commits correctly."""
+
+    def prog(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.write(fd, b"premigrate")
+        yield from sys.migrate(3)
+        yield from sys.seek(fd, 50)
+        yield from sys.write(fd, b"postmigrat")
+        yield from sys.end_trans()
+
+    p = cluster.spawn(prog, site_id=2)
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value
+    assert drive(cluster.engine, cluster.committed_bytes("/f", 0, 10)) == b"premigrate"
+    assert drive(cluster.engine, cluster.committed_bytes("/f", 50, 10)) == b"postmigrat"
+    txn = cluster.txn_registry.all()[0]
+    assert txn.coordinator_site == 3
+
+
+def test_filelist_merge_retries_through_migration(cluster):
+    """The race of section 4.1: a child completes while the top-level
+    process is in transit; the merge must retry and land at the new
+    site, and the child's file must still commit."""
+    drive(cluster.engine, cluster.create_file("/g", site_id=2))
+    drive(cluster.engine, cluster.populate("/g", b"-" * 50))
+
+    def child(sys):
+        fd = yield from sys.open("/g", write=True)
+        yield from sys.write(fd, b"childdata!")
+        # Exit now -- while the parent is migrating (migration transfer
+        # takes ~21 ms; we finish inside that window).
+
+    def prog(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.write(fd, b"topdata...")
+        kid = yield from sys.fork(child)
+        # Give the child a head start into its exit path, then migrate;
+        # the merge message chases us across sites.
+        yield from sys.migrate(3)
+        yield from sys.migrate(2)
+        yield from sys.wait(kid)
+        yield from sys.end_trans()
+
+    p = cluster.spawn(prog, site_id=1)
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value
+    # The child's file committed: its file-list reached the top level.
+    assert drive(cluster.engine, cluster.committed_bytes("/g", 0, 10)) == b"childdata!"
+    txn = cluster.txn_registry.all()[0]
+    gino = cluster.namespace.lookup("/g").primary.ino
+    assert ("2:root", gino, 2) in txn.top_proc.file_list
+
+
+def test_in_transit_flag_set_during_migration(cluster):
+    observations = []
+
+    def watcher(sys, target):
+        while target.alive:
+            observations.append(target.in_transit)
+            yield from sys.sleep(0.002)
+
+    def mover(sys):
+        yield from sys.sleep(0.01)
+        yield from sys.migrate(2)
+
+    p = cluster.spawn(mover, site_id=1)
+    cluster.spawn(lambda s: watcher(s, p), site_id=1)
+    cluster.run(until=2.0)
+    assert True in observations   # seen mid-flight
+    assert p.in_transit is False  # cleared after arrival

@@ -1,0 +1,143 @@
+"""Partition scenarios beyond the basic abort: healing, commit-point
+races, and the surviving-partition's ability to make progress."""
+
+import pytest
+
+from repro import Cluster, drive
+from repro.core import TxnState
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(site_ids=(1, 2, 3))
+    drive(c.engine, c.create_file("/a", site_id=1))
+    drive(c.engine, c.create_file("/b", site_id=2))
+    drive(c.engine, c.populate("/a", b"A" * 64))
+    drive(c.engine, c.populate("/b", b"B" * 64))
+    return c
+
+
+def committed(cluster, path, n=10):
+    return drive(cluster.engine, cluster.committed_bytes(path, 0, n))
+
+
+def test_work_continues_inside_each_partition(cluster):
+    """Transactions wholly inside one partition are untouched by the
+    split (the paper aborts only those *involving* lost sites)."""
+    cluster.partition([1, 3], [2])
+
+    def local_txn(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/a", write=True)
+        yield from sys.write(fd, b"partition1")
+        yield from sys.end_trans()
+
+    p = cluster.spawn(local_txn, site_id=3)
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value
+    assert committed(cluster, "/a") == b"partition1"
+
+
+def test_healed_partition_allows_cross_site_commits_again(cluster):
+    cluster.partition([1], [2], [3])
+    cluster.heal_partition()
+
+    def txn(sys):
+        yield from sys.begin_trans()
+        fa = yield from sys.open("/a", write=True)
+        fb = yield from sys.open("/b", write=True)
+        yield from sys.write(fa, b"healed-a..")
+        yield from sys.write(fb, b"healed-b..")
+        yield from sys.end_trans()
+
+    p = cluster.spawn(txn, site_id=3)
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value
+    assert committed(cluster, "/a") == b"healed-a.."
+    assert committed(cluster, "/b") == b"healed-b.."
+
+
+def test_partition_after_commit_point_resolves_after_heal(cluster):
+    """A transaction past its commit point when the network splits must
+    still commit everywhere once the partition heals (phase-two retry)."""
+
+    def txn(sys):
+        yield from sys.begin_trans()
+        fb = yield from sys.open("/b", write=True)
+        yield from sys.write(fb, b"past-point")
+        yield from sys.end_trans()
+        # Split the network immediately after the commit point, before
+        # the asynchronous commit message can reach site 2.
+        cluster.partition([1, 3], [2])
+        yield from sys.sleep(1.0)
+        cluster.heal_partition()
+
+    p = cluster.spawn(txn, site_id=3)
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value
+    txn_rec = cluster.txn_registry.all()[0]
+    assert txn_rec.state == TxnState.RESOLVED
+    assert committed(cluster, "/b") == b"past-point"
+
+
+def test_minority_partition_transactions_abort(cluster):
+    """A transaction at a cut-off site whose storage is on the other
+    side aborts; after healing, the site works normally."""
+
+    def txn(sys):
+        yield from sys.begin_trans()
+        fa = yield from sys.open("/a", write=True)
+        yield from sys.write(fa, b"will-abort")
+        yield from sys.sleep(5.0)
+        yield from sys.end_trans()
+
+    p = cluster.spawn(txn, site_id=3)
+    cluster.engine.schedule(0.5, cluster.partition, [1, 2], [3])
+    cluster.run()
+    assert p.failed
+    assert committed(cluster, "/a") == b"A" * 10
+    cluster.heal_partition()
+
+    def retry(sys):
+        yield from sys.begin_trans()
+        fa = yield from sys.open("/a", write=True)
+        yield from sys.write(fa, b"after-heal")
+        yield from sys.end_trans()
+
+    p2 = cluster.spawn(retry, site_id=3)
+    cluster.run()
+    assert p2.exit_status == "done", p2.exit_value
+    assert committed(cluster, "/a") == b"after-heal"
+
+
+def test_repeated_partitions_and_heals(cluster):
+    """Flapping connectivity: every committed transaction's effects are
+    consistent at the end."""
+    outcomes = []
+
+    def txn(sys, tag, delay):
+        yield from sys.sleep(delay)
+        yield from sys.begin_trans()
+        try:
+            fa = yield from sys.open("/a", write=True)
+            yield from sys.write(fa, tag * 10)
+            yield from sys.end_trans()
+            outcomes.append((tag, "ok"))
+        except Exception:
+            outcomes.append((tag, "aborted"))
+
+    for i in range(5):
+        cluster.spawn(lambda s, t=bytes([65 + i]), d=i * 0.8: txn(s, t, d),
+                      site_id=2)
+    flap = [(0.4, ([1, 2], [3])), (1.2, None), (2.0, ([1], [2, 3])), (2.8, None)]
+    for at, groups in flap:
+        if groups is None:
+            cluster.engine.schedule(at, cluster.heal_partition)
+        else:
+            cluster.engine.schedule(at, cluster.partition, *groups)
+    cluster.run()
+    assert len(outcomes) == 5
+    winners = [t for t, o in outcomes if o == "ok"]
+    if winners:
+        final = committed(cluster, "/a")
+        assert final in [t * 10 for t in winners]

@@ -1,0 +1,156 @@
+"""Replica-local reads, read-only 2PC participants, remote abort of a
+queued waiter, and other cross-layer scenarios."""
+
+import pytest
+
+from repro import Cluster, drive
+from repro.core import TxnState
+from repro.locus import TransactionAborted
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(site_ids=(1, 2, 3))
+    drive(c.engine, c.create_file("/repl", replicas=[1, 2, 3]))
+    drive(c.engine, c.populate("/repl", b"replicated-data!"))
+    drive(c.engine, c.create_file("/solo", site_id=1))
+    drive(c.engine, c.populate("/solo", b"s" * 64))
+    return c
+
+
+def test_read_only_open_served_by_local_replica(cluster):
+    """A read-only open at a replica site costs no network messages."""
+    out = {}
+
+    def prog(sys):
+        before = cluster.network.stats.get("net.messages")
+        fd = yield from sys.open("/repl")
+        data = yield from sys.read(fd, 16)
+        out["messages"] = cluster.network.stats.get("net.messages") - before
+        out["data"] = data
+
+    p = cluster.spawn(prog, site_id=3)
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value
+    assert out["data"] == b"replicated-data!"
+    assert out["messages"] == 0
+
+
+def test_update_open_centralizes_subsequent_reads(cluster):
+    """Once a file is open for update, later opens route to the primary
+    (storage-site migration of read service, section 5.2 fn 8)."""
+
+    def writer(sys):
+        fd = yield from sys.open("/repl", write=True)
+        yield from sys.lock(fd, 4)
+        yield from sys.write(fd, b"NEW!")
+        yield from sys.seek(fd, 0)
+        yield from sys.unlock(fd, 4)  # released, still uncommitted
+        yield from sys.sleep(2.0)
+
+    out = {}
+
+    def reader(sys):
+        yield from sys.sleep(0.5)
+        before = cluster.network.stats.get("net.messages")
+        fd = yield from sys.open("/repl")
+        data = yield from sys.read(fd, 4)
+        out["messages"] = cluster.network.stats.get("net.messages") - before
+        out["data"] = data
+
+    cluster.spawn(writer, site_id=2)
+    cluster.spawn(reader, site_id=3)
+    cluster.run()
+    # The reader went to the primary (site 1) and saw the freshest
+    # (visible-uncommitted) data rather than its stale local replica.
+    assert out["data"] == b"NEW!"
+    assert out["messages"] > 0
+
+
+def test_read_only_participant_in_two_site_txn(cluster):
+    """A transaction that only reads at one site and writes at another:
+    the read-only participant prepares trivially and releases its locks
+    at commit."""
+
+    def prog(sys):
+        yield from sys.begin_trans()
+        fr = yield from sys.open("/solo", write=True)
+        yield from sys.lock(fr, 10, mode="shared")
+        data = yield from sys.read(fr, 10)
+        fw = yield from sys.open("/repl", write=True)
+        yield from sys.write(fw, data)
+        yield from sys.end_trans()
+
+    p = cluster.spawn(prog, site_id=3)
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value
+    assert drive(cluster.engine, cluster.committed_bytes("/repl", 0, 10)) == b"s" * 10
+    # The shared lock at site 1 is gone after commit.
+    solo_id = cluster.namespace.lookup("/solo").primary.file_id
+    assert cluster.site(1).lock_manager.table(solo_id).is_empty()
+
+
+def test_remote_waiter_wakes_when_victimized(cluster):
+    """A transaction queued on a remote lock gets cleanly aborted when
+    chosen as deadlock victim (the queued RPC must not hang)."""
+    solo_id = cluster.namespace.lookup("/solo").primary.file_id
+
+    def t1(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/solo", write=True)
+        yield from sys.lock(fd, 10)
+        yield from sys.sleep(1.0)
+        fd2 = yield from sys.open("/repl", write=True)
+        yield from sys.lock(fd2, 10)
+        yield from sys.end_trans()
+
+    def t2(sys):
+        yield from sys.sleep(0.1)
+        yield from sys.begin_trans()
+        fd2 = yield from sys.open("/repl", write=True)
+        yield from sys.lock(fd2, 10)
+        yield from sys.sleep(1.0)
+        fd = yield from sys.open("/solo", write=True)
+        yield from sys.lock(fd, 10)  # queued remotely; deadlock
+        yield from sys.end_trans()
+
+    a = cluster.spawn(t1, site_id=2)
+    b = cluster.spawn(t2, site_id=3)
+    cluster.run()
+    assert a.exit_status == "done", a.exit_value
+    assert b.failed
+    assert isinstance(b.exit_value, TransactionAborted)
+    assert cluster.site(1).lock_manager.waiting_holders() == []
+
+
+def test_crash_of_idle_site_does_not_disturb_others(cluster):
+    cluster.crash_site(3)
+
+    def prog(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/solo", write=True)
+        yield from sys.write(fd, b"unbothered")
+        yield from sys.end_trans()
+
+    p = cluster.spawn(prog, site_id=2)
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value
+    assert drive(cluster.engine, cluster.committed_bytes("/solo", 0, 10)) == b"unbothered"
+
+
+def test_transaction_spanning_replicated_and_plain_files(cluster):
+    def prog(sys):
+        yield from sys.begin_trans()
+        fa = yield from sys.open("/repl", write=True)
+        fb = yield from sys.open("/solo", write=True)
+        yield from sys.write(fa, b"both")
+        yield from sys.write(fb, b"files")
+        yield from sys.end_trans()
+
+    p = cluster.spawn(prog, site_id=3)
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value
+    txn = cluster.txn_registry.all()[0]
+    assert txn.state == TxnState.RESOLVED
+    assert drive(cluster.engine, cluster.committed_bytes("/repl", 0, 4)) == b"both"
+    assert drive(cluster.engine, cluster.committed_bytes("/solo", 0, 5)) == b"files"

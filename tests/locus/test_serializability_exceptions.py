@@ -1,0 +1,179 @@
+"""Section 3.4: intentional exceptions to two-phase locking.
+
+Two sanctioned escape hatches: the *non-transaction lock* mode, and
+locks acquired *before* BeginTrans (never converted to transaction
+locks).  In both cases the data written stays process-owned -- it is
+not committed or aborted with the transaction (section 3.3: "Resources
+locked before the start of the transaction may be used within the
+transaction but are not committed or aborted along with the
+transaction").
+"""
+
+import pytest
+
+from repro import Cluster, drive
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(site_ids=(1, 2))
+    drive(c.engine, c.create_file("/f", site_id=1))
+    drive(c.engine, c.create_file("/catalog", site_id=1))
+    drive(c.engine, c.populate("/f", b"." * 200))
+    drive(c.engine, c.populate("/catalog", b" " * 64))
+    return c
+
+
+def committed(cluster, path, start, n):
+    return drive(cluster.engine, cluster.committed_bytes(path, start, n))
+
+
+def test_pretxn_lock_usable_inside_transaction_without_self_deadlock(cluster):
+    """A range locked before BeginTrans must stay usable inside the
+    transaction -- no implicit-lock self-conflict."""
+
+    def prog(sys):
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50)          # BEFORE the transaction
+        yield from sys.begin_trans()
+        yield from sys.write(fd, b"P" * 50)  # covered by the pre-txn lock
+        yield from sys.end_trans()
+        return "done at t=%.3f" % sys.now
+
+    p = cluster.spawn(prog, site_id=1)
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value
+
+
+def test_pretxn_locked_writes_do_not_commit_with_transaction(cluster):
+    probe = {}
+
+    def prog(sys):
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50)
+        yield from sys.begin_trans()
+        yield from sys.write(fd, b"P" * 50)       # process-owned
+        yield from sys.seek(fd, 100)
+        yield from sys.lock(fd, 20)               # transaction lock
+        yield from sys.write(fd, b"T" * 20)       # transaction-owned
+        yield from sys.end_trans()
+        probe["after_commit"] = yield from cluster.committed_bytes("/f", 0, 50)
+        yield from sys.sleep(1.0)
+
+    p = cluster.spawn(prog, site_id=1)
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value
+    # The transaction's own write committed...
+    assert committed(cluster, "/f", 100, 20) == b"T" * 20
+    # ...but the pre-txn-locked write was NOT part of the commit; it
+    # became durable only at process exit (close-commit).
+    assert probe["after_commit"] == b"." * 50
+    assert committed(cluster, "/f", 0, 50) == b"P" * 50
+
+
+def test_pretxn_locked_writes_survive_transaction_abort(cluster):
+    def prog(sys):
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50)
+        yield from sys.begin_trans()
+        yield from sys.write(fd, b"K" * 50)       # process-owned, kept
+        yield from sys.seek(fd, 100)
+        yield from sys.lock(fd, 20)
+        yield from sys.write(fd, b"G" * 20)       # transaction-owned, gone
+        yield from sys.abort_trans()
+        yield from sys.close(fd)                  # commits process data
+
+    p = cluster.spawn(prog, site_id=1)
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value
+    assert committed(cluster, "/f", 0, 50) == b"K" * 50    # survived
+    assert committed(cluster, "/f", 100, 20) == b"." * 20  # rolled back
+
+
+def test_pretxn_lock_releasable_inside_transaction(cluster):
+    """Pre-transaction locks are exempt from rule 1: unlocking one
+    inside the transaction really releases it."""
+    order = []
+
+    def txn(sys):
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50)
+        yield from sys.begin_trans()
+        yield from sys.unlock(fd, 50)  # really released despite the txn
+        yield from sys.sleep(2.0)
+        yield from sys.end_trans()
+        order.append(("committed", sys.now))
+
+    def contender(sys):
+        yield from sys.sleep(0.1)
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50)
+        order.append(("granted", sys.now))
+
+    cluster.spawn(txn, site_id=1)
+    cluster.spawn(contender, site_id=1)
+    cluster.run()
+    assert order[0][0] == "granted"
+    assert order[0][1] < 1.0
+
+
+def test_nontrans_lock_writes_survive_abort(cluster):
+    """Catalog-style updates under a non-transaction lock are visible
+    and durable independent of the enclosing transaction's fate."""
+
+    def prog(sys):
+        yield from sys.begin_trans()
+        cat = yield from sys.open("/catalog", write=True)
+        yield from sys.lock(cat, 32, nontrans=True)
+        yield from sys.write(cat, b"catalog-entry-created".ljust(32))
+        yield from sys.unlock(cat, 32)
+        yield from sys.commit_file(cat)  # commits the process-owned bytes
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.write(fd, b"Z" * 10)
+        yield from sys.abort_trans()
+
+    p = cluster.spawn(prog, site_id=2)
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value
+    assert committed(cluster, "/catalog", 0, 21) == b"catalog-entry-created"
+    assert committed(cluster, "/f", 0, 10) == b"." * 10
+
+
+def test_concurrent_file_creation_conflict_visible_early(cluster):
+    """The paper's motivating example: two transactions racing to claim
+    the same catalog slot must conflict *before* either commits."""
+    outcomes = []
+
+    def claimer(sys, tag, delay):
+        yield from sys.sleep(delay)
+        yield from sys.begin_trans()
+        cat = yield from sys.open("/catalog", write=True)
+        try:
+            yield from sys.lock(cat, 32, nontrans=True, wait=False)
+        except Exception:
+            outcomes.append((tag, "lost-race"))
+            yield from sys.abort_trans()
+            return
+        entry = yield from sys.read(cat, 32)
+        if entry.strip():
+            outcomes.append((tag, "name-exists"))
+            yield from sys.unlock(cat, 32)
+            yield from sys.abort_trans()
+            return
+        yield from sys.seek(cat, 0)
+        yield from sys.write(cat, (u"owned-by-%s" % tag).encode().ljust(32))
+        yield from sys.commit_file(cat)
+        yield from sys.unlock(cat, 32)
+        yield from sys.sleep(1.0)  # long transaction body
+        yield from sys.end_trans()
+        outcomes.append((tag, "created"))
+
+    cluster.spawn(lambda s: claimer(s, "a", 0.00), site_id=1)
+    cluster.spawn(lambda s: claimer(s, "b", 0.05), site_id=2)
+    cluster.run()
+    results = dict(outcomes)
+    assert results["a"] == "created"
+    # b sees a's uncommitted-but-visible catalog entry long before a's
+    # transaction ends -- exactly why these updates must escape 2PL.
+    assert results["b"] in ("name-exists", "lost-race")
+    assert committed(cluster, "/catalog", 0, 10) == b"owned-by-a"

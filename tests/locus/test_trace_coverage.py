@@ -1,0 +1,69 @@
+"""Trace coverage of process-management syscalls and bounded capacity
+under load."""
+
+import pytest
+
+from repro import Cluster, drive
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(site_ids=(1, 2))
+    drive(c.engine, c.create_file("/f", site_id=1))
+    drive(c.engine, c.populate("/f", b"." * 64))
+    return c
+
+
+def test_fork_wait_migrate_are_traced(cluster):
+    tracer = cluster.enable_tracing()
+
+    def child(sys):
+        yield from sys.sleep(0.1)
+        return "ok"
+
+    def prog(sys):
+        kid = yield from sys.fork(child, site=2)
+        yield from sys.wait(kid)
+        yield from sys.migrate(2)
+
+    p = cluster.spawn(prog, site_id=1)
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value
+    kinds = [ev.kind for ev in tracer.select(pid=p.pid)]
+    assert kinds == ["fork", "wait", "migrate"]
+    fork_ev = tracer.select(kind="fork")[0]
+    assert fork_ev.get("target_site") == 2
+    migrate_ev = tracer.select(kind="migrate")[0]
+    assert migrate_ev.get("target") == 2
+
+
+def test_trace_times_are_monotonic_per_process(cluster):
+    tracer = cluster.enable_tracing()
+
+    def prog(sys):
+        fd = yield from sys.open("/f", write=True)
+        for i in range(5):
+            yield from sys.seek(fd, i * 10)
+            yield from sys.lock(fd, 10)
+            yield from sys.write(fd, b"0123456789")
+
+    p = cluster.spawn(prog, site_id=2)
+    cluster.run()
+    times = [ev.time for ev in tracer.select(pid=p.pid)]
+    assert times == sorted(times)
+    assert len(times) == 1 + 5 * 3  # open + (seek, lock, write) x 5
+
+
+def test_trace_survives_heavy_load_without_unbounded_growth(cluster):
+    tracer = cluster.enable_tracing(capacity=50)
+
+    def prog(sys):
+        fd = yield from sys.open("/f")
+        for _ in range(100):
+            yield from sys.seek(fd, 0)
+            yield from sys.read(fd, 8)
+
+    cluster.spawn(prog, site_id=1)
+    cluster.run()
+    assert len(tracer) == 50
+    assert tracer.dropped > 0

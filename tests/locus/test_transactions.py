@@ -1,0 +1,291 @@
+"""Transaction semantics through the syscall interface: simple nesting,
+multi-process and multi-site transactions, file-list merging, abort."""
+
+import pytest
+
+from repro import Cluster, drive
+from repro.core import TxnState
+from repro.locus import TransactionAborted, TransactionError
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(site_ids=(1, 2, 3))
+    drive(c.engine, c.create_file("/a", site_id=1))
+    drive(c.engine, c.create_file("/b", site_id=2))
+    drive(c.engine, c.populate("/a", b"A" * 100))
+    drive(c.engine, c.populate("/b", b"B" * 100))
+    return c
+
+
+def committed(cluster, path, start, n):
+    return drive(cluster.engine, cluster.committed_bytes(path, start, n))
+
+
+def run_prog(cluster, prog, site_id=1):
+    proc = cluster.spawn(prog, site_id=site_id)
+    cluster.run()
+    if proc.failed:
+        raise proc.exit_value
+    return proc
+
+
+def test_simple_transaction_commits_durably(cluster):
+    def prog(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/a", write=True)
+        yield from sys.lock(fd, 10)
+        yield from sys.write(fd, b"txn-write!")
+        yield from sys.end_trans()
+
+    run_prog(cluster, prog)
+    assert committed(cluster, "/a", 0, 10) == b"txn-write!"
+    txns = cluster.txn_registry.all()
+    assert len(txns) == 1
+    assert txns[0].state == TxnState.RESOLVED
+
+
+def test_uncommitted_txn_data_not_durable_before_end(cluster):
+    probe = {}
+
+    def prog(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/a", write=True)
+        yield from sys.write(fd, b"pending...")
+        probe["before"] = yield from cluster.committed_bytes("/a", 0, 10)
+        yield from sys.end_trans()
+
+    run_prog(cluster, prog)
+    assert probe["before"] == b"A" * 10
+    assert committed(cluster, "/a", 0, 10) == b"pending..."
+
+
+def test_nested_begin_end_commits_only_at_outermost(cluster):
+    probe = {}
+
+    def prog(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/a", write=True)
+        yield from sys.write(fd, b"nested")
+        yield from sys.begin_trans()   # a library's internal transaction
+        completed = yield from sys.end_trans()
+        probe["inner_completed"] = completed
+        probe["mid"] = yield from cluster.committed_bytes("/a", 0, 6)
+        completed = yield from sys.end_trans()
+        probe["outer_completed"] = completed
+
+    run_prog(cluster, prog)
+    assert probe["inner_completed"] is False
+    assert probe["mid"] == b"A" * 6          # inner EndTrans did NOT commit
+    assert probe["outer_completed"] is True
+    assert committed(cluster, "/a", 0, 6) == b"nested"
+
+
+def test_unmatched_end_trans_rejected(cluster):
+    def prog(sys):
+        yield from sys.end_trans()
+
+    with pytest.raises(TransactionError):
+        run_prog(cluster, prog)
+
+
+def test_abort_trans_undoes_and_caller_survives(cluster):
+    probe = {}
+
+    def prog(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/a", write=True)
+        yield from sys.write(fd, b"doomed....")
+        yield from sys.abort_trans()
+        probe["still_running"] = True
+        probe["in_txn"] = sys.in_transaction
+
+    run_prog(cluster, prog)
+    assert probe == {"still_running": True, "in_txn": False}
+    assert committed(cluster, "/a", 0, 10) == b"A" * 10
+    assert cluster.txn_registry.all()[0].state == TxnState.ABORTED
+
+
+def test_program_exception_aborts_transaction(cluster):
+    def prog(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/a", write=True)
+        yield from sys.write(fd, b"doomed....")
+        raise RuntimeError("application bug")
+        yield  # pragma: no cover
+
+    proc = cluster.spawn(prog, site_id=1)
+    cluster.run()
+    assert proc.failed
+    assert committed(cluster, "/a", 0, 10) == b"A" * 10
+    assert cluster.txn_registry.all()[0].state == TxnState.ABORTED
+
+
+def test_multi_file_multi_site_commit(cluster):
+    def prog(sys):
+        yield from sys.begin_trans()
+        fa = yield from sys.open("/a", write=True)
+        fb = yield from sys.open("/b", write=True)
+        yield from sys.write(fa, b"both")
+        yield from sys.write(fb, b"sites")
+        yield from sys.end_trans()
+
+    run_prog(cluster, prog, site_id=3)  # coordinator stores neither file
+    assert committed(cluster, "/a", 0, 4) == b"both"
+    assert committed(cluster, "/b", 0, 5) == b"sites"
+    txn = cluster.txn_registry.all()[0]
+    assert set(txn.participants) == {1, 2}
+
+
+def test_multi_site_abort_rolls_back_everywhere(cluster):
+    def prog(sys):
+        yield from sys.begin_trans()
+        fa = yield from sys.open("/a", write=True)
+        fb = yield from sys.open("/b", write=True)
+        yield from sys.write(fa, b"X" * 10)
+        yield from sys.write(fb, b"Y" * 10)
+        yield from sys.abort_trans()
+
+    run_prog(cluster, prog, site_id=3)
+    assert committed(cluster, "/a", 0, 10) == b"A" * 10
+    assert committed(cluster, "/b", 0, 10) == b"B" * 10
+
+
+def test_child_process_updates_commit_with_transaction(cluster):
+    def child(sys):
+        fd = yield from sys.open("/b", write=True)
+        yield from sys.write(fd, b"from-child")
+
+    def prog(sys):
+        yield from sys.begin_trans()
+        fa = yield from sys.open("/a", write=True)
+        yield from sys.write(fa, b"from-top..")
+        kid = yield from sys.fork(child)
+        yield from sys.wait(kid)
+        yield from sys.end_trans()
+
+    run_prog(cluster, prog)
+    assert committed(cluster, "/a", 0, 10) == b"from-top.."
+    assert committed(cluster, "/b", 0, 10) == b"from-child"
+
+
+def test_remote_child_file_list_merges_over_network(cluster):
+    """The child runs at a different site; its file-list must reach the
+    top-level process for commit to cover /b (section 4.1)."""
+
+    def child(sys):
+        fd = yield from sys.open("/b", write=True)
+        yield from sys.write(fd, b"remotekid!")
+
+    def prog(sys):
+        yield from sys.begin_trans()
+        kid = yield from sys.fork(child, site=2)
+        yield from sys.wait(kid)
+        yield from sys.end_trans()
+
+    run_prog(cluster, prog, site_id=1)
+    assert committed(cluster, "/b", 0, 10) == b"remotekid!"
+    txn = cluster.txn_registry.all()[0]
+    assert ("2:root", cluster.namespace.lookup("/b").primary.ino, 2) in txn.top_proc.file_list
+
+
+def test_child_failure_aborts_whole_transaction(cluster):
+    def child(sys):
+        fd = yield from sys.open("/b", write=True)
+        yield from sys.write(fd, b"partial...")
+        raise ValueError("child crashed")
+        yield  # pragma: no cover
+
+    def prog(sys):
+        yield from sys.begin_trans()
+        fa = yield from sys.open("/a", write=True)
+        yield from sys.write(fa, b"top-data..")
+        kid = yield from sys.fork(child)
+        try:
+            yield from sys.wait(kid)
+        except Exception:
+            pass
+        yield from sys.end_trans()
+
+    proc = cluster.spawn(prog, site_id=1)
+    cluster.run()
+    assert proc.failed
+    assert isinstance(proc.exit_value, TransactionAborted)
+    assert committed(cluster, "/a", 0, 10) == b"A" * 10
+    assert committed(cluster, "/b", 0, 10) == b"B" * 10
+
+
+def test_end_trans_waits_for_children(cluster):
+    order = []
+
+    def child(sys):
+        yield from sys.sleep(2.0)
+        fd = yield from sys.open("/b", write=True)
+        yield from sys.write(fd, b"slow-child")
+        order.append(("child-done", sys.now))
+
+    def prog(sys):
+        yield from sys.begin_trans()
+        yield from sys.fork(child)
+        yield from sys.end_trans()
+        order.append(("committed", sys.now))
+
+    run_prog(cluster, prog)
+    assert order[0][0] == "child-done"
+    assert order[1][0] == "committed"
+    assert committed(cluster, "/b", 0, 10) == b"slow-child"
+
+
+def test_grandchildren_are_members_too(cluster):
+    def grandchild(sys):
+        fd = yield from sys.open("/b", write=True)
+        yield from sys.write(fd, b"3rd-level!")
+
+    def child(sys):
+        kid = yield from sys.fork(grandchild)
+        yield from sys.wait(kid)
+
+    def prog(sys):
+        yield from sys.begin_trans()
+        kid = yield from sys.fork(child)
+        yield from sys.wait(kid)
+        yield from sys.end_trans()
+
+    run_prog(cluster, prog)
+    assert committed(cluster, "/b", 0, 10) == b"3rd-level!"
+
+
+def test_read_only_transaction_costs_no_data_io(cluster):
+    def warm(sys):
+        fd = yield from sys.open("/a")
+        yield from sys.read(fd, 10)
+
+    run_prog(cluster, warm)
+    snap = cluster.io_snapshot()
+
+    def prog(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/a", write=True)
+        yield from sys.lock(fd, 10, mode="shared")
+        yield from sys.read(fd, 10)
+        yield from sys.end_trans()
+
+    run_prog(cluster, prog)
+    delta = cluster.io_delta(snap)
+    assert delta.get("io.write.data", 0) == 0
+    assert delta.get("io.write.inode", 0) == 0  # no phase-two inode work
+
+
+def test_two_sequential_transactions_isolated(cluster):
+    def prog(sys):
+        for payload in (b"first.....", b"second...."):
+            yield from sys.begin_trans()
+            fd = yield from sys.open("/a", write=True)
+            yield from sys.write(fd, payload)
+            yield from sys.end_trans()
+            yield from sys.close(fd)
+
+    run_prog(cluster, prog)
+    assert committed(cluster, "/a", 0, 10) == b"second...."
+    assert len(cluster.txn_registry.all()) == 2
+    assert all(t.state == TxnState.RESOLVED for t in cluster.txn_registry.all())

@@ -1,0 +1,177 @@
+"""Lock upgrades (including the classic upgrade deadlock) and nested
+transaction semantics beyond the basics."""
+
+import pytest
+
+from repro import Cluster, drive
+from repro.locus import TransactionAborted
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(site_ids=(1, 2))
+    drive(c.engine, c.create_file("/f", site_id=1))
+    drive(c.engine, c.populate("/f", b"." * 100))
+    return c
+
+
+def committed(cluster, start=0, n=10):
+    return drive(cluster.engine, cluster.committed_bytes("/f", start, n))
+
+
+def test_shared_to_exclusive_upgrade_waits_for_other_readers(cluster):
+    order = []
+
+    def upgrader(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50, mode="shared")
+        yield from sys.sleep(0.2)
+        yield from sys.lock(fd, 50, mode="exclusive")  # upgrade
+        order.append(("upgraded", sys.now))
+        yield from sys.end_trans()
+
+    def reader(sys):
+        yield from sys.sleep(0.05)
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50, mode="shared")
+        yield from sys.sleep(1.0)
+        yield from sys.unlock(fd, 50)
+        order.append(("reader-released", sys.now))
+
+    cluster.spawn(upgrader, site_id=1)
+    cluster.spawn(reader, site_id=1)
+    cluster.run()
+    assert order[0][0] == "reader-released"
+    assert order[1][0] == "upgraded"
+
+
+def test_mutual_upgrade_deadlock_resolved(cluster):
+    """Two transactions share-lock the same record, then both upgrade:
+    the canonical conversion deadlock.  The detector must pick a victim
+    and let the other complete."""
+
+    def upgrader(sys, delay):
+        yield from sys.sleep(delay)
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50, mode="shared")
+        yield from sys.sleep(0.5)  # both now hold shared
+        yield from sys.lock(fd, 50, mode="exclusive")
+        yield from sys.write(fd, b"W" * 50)
+        yield from sys.end_trans()
+        return "won"
+
+    a = cluster.spawn(lambda s: upgrader(s, 0.0), site_id=1)
+    b = cluster.spawn(lambda s: upgrader(s, 0.1), site_id=2)
+    cluster.run()
+    outcomes = sorted([a.exit_status, b.exit_status])
+    assert outcomes == ["done", "failed"]
+    winner = a if a.exit_status == "done" else b
+    loser = b if winner is a else a
+    assert winner.exit_value == "won"
+    assert isinstance(loser.exit_value, TransactionAborted)
+    assert committed(cluster) == b"W" * 10
+
+
+def test_downgrade_lets_readers_in(cluster):
+    order = []
+
+    def writer(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50, mode="exclusive")
+        yield from sys.write(fd, b"D" * 50)
+        yield from sys.seek(fd, 0)  # locks act at the file pointer
+        yield from sys.lock(fd, 50, mode="shared")  # downgrade
+        order.append(("downgraded", sys.now))
+        yield from sys.sleep(2.0)
+        yield from sys.end_trans()
+
+    def reader(sys):
+        yield from sys.sleep(0.1)
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50, mode="shared")
+        order.append(("reader-granted", sys.now))
+        data = yield from sys.read(fd, 5)
+        order.append(("read", data))
+
+    cluster.spawn(writer, site_id=1)
+    cluster.spawn(reader, site_id=1)
+    cluster.run()
+    kinds = [o[0] for o in order]
+    assert kinds == ["downgraded", "reader-granted", "read"]
+    granted_at = order[1][1]
+    assert granted_at < 1.0  # did not wait for the writer's commit
+    # The reader sees the writer's uncommitted-but-visible bytes.
+    assert order[2][1] == b"D" * 5
+
+
+def test_abort_trans_at_inner_nesting_aborts_everything(cluster):
+    """AbortTrans is not pairable: at any nesting depth it kills the
+    whole transaction (simple nesting, section 2)."""
+    probe = {}
+
+    def prog(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.write(fd, b"outer")
+        yield from sys.begin_trans()   # nesting level 2
+        yield from sys.seek(fd, 50)
+        yield from sys.write(fd, b"inner")
+        yield from sys.abort_trans()   # aborts the WHOLE transaction
+        probe["in_txn_after"] = sys.in_transaction
+
+    p = cluster.spawn(prog, site_id=1)
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value
+    assert probe["in_txn_after"] is False
+    assert committed(cluster, 0, 5) == b"....."
+    assert committed(cluster, 50, 5) == b"....."
+
+
+def test_deep_nesting_pairs_correctly(cluster):
+    probe = {"completions": []}
+
+    def prog(sys):
+        for _ in range(5):
+            yield from sys.begin_trans()
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.write(fd, b"deep!")
+        for _ in range(5):
+            done = yield from sys.end_trans()
+            probe["completions"].append(done)
+
+    p = cluster.spawn(prog, site_id=1)
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value
+    assert probe["completions"] == [False, False, False, False, True]
+    assert committed(cluster, 0, 5) == b"deep!"
+
+
+def test_sequential_transactions_in_child_processes(cluster):
+    """A child that begins and ends its own nested pair inside the
+    parent's transaction does not commit anything by itself."""
+    probe = {}
+
+    def child(sys):
+        yield from sys.begin_trans()       # nests within parent's txn
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.seek(fd, 20)
+        yield from sys.write(fd, b"child")
+        done = yield from sys.end_trans()  # pairs its own Begin only
+        probe["child_completed_txn"] = done
+
+    def prog(sys):
+        yield from sys.begin_trans()
+        kid = yield from sys.fork(child)
+        yield from sys.wait(kid)
+        probe["mid"] = yield from cluster.committed_bytes("/f", 20, 5)
+        yield from sys.end_trans()
+
+    p = cluster.spawn(prog, site_id=1)
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value
+    assert probe["child_completed_txn"] is False
+    assert probe["mid"] == b"....."          # not committed early
+    assert committed(cluster, 20, 5) == b"child"  # committed with parent

@@ -1,0 +1,116 @@
+"""Victim recovery semantics: what a program can do after its
+transaction is aborted out from under it."""
+
+import pytest
+
+from repro import Cluster, drive
+from repro.locus import TransactionAborted
+from repro.sim import Interrupt
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(site_ids=(1, 2))
+    drive(c.engine, c.create_file("/x", site_id=1))
+    drive(c.engine, c.create_file("/y", site_id=2))
+    drive(c.engine, c.populate("/x", b"x" * 64))
+    drive(c.engine, c.populate("/y", b"y" * 64))
+    return c
+
+
+def deadlock_pair(cluster, victim_prog):
+    """Arrange a deadlock where the younger transaction (the victim)
+    runs ``victim_prog``-style retry logic."""
+
+    def older(sys):
+        yield from sys.begin_trans()
+        fx = yield from sys.open("/x", write=True)
+        yield from sys.lock(fx, 8)
+        yield from sys.sleep(1.0)
+        fy = yield from sys.open("/y", write=True)
+        yield from sys.lock(fy, 8)
+        yield from sys.write(fy, b"older-won")
+        yield from sys.end_trans()
+
+    a = cluster.spawn(older, site_id=1)
+    b = cluster.spawn(victim_prog, site_id=2)
+    cluster.run()
+    return a, b
+
+
+def test_victim_can_catch_and_retry(cluster):
+    outcome = {}
+
+    def victim(sys):
+        yield from sys.sleep(0.1)
+        for attempt in range(3):
+            try:
+                yield from sys.begin_trans()
+                fy = yield from sys.open("/y", write=True)
+                yield from sys.lock(fy, 8)
+                yield from sys.sleep(1.0)
+                fx = yield from sys.open("/x", write=True)
+                yield from sys.lock(fx, 8)
+                yield from sys.write(fx, b"victim!!")
+                yield from sys.end_trans()
+                outcome["committed_on_attempt"] = attempt
+                return
+            except (TransactionAborted, Interrupt):
+                try:
+                    yield from sys.sleep(0.2)
+                except (TransactionAborted, Interrupt):
+                    pass
+        outcome["gave_up"] = True
+
+    a, b = deadlock_pair(cluster, victim)
+    assert a.exit_status == "done", a.exit_value
+    assert b.exit_status == "done", b.exit_value
+    assert outcome.get("committed_on_attempt", 0) >= 1
+    data = drive(cluster.engine, cluster.committed_bytes("/x", 0, 8))
+    assert data == b"victim!!"
+
+
+def test_end_trans_after_external_abort_reports_abort(cluster):
+    """A victim that swallows the interrupt but then calls EndTrans gets
+    TransactionAborted, not a pairing error."""
+    seen = {}
+
+    def victim(sys):
+        yield from sys.sleep(0.1)
+        yield from sys.begin_trans()
+        fy = yield from sys.open("/y", write=True)
+        yield from sys.lock(fy, 8)
+        try:
+            yield from sys.sleep(1.0)
+            fx = yield from sys.open("/x", write=True)
+            yield from sys.lock(fx, 8)
+        except (TransactionAborted, Interrupt):
+            pass  # swallowed; transaction is gone regardless
+        try:
+            yield from sys.end_trans()
+        except TransactionAborted as exc:
+            seen["end_trans"] = str(exc)
+
+    a, b = deadlock_pair(cluster, victim)
+    assert b.exit_status == "done", b.exit_value
+    assert "aborted" in seen["end_trans"]
+
+
+def test_abort_trans_after_external_abort_is_noop(cluster):
+    def victim(sys):
+        yield from sys.sleep(0.1)
+        yield from sys.begin_trans()
+        fy = yield from sys.open("/y", write=True)
+        yield from sys.lock(fy, 8)
+        try:
+            yield from sys.sleep(1.0)
+            fx = yield from sys.open("/x", write=True)
+            yield from sys.lock(fx, 8)
+        except (TransactionAborted, Interrupt):
+            pass
+        yield from sys.abort_trans()  # intent already satisfied: no-op
+        return "clean"
+
+    a, b = deadlock_pair(cluster, victim)
+    assert b.exit_status == "done", b.exit_value
+    assert b.exit_value == "clean"

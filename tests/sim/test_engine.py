@@ -1,0 +1,98 @@
+"""Engine: clock behaviour, ordering, scheduling discipline."""
+
+import pytest
+
+from repro.sim import Engine, SimError
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_schedule_and_run_advances_clock():
+    eng = Engine()
+    seen = []
+    eng.schedule(2.0, seen.append, "a")
+    eng.schedule(1.0, seen.append, "b")
+    eng.run()
+    assert seen == ["b", "a"]
+    assert eng.now == 2.0
+
+
+def test_ties_break_in_schedule_order():
+    eng = Engine()
+    seen = []
+    for tag in range(5):
+        eng.schedule(1.0, seen.append, tag)
+    eng.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_negative_delay_rejected():
+    eng = Engine()
+    with pytest.raises(SimError):
+        eng.schedule(-0.1, lambda: None)
+
+
+def test_run_until_stops_clock_exactly():
+    eng = Engine()
+    seen = []
+    eng.schedule(1.0, seen.append, 1)
+    eng.schedule(5.0, seen.append, 5)
+    eng.run(until=3.0)
+    assert seen == [1]
+    assert eng.now == 3.0
+    eng.run()
+    assert seen == [1, 5]
+    assert eng.now == 5.0
+
+
+def test_run_until_with_empty_heap_advances_clock():
+    eng = Engine()
+    eng.run(until=7.0)
+    assert eng.now == 7.0
+
+
+def test_step_returns_false_when_idle():
+    assert Engine().step() is False
+
+
+def test_callbacks_may_schedule_more_work():
+    eng = Engine()
+    seen = []
+
+    def first():
+        seen.append("first")
+        eng.schedule(1.0, lambda: seen.append("second"))
+
+    eng.schedule(1.0, first)
+    eng.run()
+    assert seen == ["first", "second"]
+    assert eng.now == 2.0
+
+
+def test_run_is_not_reentrant():
+    eng = Engine()
+    failures = []
+
+    def reenter():
+        try:
+            eng.run()
+        except SimError as exc:
+            failures.append(exc)
+
+    eng.schedule(0, reenter)
+    eng.run()
+    assert len(failures) == 1
+
+
+def test_determinism_two_identical_runs():
+    def build():
+        eng = Engine()
+        seen = []
+        for i in range(20):
+            eng.schedule((i * 7) % 5, seen.append, i)
+        eng.run()
+        return seen
+
+    assert build() == build()

@@ -1,0 +1,243 @@
+"""Processes: spawning, joining, failure propagation, interrupt, kill."""
+
+import pytest
+
+from repro.sim import Engine, Interrupt, ProcessKilled, SimError
+
+
+def run(eng):
+    eng.run()
+
+
+def test_process_runs_and_returns_value():
+    eng = Engine()
+
+    def prog():
+        yield eng.timeout(1.0)
+        return 42
+
+    p = eng.process(prog())
+    run(eng)
+    assert p.state == "done"
+    assert p.value == 42
+    assert eng.now == 1.0
+
+
+def test_timeout_value_is_sent_back_into_generator():
+    eng = Engine()
+    got = []
+
+    def prog():
+        got.append((yield eng.timeout(0.5, value="hello")))
+
+    eng.process(prog())
+    run(eng)
+    assert got == ["hello"]
+
+
+def test_join_child_process():
+    eng = Engine()
+
+    def child():
+        yield eng.timeout(2.0)
+        return "payload"
+
+    def parent():
+        value = yield eng.process(child())
+        return value
+
+    p = eng.process(parent())
+    run(eng)
+    assert p.value == "payload"
+
+
+def test_join_already_finished_process():
+    eng = Engine()
+
+    def child():
+        return "early"
+        yield  # pragma: no cover
+
+    def parent(ch):
+        yield eng.timeout(5.0)
+        return (yield ch)
+
+    ch = eng.process(child())
+    p = eng.process(parent(ch))
+    run(eng)
+    assert p.value == "early"
+
+
+def test_child_failure_propagates_to_joiner():
+    eng = Engine()
+
+    def child():
+        yield eng.timeout(1.0)
+        raise ValueError("boom")
+
+    def parent():
+        try:
+            yield eng.process(child())
+        except ValueError as exc:
+            return "caught:%s" % exc
+
+    p = eng.process(parent())
+    run(eng)
+    assert p.value == "caught:boom"
+
+
+def test_uncaught_failure_marks_process_failed():
+    eng = Engine()
+
+    def prog():
+        yield eng.timeout(0)
+        raise RuntimeError("unhandled")
+
+    p = eng.process(prog())
+    run(eng)
+    assert p.failed
+    assert isinstance(p.value, RuntimeError)
+
+
+def test_yielding_non_waitable_fails_the_process():
+    eng = Engine()
+
+    def prog():
+        yield 12345
+
+    p = eng.process(prog())
+    run(eng)
+    assert p.failed
+    assert isinstance(p.value, SimError)
+
+
+def test_interrupt_is_catchable_and_carries_cause():
+    eng = Engine()
+    log = []
+
+    def prog():
+        try:
+            yield eng.timeout(100.0)
+        except Interrupt as intr:
+            log.append(intr.cause)
+        yield eng.timeout(1.0)
+        return "recovered at t=%g" % eng.now
+
+    p = eng.process(prog())
+    eng.schedule(5.0, p.interrupt, "deadlock-victim")
+    run(eng)
+    assert log == ["deadlock-victim"]
+    assert p.value == "recovered at t=6"  # interrupted at 5, then 1s of work
+
+
+def test_stale_timeout_after_interrupt_does_not_double_resume():
+    eng = Engine()
+    wakeups = []
+
+    def prog():
+        try:
+            yield eng.timeout(10.0)
+            wakeups.append("timeout")
+        except Interrupt:
+            wakeups.append("interrupt")
+        yield eng.timeout(20.0)  # outlive the stale timeout at t=10
+        wakeups.append("after")
+
+    p = eng.process(prog())
+    eng.schedule(1.0, p.interrupt)
+    run(eng)
+    assert wakeups == ["interrupt", "after"]
+
+
+def test_kill_terminates_and_joiners_see_processkilled():
+    eng = Engine()
+
+    def victim():
+        yield eng.timeout(100.0)
+
+    def watcher(v):
+        try:
+            yield v
+        except ProcessKilled:
+            return "killed"
+
+    v = eng.process(victim())
+    w = eng.process(watcher(v))
+    eng.schedule(3.0, v.kill)
+    run(eng)
+    assert v.killed
+    assert w.value == "killed"
+
+
+def test_kill_runs_finally_blocks():
+    eng = Engine()
+    cleaned = []
+
+    def victim():
+        try:
+            yield eng.timeout(100.0)
+        finally:
+            cleaned.append(True)
+
+    v = eng.process(victim())
+    eng.schedule(1.0, v.kill)
+    run(eng)
+    assert cleaned == [True]
+
+
+def test_interrupt_after_completion_is_noop():
+    eng = Engine()
+
+    def prog():
+        yield eng.timeout(1.0)
+        return "ok"
+
+    p = eng.process(prog())
+    eng.schedule(2.0, p.interrupt)
+    run(eng)
+    assert p.value == "ok"
+
+
+def test_charge_books_cpu_to_current_process():
+    eng = Engine()
+
+    def prog():
+        yield eng.charge(0.010)
+        yield eng.timeout(0.500)  # waiting: latency but not service time
+        yield eng.charge(0.005)
+
+    p = eng.process(prog())
+    run(eng)
+    assert p.cpu_time == pytest.approx(0.015)
+    assert eng.now == pytest.approx(0.515)
+
+
+def test_charge_is_per_process():
+    eng = Engine()
+
+    def prog(cost):
+        yield eng.charge(cost)
+
+    a = eng.process(prog(0.003))
+    b = eng.process(prog(0.007))
+    run(eng)
+    assert a.cpu_time == pytest.approx(0.003)
+    assert b.cpu_time == pytest.approx(0.007)
+
+
+def test_nested_generators_with_yield_from():
+    eng = Engine()
+
+    def inner():
+        yield eng.timeout(1.0)
+        return 10
+
+    def outer():
+        x = yield from inner()
+        y = yield from inner()
+        return x + y
+
+    p = eng.process(outer())
+    run(eng)
+    assert p.value == 20
+    assert eng.now == 2.0

@@ -1,0 +1,150 @@
+"""FIFO resources and mailboxes."""
+
+import pytest
+
+from repro.sim import Engine, FifoResource, Mailbox, SimError
+
+
+def test_fifo_resource_serializes_users():
+    eng = Engine()
+    disk = FifoResource(eng)
+    order = []
+
+    def user(tag):
+        yield disk.acquire()
+        order.append(("start", tag, eng.now))
+        yield eng.timeout(1.0)
+        disk.release()
+        order.append(("end", tag, eng.now))
+
+    for t in range(3):
+        eng.process(user(t))
+    eng.run()
+    assert order == [
+        ("start", 0, 0.0), ("end", 0, 1.0),
+        ("start", 1, 1.0), ("end", 1, 2.0),
+        ("start", 2, 2.0), ("end", 2, 3.0),
+    ]
+
+
+def test_fifo_resource_capacity_two_overlaps():
+    eng = Engine()
+    res = FifoResource(eng, capacity=2)
+    starts = []
+
+    def user(tag):
+        yield res.acquire()
+        starts.append((tag, eng.now))
+        yield eng.timeout(1.0)
+        res.release()
+
+    for t in range(4):
+        eng.process(user(t))
+    eng.run()
+    assert starts == [(0, 0.0), (1, 0.0), (2, 1.0), (3, 1.0)]
+
+
+def test_release_without_acquire_rejected():
+    eng = Engine()
+    with pytest.raises(SimError):
+        FifoResource(eng).release()
+
+
+def test_use_helper_releases_on_interrupt():
+    eng = Engine()
+    res = FifoResource(eng)
+
+    def holder():
+        yield from res.use(100.0)
+
+    def waiter():
+        yield res.acquire()
+        res.release()
+        return eng.now
+
+    h = eng.process(holder())
+    w = eng.process(waiter())
+    eng.schedule(5.0, h.kill)
+    eng.run()
+    assert w.value == 5.0  # slot freed when holder died
+
+
+def test_mailbox_put_then_get():
+    eng = Engine()
+    box = Mailbox(eng)
+    box.put("m1")
+    box.put("m2")
+
+    def reader():
+        a = yield box.get()
+        b = yield box.get()
+        return [a, b]
+
+    p = eng.process(reader())
+    eng.run()
+    assert p.value == ["m1", "m2"]
+
+
+def test_mailbox_get_blocks_until_put():
+    eng = Engine()
+    box = Mailbox(eng)
+
+    def reader():
+        return (yield box.get())
+
+    p = eng.process(reader())
+    eng.schedule(3.0, box.put, "late")
+    eng.run()
+    assert p.value == "late"
+    assert eng.now == 3.0
+
+
+def test_mailbox_multiple_getters_fifo():
+    eng = Engine()
+    box = Mailbox(eng)
+    got = []
+
+    def reader(tag):
+        got.append((tag, (yield box.get())))
+
+    eng.process(reader("a"))
+    eng.process(reader("b"))
+    eng.schedule(1.0, box.put, 1)
+    eng.schedule(2.0, box.put, 2)
+    eng.run()
+    assert got == [("a", 1), ("b", 2)]
+
+
+def test_mailbox_close_fails_getters_and_drops_puts():
+    eng = Engine()
+    box = Mailbox(eng)
+
+    def reader():
+        try:
+            yield box.get()
+        except SimError:
+            return "closed"
+
+    p = eng.process(reader())
+    eng.schedule(1.0, box.close)
+    eng.run()
+    assert p.value == "closed"
+    box.put("lost")  # crashed site: message vanishes
+    assert len(box) == 0
+
+
+def test_mailbox_reopen_after_close():
+    eng = Engine()
+    box = Mailbox(eng)
+    box.put("pre-crash")
+    box.close()
+    box.reopen()
+    assert len(box) == 0
+    box.put("post-reboot")
+
+    def reader():
+        return (yield box.get())
+
+    p = eng.process(reader())
+    eng.run()
+    assert p.value == "post-reboot"

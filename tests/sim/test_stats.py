@@ -1,0 +1,79 @@
+"""Counters and the service-time/latency probe."""
+
+import pytest
+
+from repro.sim import Engine, OperationProbe, Stats
+
+
+def test_stats_incr_get_total():
+    s = Stats()
+    s.incr("io.write.data")
+    s.incr("io.write.data", 2)
+    s.incr("io.write.log")
+    s.incr("io.read.data", 4)
+    assert s.get("io.write.data") == 3
+    assert s.total("io.write") == 4
+    assert s.total("io") == 8
+    assert s.get("missing") == 0
+
+
+def test_stats_snapshot_delta():
+    s = Stats()
+    s.incr("a", 5)
+    snap = s.snapshot()
+    s.incr("a", 2)
+    s.incr("b")
+    delta = s.delta_since(snap)
+    assert delta == {"a": 2, "b": 1}
+
+
+def test_stats_reset():
+    s = Stats()
+    s.incr("x")
+    s.reset()
+    assert s.get("x") == 0
+
+
+def test_probe_separates_service_time_from_latency():
+    eng = Engine()
+    result = {}
+
+    def prog():
+        probe = OperationProbe(eng).start()
+        yield eng.charge(0.020)   # CPU
+        yield eng.timeout(0.050)  # I/O wait
+        yield eng.charge(0.001)   # CPU
+        probe.stop()
+        result["service"] = probe.service_time
+        result["latency"] = probe.latency
+
+    eng.process(prog())
+    eng.run()
+    assert result["service"] == pytest.approx(0.021)
+    assert result["latency"] == pytest.approx(0.071)
+
+
+def test_probe_ignores_other_processes_cpu():
+    eng = Engine()
+    result = {}
+
+    def background():
+        while True:
+            yield eng.charge(0.010)
+
+    def measured():
+        probe = OperationProbe(eng).start()
+        yield eng.timeout(0.100)
+        probe.stop()
+        result["service"] = probe.service_time
+
+    bg = eng.process(background())
+    eng.process(measured())
+    eng.run(until=0.2)
+    bg.kill()
+    assert result["service"] == 0.0
+
+
+def test_probe_outside_process_rejected():
+    with pytest.raises(RuntimeError):
+        OperationProbe(Engine()).start()

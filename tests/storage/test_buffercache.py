@@ -1,0 +1,73 @@
+"""Buffer cache: LRU behaviour, hit/miss accounting, invalidation."""
+
+import pytest
+
+from repro.storage import BufferCache
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        BufferCache(0)
+
+
+def test_put_get():
+    c = BufferCache(4)
+    c.put(1, 10, b"a")
+    assert c.get(1, 10) == b"a"
+    assert c.hits == 1
+    assert c.misses == 0
+
+
+def test_miss_counted():
+    c = BufferCache(4)
+    assert c.get(1, 10) is None
+    assert c.misses == 1
+
+
+def test_lru_eviction_order():
+    c = BufferCache(2)
+    c.put(1, 1, b"a")
+    c.put(1, 2, b"b")
+    c.get(1, 1)          # touch 1: now 2 is LRU
+    c.put(1, 3, b"c")    # evicts 2
+    assert c.get(1, 2) is None
+    assert c.get(1, 1) == b"a"
+    assert c.get(1, 3) == b"c"
+
+
+def test_put_refreshes_recency():
+    c = BufferCache(2)
+    c.put(1, 1, b"a")
+    c.put(1, 2, b"b")
+    c.put(1, 1, b"a2")   # re-put refreshes
+    c.put(1, 3, b"c")    # evicts 2
+    assert c.get(1, 1) == b"a2"
+    assert c.get(1, 2) is None
+
+
+def test_volumes_do_not_collide():
+    c = BufferCache(4)
+    c.put(1, 10, b"v1")
+    c.put(2, 10, b"v2")
+    assert c.get(1, 10) == b"v1"
+    assert c.get(2, 10) == b"v2"
+
+
+def test_invalidate_single_and_volume():
+    c = BufferCache(8)
+    c.put(1, 1, b"a")
+    c.put(1, 2, b"b")
+    c.put(2, 1, b"c")
+    c.invalidate(1, 1)
+    assert c.get(1, 1) is None
+    c.invalidate_volume(1)
+    assert c.get(1, 2) is None
+    assert c.get(2, 1) == b"c"
+
+
+def test_clear_models_crash():
+    c = BufferCache(8)
+    c.put(1, 1, b"a")
+    c.clear()
+    assert len(c) == 0
+    assert c.get(1, 1) is None

@@ -1,0 +1,61 @@
+"""Property-based LRU cache check against a reference model."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import BufferCache
+
+CAPACITY = 4
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.integers(0, 9), st.binary(min_size=1, max_size=4)),
+        st.tuples(st.just("get"), st.integers(0, 9)),
+        st.tuples(st.just("invalidate"), st.integers(0, 9)),
+    ),
+    max_size=40,
+)
+
+
+class ModelLru:
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.items = OrderedDict()
+
+    def put(self, key, value):
+        self.items[key] = value
+        self.items.move_to_end(key)
+        while len(self.items) > self.capacity:
+            self.items.popitem(last=False)
+
+    def get(self, key):
+        if key not in self.items:
+            return None
+        self.items.move_to_end(key)
+        return self.items[key]
+
+    def invalidate(self, key):
+        self.items.pop(key, None)
+
+
+@settings(max_examples=200)
+@given(ops)
+def test_cache_matches_reference_lru(operations):
+    cache = BufferCache(CAPACITY)
+    model = ModelLru(CAPACITY)
+    for op in operations:
+        if op[0] == "put":
+            _t, block, data = op
+            cache.put(1, block, data)
+            model.put(block, bytes(data))
+        elif op[0] == "get":
+            _t, block = op
+            assert cache.get(1, block) == model.get(block)
+        else:
+            _t, block = op
+            cache.invalidate(1, block)
+            model.invalidate(block)
+        assert len(cache) == len(model.items)
+        assert len(cache) <= CAPACITY

@@ -1,0 +1,98 @@
+"""Disk: timing, FIFO arm, categorized accounting, durability."""
+
+import pytest
+
+from repro.storage import Disk, IOCategory
+from tests.conftest import drive
+
+
+def test_write_then_read_round_trip(eng, cost):
+    disk = Disk(eng, cost)
+
+    def prog():
+        yield from disk.write_block(7, b"hello")
+        return (yield from disk.read_block(7))
+
+    data = drive(eng, prog())
+    assert data == b"hello"
+    assert eng.now == pytest.approx(2 * cost.disk_io_time)
+
+
+def test_unwritten_block_reads_zeros(eng, cost):
+    disk = Disk(eng, cost)
+
+    def prog():
+        return (yield from disk.read_block(99))
+
+    assert drive(eng, prog()) == bytes(cost.page_size)
+
+
+def test_oversized_block_rejected(eng, cost):
+    disk = Disk(eng, cost)
+
+    def prog():
+        yield from disk.write_block(1, b"x" * (cost.page_size + 1))
+
+    with pytest.raises(ValueError):
+        drive(eng, prog())
+
+
+def test_io_accounting_by_category(eng, cost):
+    disk = Disk(eng, cost)
+
+    def prog():
+        yield from disk.write_block(1, b"d", IOCategory.DATA_WRITE)
+        yield from disk.write_block(2, b"i", IOCategory.INODE_WRITE)
+        yield from disk.write_block(3, b"l", IOCategory.LOG_WRITE)
+        yield from disk.read_block(1, IOCategory.DATA_READ)
+
+    drive(eng, prog())
+    s = disk.stats
+    assert s.get(IOCategory.DATA_WRITE) == 1
+    assert s.get(IOCategory.INODE_WRITE) == 1
+    assert s.get(IOCategory.LOG_WRITE) == 1
+    assert s.get(IOCategory.DATA_READ) == 1
+    assert s.get("io.total") == 4
+    assert s.total("io.write") == 3
+
+
+def test_concurrent_requests_serialize_on_the_arm(eng, cost):
+    disk = Disk(eng, cost)
+    done = []
+
+    def writer(tag):
+        yield from disk.write_block(tag, b"x")
+        done.append((tag, eng.now))
+
+    for t in range(3):
+        eng.process(writer(t))
+    eng.run()
+    times = [t for _tag, t in done]
+    assert times == pytest.approx(
+        [cost.disk_io_time, 2 * cost.disk_io_time, 3 * cost.disk_io_time]
+    )
+
+
+def test_free_block_erases_contents(eng, cost):
+    disk = Disk(eng, cost)
+
+    def prog():
+        yield from disk.write_block(5, b"secret")
+        disk.free_block(5)
+        return (yield from disk.read_block(5))
+
+    assert drive(eng, prog()) == bytes(cost.page_size)
+
+
+def test_peek_is_synchronous_and_nonbilling(eng, cost):
+    disk = Disk(eng, cost)
+
+    def prog():
+        yield from disk.write_block(1, b"abc")
+
+    drive(eng, prog())
+    before = disk.stats.get("io.total")
+    assert disk.peek(1) == b"abc"
+    assert disk.exists(1)
+    assert not disk.exists(2)
+    assert disk.stats.get("io.total") == before

@@ -1,0 +1,50 @@
+"""Log files: durability, footnote-9 I/O accounting, truncation."""
+
+from repro.storage import LogFile, Volume
+from tests.conftest import drive
+
+
+def make(eng, cost, optimized):
+    vol = Volume(eng, cost, vol_id=1)
+    return vol, LogFile(eng, cost, vol, name="prepare", optimized=optimized)
+
+
+def test_append_and_scan(eng, cost):
+    vol, log = make(eng, cost, optimized=True)
+    drive(eng, log.append({"tid": 1, "status": "unknown"}))
+    drive(eng, log.append({"tid": 1, "status": "committed"}))
+    entries = log.entries()
+    assert [e["status"] for e in entries] == ["unknown", "committed"]
+    assert len(log) == 2
+
+
+def test_unoptimized_append_costs_two_ios(eng, cost):
+    vol, log = make(eng, cost, optimized=False)
+    drive(eng, log.append({"x": 1}))
+    assert vol.stats.get("io.write.log") == 1
+    assert vol.stats.get("io.write.log_inode") == 1
+
+
+def test_optimized_append_costs_one_io(eng, cost):
+    vol, log = make(eng, cost, optimized=True)
+    drive(eng, log.append({"x": 1}))
+    assert vol.stats.get("io.write.log") == 1
+    assert vol.stats.get("io.write.log_inode") == 0
+
+
+def test_entries_are_isolated_from_caller_mutation(eng, cost):
+    vol, log = make(eng, cost, optimized=True)
+    record = {"files": [1, 2]}
+    drive(eng, log.append(record))
+    record["files"].append(3)  # caller mutates after the durable write
+    assert log.entries()[0]["files"] == [1, 2]
+    log.entries()[0]["files"].append(99)  # reader mutates a scan copy
+    assert log.entries()[0]["files"] == [1, 2]
+
+
+def test_remove_where_garbage_collects(eng, cost):
+    vol, log = make(eng, cost, optimized=True)
+    drive(eng, log.append({"tid": 1}))
+    drive(eng, log.append({"tid": 2}))
+    log.remove_where(lambda e: e["tid"] == 1)
+    assert [e["tid"] for e in log.entries()] == [2]

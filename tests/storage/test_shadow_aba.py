@@ -1,0 +1,98 @@
+"""Regression: the merge-base ABA hazard.
+
+An intentions list names the committed image it was differenced against
+by block number.  If the allocator reissued freed numbers, this
+sequence lost updates (found by the conservation property tests):
+
+1. T1 flushes; merge base = block X.
+2. T2..Tn commit the same page repeatedly; block X is freed and -- with
+   a recycling allocator -- eventually REISSUED for some Tk's image.
+3. T1 applies: current block == X == its recorded merge base, so the
+   equality check concludes "nothing changed since my flush" and
+   installs T1's stale image directly, silently discarding T2..Tk.
+
+The fix retires block numbers forever.  This test reconstructs the
+exact interleaving and asserts every committed record survives.
+"""
+
+from repro.storage import OpenFileState, Volume
+from tests.conftest import drive
+
+PAGE = 0
+REC = 12  # record width; all records on one page
+
+
+def test_interleaved_prepare_apply_never_loses_updates(eng, cost):
+    vol = Volume(eng, cost, vol_id=1)
+    ino = drive(eng, vol.create_file())
+    f = OpenFileState(eng, cost, vol, ino)
+
+    def setup():
+        yield from f.write(("proc", 0), 0, b"\x00" * 16 * REC)
+        yield from f.commit(("proc", 0))
+
+    drive(eng, setup())
+
+    # T1 writes record 0 and prepares, pinning a merge base.
+    def t1_prepare():
+        yield from f.write(("txn", 1), 0, b"1" * REC)
+        return (yield from f.flush(("txn", 1)))
+
+    t1_intents = drive(eng, t1_prepare())
+
+    # A storm of other transactions commits the same page, churning the
+    # allocator far past the point where a recycling allocator would
+    # have reissued T1's merge-base block number.
+    def storm():
+        for k in range(2, 12):
+            owner = ("txn", k)
+            yield from f.write(owner, (k % 14 + 1) * REC, bytes([48 + k]) * REC)
+            yield from f.commit(owner)
+
+    drive(eng, storm())
+
+    # T1 finally applies.  Its merge base is long gone; the apply must
+    # detect that and re-merge rather than install the stale image.
+    drive(eng, f.apply(t1_intents))
+
+    fresh = OpenFileState(eng, cost, vol, ino)
+    data = drive(eng, fresh.read(0, 16 * REC))
+    assert data[0:REC] == b"1" * REC  # T1's record
+    for k in range(2, 12):
+        lo = (k % 14 + 1) * REC
+        assert data[lo:lo + REC] == bytes([48 + k]) * REC, (
+            "storm transaction %d's record was lost" % k
+        )
+
+
+def test_many_owners_one_page_all_commits_survive(eng, cost):
+    """Sixteen owners, sixteen disjoint records, one physical page,
+    commits in interleaved prepare/apply order."""
+    vol = Volume(eng, cost, vol_id=1)
+    ino = drive(eng, vol.create_file())
+    f = OpenFileState(eng, cost, vol, ino)
+
+    def setup():
+        yield from f.write(("proc", 0), 0, b"." * 16 * REC)
+        yield from f.commit(("proc", 0))
+
+    drive(eng, setup())
+
+    def run():
+        pending = []
+        for k in range(16):
+            owner = ("txn", k)
+            yield from f.write(owner, k * REC, bytes([65 + k]) * REC)
+            pending.append((yield from f.flush(owner)))
+            # Apply with a two-behind lag so merge bases are always stale.
+            if len(pending) >= 3:
+                yield from f.apply(pending.pop(0))
+        for intents in pending:
+            yield from f.apply(intents)
+
+    drive(eng, run())
+    fresh = OpenFileState(eng, cost, vol, ino)
+    data = drive(eng, fresh.read(0, 16 * REC))
+    for k in range(16):
+        assert data[k * REC:(k + 1) * REC] == bytes([65 + k]) * REC
+    assert f.is_idle()

@@ -1,0 +1,176 @@
+"""Deeper storage scenarios: sparse files, cache pressure, big files,
+multi-page records, disk queue behaviour."""
+
+import pytest
+
+from repro.storage import BufferCache, OpenFileState, Volume
+from tests.conftest import drive
+
+A = ("txn", 1)
+B = ("txn", 2)
+
+
+@pytest.fixture
+def vol(eng, cost):
+    return Volume(eng, cost, vol_id=1)
+
+
+def make_file(eng, cost, vol, **kw):
+    ino = drive(eng, vol.create_file())
+    return ino, OpenFileState(eng, cost, vol, ino, **kw)
+
+
+def test_sparse_file_holes_commit_as_holes(eng, cost, vol):
+    """Pages never written get no blocks: a hole costs nothing."""
+    ino, f = make_file(eng, cost, vol)
+    psize = cost.page_size
+
+    def prog():
+        yield from f.write(A, 10 * psize, b"tail")
+        yield from f.commit(A)
+
+    drive(eng, prog())
+    inode = vol.inode(ino)
+    assert inode.size == 10 * psize + 4
+    assert inode.pages[:10] == [None] * 10
+    assert inode.pages[10] is not None
+    # Reading a hole is free of disk I/O and returns zeros.
+    fresh = OpenFileState(eng, cost, vol, ino)
+    before = vol.stats.get("io.read.data")
+    assert drive(eng, fresh.read(0, 8)) == bytes(8)
+    assert vol.stats.get("io.read.data") == before
+
+
+def test_record_straddling_page_boundary(eng, cost, vol):
+    ino, f = make_file(eng, cost, vol)
+    psize = cost.page_size
+    record = b"R" * 100
+
+    def prog():
+        yield from f.write(("proc", 0), 0, b"." * (2 * psize))
+        yield from f.commit(("proc", 0))
+        yield from f.write(A, psize - 50, record)   # 50 bytes each side
+        yield from f.write(B, 0, b"B" * 10)          # co-resident on page 0
+        yield from f.commit(A)
+
+    drive(eng, prog())
+    fresh = OpenFileState(eng, cost, vol, ino)
+    data = drive(eng, fresh.read(psize - 50, 100))
+    assert data == record
+    assert drive(eng, fresh.read(0, 10)) == b"." * 10  # B uncommitted
+
+
+def test_straddling_abort_restores_both_pages(eng, cost, vol):
+    _ino, f = make_file(eng, cost, vol)
+    psize = cost.page_size
+
+    def prog():
+        yield from f.write(("proc", 0), 0, b"." * (2 * psize))
+        yield from f.commit(("proc", 0))
+        yield from f.write(B, 10, b"keepme")
+        yield from f.write(A, psize - 50, b"R" * 100)
+        yield from f.abort(A)
+
+    drive(eng, prog())
+    assert drive(eng, f.read(psize - 50, 100)) == b"." * 100
+    assert drive(eng, f.read(10, 6)) == b"keepme"
+
+
+def test_cache_pressure_forces_rereads(eng, cost):
+    """With a tiny cache, repeated cold reads hit the disk; a large
+    cache absorbs them -- and the I/O counters prove it."""
+    def run(cache_pages):
+        engine_ios = {}
+        from repro.sim import Engine
+
+        eng2 = Engine()
+        vol2 = Volume(eng2, cost, vol_id=1, cache=BufferCache(cache_pages))
+        ino, f = make_file(eng2, cost, vol2)
+
+        def prog():
+            yield from f.write(("proc", 0), 0, b"x" * (8 * cost.page_size))
+            yield from f.commit(("proc", 0))
+            vol2.cache.clear()
+            for _round in range(3):
+                for page in range(8):
+                    yield from f.read(page * cost.page_size, 10)
+
+        drive(eng2, prog())
+        return vol2.stats.get("io.read.data")
+
+    small = run(2)
+    large = run(64)
+    assert small > large
+    assert large == 8  # one cold read per page, then cached
+
+
+def test_interleaved_commits_different_files(eng, cost, vol):
+    """Two files on one volume: commits interleave on the shared disk
+    without corrupting either."""
+    ino1, f1 = make_file(eng, cost, vol)
+    ino2, f2 = make_file(eng, cost, vol)
+
+    def writer(f, owner, payload):
+        yield from f.write(owner, 0, payload)
+        yield from f.commit(owner)
+
+    eng.process(writer(f1, A, b"file-one"))
+    eng.process(writer(f2, B, b"file-two"))
+    eng.run()
+    fresh1 = OpenFileState(eng, cost, vol, ino1)
+    fresh2 = OpenFileState(eng, cost, vol, ino2)
+    assert drive(eng, fresh1.read(0, 8)) == b"file-one"
+    assert drive(eng, fresh2.read(0, 8)) == b"file-two"
+
+
+def test_large_file_iografts_only_touched_indirect_blocks(eng, cost):
+    """Updating one page of a 100-page file rewrites one data block,
+    the descriptor, and exactly one indirect block."""
+    vol = Volume(eng, cost, vol_id=1, max_direct=10)
+    ino, f = make_file(eng, cost, vol)
+
+    def setup():
+        yield from f.write(("proc", 0), 0, b"z" * (100 * cost.page_size))
+        yield from f.commit(("proc", 0))
+
+    drive(eng, setup())
+    snap = vol.stats.snapshot()
+
+    def update():
+        yield from f.write(A, 55 * cost.page_size, b"new")
+        yield from f.commit(A)
+
+    drive(eng, update())
+    delta = vol.stats.delta_since(snap)
+    assert delta.get("io.write.data", 0) == 1
+    assert delta.get("io.write.inode", 0) == 2  # descriptor + 1 indirect
+
+
+def test_empty_commit_after_abort_is_clean(eng, cost, vol):
+    _ino, f = make_file(eng, cost, vol)
+
+    def prog():
+        yield from f.write(A, 0, b"x")
+        yield from f.abort(A)
+        yield from f.commit(A)  # nothing left to commit
+
+    drive(eng, prog())
+    assert f.is_idle()
+
+
+def test_many_small_files_on_one_volume(eng, cost, vol):
+    def prog():
+        inos = []
+        for i in range(30):
+            ino = yield from vol.create_file()
+            state = OpenFileState(eng, cost, vol, ino)
+            yield from state.write(("proc", 0), 0, b"#%02d" % i)
+            yield from state.commit(("proc", 0))
+            inos.append(ino)
+        return inos
+
+    inos = drive(eng, prog())
+    assert len(set(inos)) == 30
+    for i, ino in enumerate(inos):
+        fresh = OpenFileState(eng, cost, vol, ino)
+        assert drive(eng, fresh.read(0, 3)) == b"#%02d" % i

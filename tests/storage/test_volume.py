@@ -1,0 +1,130 @@
+"""Volume: inode table, allocator, cached I/O, atomic inode install."""
+
+import pytest
+
+from repro.storage import BufferCache, Inode, Volume, inode_write_ios
+from tests.conftest import drive
+
+
+@pytest.fixture
+def vol(eng, cost):
+    return Volume(eng, cost, vol_id=1)
+
+
+def test_create_file_costs_one_inode_write(eng, cost, vol):
+    def prog():
+        return (yield from vol.create_file())
+
+    ino = drive(eng, prog())
+    assert vol.exists(ino)
+    assert vol.stats.get("io.write.inode") == 1
+    assert vol.inode(ino).size == 0
+
+
+def test_inode_returns_copy(eng, cost, vol):
+    ino = drive(eng, vol.create_file())
+    a = vol.inode(ino)
+    a.size = 999
+    a.pages.append(42)
+    b = vol.inode(ino)
+    assert b.size == 0
+    assert b.pages == []
+
+
+def test_missing_inode_raises(vol):
+    with pytest.raises(FileNotFoundError):
+        vol.inode(12345)
+
+
+def test_install_inode_updates_table_atomically(eng, cost, vol):
+    ino = drive(eng, vol.create_file())
+    newer = Inode(ino=ino, size=100, version=2, pages=[vol.alloc_block()])
+    drive(eng, vol.install_inode(newer))
+    got = vol.inode(ino)
+    assert got.size == 100
+    assert got.version == 2
+    assert got.pages == newer.pages
+
+
+def test_install_inode_io_grows_with_indirection(eng, cost):
+    vol = Volume(eng, cost, vol_id=1, max_direct=4)
+    ino = drive(eng, vol.create_file())
+    before = vol.stats.get("io.write.inode")
+    big = Inode(ino=ino, size=9 * cost.page_size, pages=[vol.alloc_block() for _ in range(9)])
+    drive(eng, vol.install_inode(big))
+    # 9 pages, 4 direct -> 1 descriptor + 2 indirect blocks.
+    assert vol.stats.get("io.write.inode") - before == 3
+
+
+def test_inode_write_ios_formula():
+    assert inode_write_ios(0, 10) == 1
+    assert inode_write_ios(10, 10) == 1
+    assert inode_write_ios(11, 10) == 2
+    assert inode_write_ios(20, 10) == 2
+    assert inode_write_ios(21, 10) == 3
+
+
+def test_alloc_block_numbers_never_reused(vol):
+    """Reusing a freed block number would defeat the merge-base check
+    in the shadow commit (ABA): numbers are retired forever."""
+    a = vol.alloc_block()
+    b = vol.alloc_block()
+    assert a != b
+    vol.free_block(a)
+    assert vol.alloc_block() not in (a, b)
+
+
+def test_cached_read_hits_skip_disk(eng, cost, vol):
+    def prog():
+        block = vol.alloc_block()
+        yield from vol.write_block(block, b"data")
+        before = vol.stats.get("io.read.data")
+        got = yield from vol.read_block_cached(block)
+        return got, vol.stats.get("io.read.data") - before
+
+    got, extra_reads = drive(eng, prog())
+    assert got == b"data"
+    assert extra_reads == 0  # write-through populated the cache
+
+
+def test_cache_miss_reads_disk_then_caches(eng, cost):
+    vol = Volume(eng, cost, vol_id=1, cache=BufferCache(8))
+
+    def prog():
+        block = vol.alloc_block()
+        yield from vol.write_block(block, b"xyz")
+        vol.cache.clear()  # crash wipes the cache
+        r1 = vol.stats.get("io.read.data")
+        yield from vol.read_block_cached(block)
+        r2 = vol.stats.get("io.read.data")
+        yield from vol.read_block_cached(block)
+        r3 = vol.stats.get("io.read.data")
+        return r2 - r1, r3 - r2
+
+    miss_io, hit_io = drive(eng, prog())
+    assert miss_io == 1
+    assert hit_io == 0
+
+
+def test_remove_file_frees_blocks(eng, cost, vol):
+    ino = drive(eng, vol.create_file())
+    block = vol.alloc_block()
+
+    def fill():
+        yield from vol.write_block(block, b"contents")
+        yield from vol.install_inode(Inode(ino=ino, size=10, pages=[block]))
+
+    drive(eng, fill())
+    vol.remove_file(ino)
+    assert not vol.exists(ino)
+    assert not vol.disk.exists(block)  # storage released
+
+
+def test_free_block_invalidates_cache(eng, cost, vol):
+    def prog():
+        block = vol.alloc_block()
+        yield from vol.write_block(block, b"old")
+        vol.free_block(block)
+        return (yield from vol.read_block_cached(block))
+
+    assert drive(eng, prog()) == bytes(cost.page_size)

@@ -1,0 +1,125 @@
+"""WAL redo recovery: committed-but-uncheckpointed data survives a
+crash; uncommitted data does not."""
+
+import pytest
+
+from repro.storage import Volume, WalFile
+from tests.conftest import drive
+
+A = ("txn", 1)
+B = ("txn", 2)
+
+
+@pytest.fixture
+def vol(eng, cost):
+    return Volume(eng, cost, vol_id=1)
+
+
+def make(eng, cost, vol, initial=b""):
+    ino = drive(eng, vol.create_file())
+    f = WalFile(eng, cost, vol, ino)
+    if initial:
+        def setup():
+            yield from f.write(("proc", 0), 0, initial)
+            yield from f.commit(("proc", 0))
+            yield from f.checkpoint()
+        drive(eng, setup())
+    return ino, f
+
+
+def crash_and_recover(eng, cost, vol, ino, old):
+    """In-core state dies; a fresh WalFile sharing the durable log
+    replays redo."""
+    vol.cache.clear()
+    fresh = WalFile(eng, cost, vol, ino, log=old.log)
+    replayed = drive(eng, fresh.recover())
+    return fresh, replayed
+
+
+def test_committed_uncheckpointed_data_replays(eng, cost, vol):
+    ino, f = make(eng, cost, vol, initial=b"-" * 100)
+
+    def work():
+        yield from f.write(A, 10, b"committed!")
+        yield from f.commit(A)
+        # crash BEFORE checkpoint
+
+    drive(eng, work())
+    fresh, replayed = crash_and_recover(eng, cost, vol, ino, f)
+    assert replayed == 1
+    assert drive(eng, fresh.read(10, 10)) == b"committed!"
+
+
+def test_uncommitted_data_lost(eng, cost, vol):
+    ino, f = make(eng, cost, vol, initial=b"-" * 100)
+
+    def work():
+        yield from f.write(A, 10, b"committed!")
+        yield from f.commit(A)
+        yield from f.write(B, 50, b"volatile..")
+        # B never commits
+
+    drive(eng, work())
+    fresh, _ = crash_and_recover(eng, cost, vol, ino, f)
+    assert drive(eng, fresh.read(10, 10)) == b"committed!"
+    assert drive(eng, fresh.read(50, 10)) == b"-" * 10
+
+
+def test_recovery_replays_extension(eng, cost, vol):
+    ino, f = make(eng, cost, vol)
+
+    def work():
+        yield from f.write(A, 0, b"grown beyond empty")
+        yield from f.commit(A)
+
+    drive(eng, work())
+    fresh, _ = crash_and_recover(eng, cost, vol, ino, f)
+    assert fresh.size == 18
+    assert drive(eng, fresh.read(0, 18)) == b"grown beyond empty"
+    assert vol.inode(ino).size == 18
+
+
+def test_recovery_is_idempotent(eng, cost, vol):
+    ino, f = make(eng, cost, vol, initial=b"-" * 40)
+
+    def work():
+        yield from f.write(A, 0, b"replay-me!")
+        yield from f.commit(A)
+
+    drive(eng, work())
+    fresh, _ = crash_and_recover(eng, cost, vol, ino, f)
+    again, _ = crash_and_recover(eng, cost, vol, ino, fresh)
+    assert drive(eng, again.read(0, 10)) == b"replay-me!"
+
+
+def test_later_commits_win_on_replay(eng, cost, vol):
+    """Redo records replay in log order: the newest committed value of
+    an overwritten range prevails."""
+    ino, f = make(eng, cost, vol, initial=b"-" * 40)
+
+    def work():
+        yield from f.write(A, 0, b"first")
+        yield from f.commit(A)
+        yield from f.write(B, 0, b"SECOND")
+        yield from f.commit(B)
+
+    drive(eng, work())
+    fresh, replayed = crash_and_recover(eng, cost, vol, ino, f)
+    assert replayed == 2
+    assert drive(eng, fresh.read(0, 6)) == b"SECOND"
+
+
+def test_nothing_to_replay_after_checkpoint(eng, cost, vol):
+    ino, f = make(eng, cost, vol, initial=b"-" * 40)
+
+    def work():
+        yield from f.write(A, 0, b"stable")
+        yield from f.commit(A)
+        yield from f.checkpoint()
+
+    drive(eng, work())
+    snap = vol.stats.snapshot()
+    fresh, replayed = crash_and_recover(eng, cost, vol, ino, f)
+    # Replay still scans the log (records remain until log truncation),
+    # but the result equals the checkpointed state.
+    assert drive(eng, fresh.read(0, 6)) == b"stable"

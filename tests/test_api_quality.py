@@ -1,0 +1,76 @@
+"""Meta-tests on the public API surface: documentation and hygiene."""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+PACKAGES = [
+    "repro", "repro.sim", "repro.net", "repro.storage", "repro.fs",
+    "repro.locking", "repro.locus", "repro.core", "repro.analysis",
+    "repro.workloads",
+]
+
+
+def iter_public(module):
+    names = getattr(module, "__all__", None)
+    if names is None:
+        names = [n for n in vars(module) if not n.startswith("_")]
+    for name in names:
+        yield name, getattr(module, name)
+
+
+def test_every_package_imports_and_is_documented():
+    for name in PACKAGES:
+        module = importlib.import_module(name)
+        assert module.__doc__, "%s lacks a module docstring" % name
+
+
+def test_every_submodule_has_a_docstring():
+    for pkg_name in PACKAGES[1:]:
+        pkg = importlib.import_module(pkg_name)
+        for info in pkgutil.iter_modules(pkg.__path__):
+            sub = importlib.import_module("%s.%s" % (pkg_name, info.name))
+            assert sub.__doc__, "%s.%s lacks a docstring" % (pkg_name, info.name)
+
+
+def test_public_classes_and_functions_documented():
+    undocumented = []
+    for pkg_name in PACKAGES:
+        module = importlib.import_module(pkg_name)
+        for name, obj in iter_public(module):
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not inspect.getdoc(obj):
+                    undocumented.append("%s.%s" % (pkg_name, name))
+    assert not undocumented, undocumented
+
+
+def test_public_class_methods_documented():
+    undocumented = []
+    for pkg_name in PACKAGES:
+        module = importlib.import_module(pkg_name)
+        for cls_name, obj in iter_public(module):
+            if not inspect.isclass(obj):
+                continue
+            for meth_name, meth in vars(obj).items():
+                if meth_name.startswith("_"):
+                    continue
+                if inspect.isfunction(meth) and not inspect.getdoc(meth):
+                    undocumented.append(
+                        "%s.%s.%s" % (pkg_name, cls_name, meth_name)
+                    )
+    assert not undocumented, undocumented
+
+
+def test_all_exports_resolve():
+    for pkg_name in PACKAGES:
+        module = importlib.import_module(pkg_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), "%s.__all__ lists missing %s" % (
+                pkg_name, name,
+            )
+
+
+def test_version_is_exposed():
+    assert repro.__version__

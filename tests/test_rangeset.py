@@ -1,0 +1,187 @@
+"""RangeSet: unit tests plus hypothesis properties against a model set."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rangeset import RangeSet
+
+
+# ----------------------------------------------------------------------
+# unit tests
+# ----------------------------------------------------------------------
+
+def test_empty():
+    rs = RangeSet()
+    assert not rs
+    assert len(rs) == 0
+    assert rs.span is None
+    assert 5 not in rs
+
+
+def test_single_run():
+    rs = RangeSet.single(10, 20)
+    assert len(rs) == 10
+    assert rs.span == (10, 20)
+    assert 10 in rs and 19 in rs
+    assert 9 not in rs and 20 not in rs
+
+
+def test_zero_length_add_is_noop():
+    rs = RangeSet()
+    rs.add(5, 5)
+    assert not rs
+
+
+def test_adjacent_runs_coalesce():
+    rs = RangeSet()
+    rs.add(0, 10)
+    rs.add(10, 20)
+    assert rs.runs == ((0, 20),)
+
+
+def test_overlapping_adds_merge():
+    rs = RangeSet()
+    rs.add(0, 10)
+    rs.add(5, 15)
+    rs.add(30, 40)
+    assert rs.runs == ((0, 15), (30, 40))
+
+
+def test_add_bridging_many_runs():
+    rs = RangeSet([(0, 2), (4, 6), (8, 10), (20, 22)])
+    rs.add(1, 9)
+    assert rs.runs == ((0, 10), (20, 22))
+
+
+def test_remove_splits_run():
+    rs = RangeSet.single(0, 100)
+    rs.remove(40, 60)
+    assert rs.runs == ((0, 40), (60, 100))
+
+
+def test_remove_edges_and_miss():
+    rs = RangeSet.single(10, 20)
+    rs.remove(0, 10)      # touches left edge: no-op
+    rs.remove(20, 30)     # touches right edge: no-op
+    assert rs.runs == ((10, 20),)
+    rs.remove(10, 12)
+    rs.remove(18, 25)
+    assert rs.runs == ((12, 18),)
+
+
+def test_invalid_range_rejected():
+    rs = RangeSet()
+    with pytest.raises(ValueError):
+        rs.add(5, 3)
+    with pytest.raises(ValueError):
+        rs.add(-1, 3)
+
+
+def test_union_difference_intersection():
+    a = RangeSet([(0, 10), (20, 30)])
+    b = RangeSet([(5, 25)])
+    assert a.union(b).runs == ((0, 30),)
+    assert a.difference(b).runs == ((0, 5), (25, 30))
+    assert a.intersection(b).runs == ((5, 10), (20, 25))
+
+
+def test_overlaps():
+    rs = RangeSet([(10, 20)])
+    assert rs.overlaps(15, 16)
+    assert rs.overlaps(0, 11)
+    assert not rs.overlaps(20, 30)
+    assert not rs.overlaps(0, 10)
+    assert not rs.overlaps(15, 15)
+
+
+def test_overlaps_set():
+    assert RangeSet([(0, 5)]).overlaps_set(RangeSet([(4, 9)]))
+    assert not RangeSet([(0, 5)]).overlaps_set(RangeSet([(5, 9)]))
+
+
+def test_clamp():
+    rs = RangeSet([(0, 10), (20, 30)])
+    assert rs.clamp(5, 25).runs == ((5, 10), (20, 25))
+
+
+def test_shift():
+    rs = RangeSet([(10, 20)])
+    assert rs.shift(-10).runs == ((0, 10),)
+    assert rs.shift(5).runs == ((15, 25),)
+    with pytest.raises(ValueError):
+        rs.shift(-11)
+
+
+def test_copy_is_independent():
+    a = RangeSet([(0, 10)])
+    b = a.copy()
+    b.add(20, 30)
+    assert a.runs == ((0, 10),)
+
+
+def test_equality_and_hash():
+    a = RangeSet([(0, 5), (5, 10)])
+    b = RangeSet([(0, 10)])
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != RangeSet([(0, 11)])
+
+
+# ----------------------------------------------------------------------
+# property-based tests: RangeSet vs a model built on Python sets
+# ----------------------------------------------------------------------
+
+ranges = st.tuples(st.integers(0, 60), st.integers(0, 60)).map(
+    lambda t: (min(t), max(t))
+)
+ops = st.lists(st.tuples(st.sampled_from(["add", "remove"]), ranges), max_size=25)
+
+
+def apply_ops(operations):
+    rs, model = RangeSet(), set()
+    for op, (s, e) in operations:
+        if op == "add":
+            rs.add(s, e)
+            model |= set(range(s, e))
+        else:
+            rs.remove(s, e)
+            model -= set(range(s, e))
+    return rs, model
+
+
+@settings(max_examples=200)
+@given(ops)
+def test_prop_membership_matches_model(operations):
+    rs, model = apply_ops(operations)
+    for point in range(62):
+        assert (point in rs) == (point in model)
+
+
+@settings(max_examples=200)
+@given(ops)
+def test_prop_length_matches_model(operations):
+    rs, model = apply_ops(operations)
+    assert len(rs) == len(model)
+
+
+@settings(max_examples=200)
+@given(ops)
+def test_prop_runs_are_normalized(operations):
+    rs, _model = apply_ops(operations)
+    runs = rs.runs
+    for s, e in runs:
+        assert s < e
+    for (s1, e1), (s2, e2) in zip(runs, runs[1:]):
+        assert e1 < s2  # disjoint AND non-adjacent (coalesced)
+
+
+@settings(max_examples=100)
+@given(ops, ops)
+def test_prop_algebra_matches_model(ops_a, ops_b):
+    a, model_a = apply_ops(ops_a)
+    b, model_b = apply_ops(ops_b)
+    assert len(a.union(b)) == len(model_a | model_b)
+    assert len(a.difference(b)) == len(model_a - model_b)
+    assert len(a.intersection(b)) == len(model_a & model_b)
+    assert a.overlaps_set(b) == bool(model_a & model_b)

@@ -1,0 +1,65 @@
+"""Banking workload helpers."""
+
+import pytest
+
+from repro import Cluster, drive
+from repro.workloads import AccountFile, audit_program, transfer_program
+
+
+def test_account_file_layout():
+    accounts = AccountFile("/bank", 10, initial_balance=250)
+    assert accounts.file_size == 120
+    assert accounts.offset_of(0) == 0
+    assert accounts.offset_of(9) == 108
+    with pytest.raises(IndexError):
+        accounts.offset_of(10)
+    assert accounts.total_expected() == 2500
+
+
+def test_encode_decode_round_trip():
+    assert AccountFile.decode(AccountFile.encode(12345)) == 12345
+    assert len(AccountFile.encode(0)) == 12
+    img = AccountFile("/b", 3, initial_balance=7).initial_image()
+    assert len(img) == 36
+    assert AccountFile.decode(img[0:12]) == 7
+
+
+@pytest.fixture
+def rig():
+    cluster = Cluster(site_ids=(1,))
+    accounts = AccountFile("/bank", 4, initial_balance=100)
+    drive(cluster.engine, cluster.create_file(accounts.path, site_id=1))
+    drive(cluster.engine, cluster.populate(accounts.path, accounts.initial_image()))
+    return cluster, accounts
+
+
+def balances(cluster, accounts):
+    data = drive(cluster.engine,
+                 cluster.committed_bytes(accounts.path, 0, accounts.file_size))
+    return [accounts.decode(data[i * 12:(i + 1) * 12])
+            for i in range(accounts.account_count)]
+
+
+def test_transfer_moves_money(rig):
+    cluster, accounts = rig
+    p = cluster.spawn(transfer_program(accounts, 0, 1, 30), site_id=1)
+    cluster.run()
+    assert p.exit_value == "ok"
+    assert balances(cluster, accounts) == [70, 130, 100, 100]
+
+
+def test_transfer_insufficient_funds_aborts(rig):
+    cluster, accounts = rig
+    p = cluster.spawn(transfer_program(accounts, 0, 1, 500), site_id=1)
+    cluster.run()
+    assert p.exit_value == "insufficient-funds"
+    assert balances(cluster, accounts) == [100, 100, 100, 100]
+
+
+def test_audit_sums_consistently(rig):
+    cluster, accounts = rig
+    result = {}
+    p = cluster.spawn(audit_program(accounts, result), site_id=1)
+    cluster.run()
+    assert p.exit_value == 400
+    assert result["total"] == 400

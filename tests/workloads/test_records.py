@@ -1,0 +1,85 @@
+"""Record workload generators."""
+
+import pytest
+
+from repro.workloads import RecordLayout, RecordWorkload
+
+
+def test_layout_offsets_and_size():
+    layout = RecordLayout(record_size=100, record_count=50)
+    assert layout.file_size == 5000
+    assert layout.offset_of(0) == 0
+    assert layout.offset_of(49) == 4900
+    with pytest.raises(IndexError):
+        layout.offset_of(50)
+    with pytest.raises(IndexError):
+        layout.offset_of(-1)
+
+
+def test_records_per_page():
+    layout = RecordLayout(record_size=128, record_count=8)
+    assert layout.records_per_page(1024) == 8.0
+
+
+def test_pages_touched_small_records():
+    layout = RecordLayout(record_size=100, record_count=100)
+    # Records 0 and 1 share page 0; record 11 lands on page 1.
+    assert layout.pages_touched([0, 1, 11], page_size=1024) == [0, 1]
+
+
+def test_pages_touched_straddling_record():
+    layout = RecordLayout(record_size=100, record_count=100)
+    # Record 10 covers bytes [1000, 1100): pages 0 and 1.
+    assert layout.pages_touched([10], page_size=1024) == [0, 1]
+
+
+def test_pages_touched_large_records():
+    layout = RecordLayout(record_size=3000, record_count=10)
+    assert layout.pages_touched([0], page_size=1024) == [0, 1, 2]
+
+
+def test_workload_is_seed_deterministic():
+    layout = RecordLayout(record_size=64, record_count=128)
+    a = RecordWorkload(layout, seed=42).transactions(10)
+    b = RecordWorkload(layout, seed=42).transactions(10)
+    assert [(t.reads, t.writes) for t in a] == [(t.reads, t.writes) for t in b]
+    c = RecordWorkload(layout, seed=43).transactions(10)
+    assert [(t.reads, t.writes) for t in a] != [(t.reads, t.writes) for t in c]
+
+
+def test_workload_respects_counts():
+    layout = RecordLayout(record_size=64, record_count=128)
+    txn = RecordWorkload(layout, reads_per_txn=3, writes_per_txn=5, seed=1
+                         ).next_transaction()
+    assert len(txn.reads) == 3
+    assert len(txn.writes) == 5
+    assert all(0 <= r < 128 for r in txn.touched())
+
+
+def test_hot_set_skews_accesses():
+    layout = RecordLayout(record_size=64, record_count=1000)
+    wl = RecordWorkload(layout, reads_per_txn=0, writes_per_txn=1,
+                        hot_fraction=0.01, hot_weight=0.9, seed=7)
+    hits = sum(
+        1 for t in wl.transactions(500) if t.writes[0] < 10
+    )
+    assert hits > 350  # ~90% should land in the 1% hot set
+
+
+def test_invalid_hot_parameters_rejected():
+    layout = RecordLayout(record_size=64, record_count=10)
+    with pytest.raises(ValueError):
+        RecordWorkload(layout, hot_fraction=1.5)
+    with pytest.raises(ValueError):
+        RecordWorkload(layout, hot_weight=-0.1)
+
+
+def test_disjoint_writer_slots():
+    layout = RecordLayout(record_size=64, record_count=100)
+    wl = RecordWorkload(layout, seed=0)
+    slots = wl.disjoint_writer_slots(4)
+    assert len(slots) == 4
+    flat = [r for group in slots for r in group]
+    assert len(flat) == len(set(flat))  # no overlap
+    with pytest.raises(ValueError):
+        wl.disjoint_writer_slots(1000)
