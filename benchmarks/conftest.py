@@ -8,15 +8,24 @@ is the cost of running the simulation itself -- useful for tracking the
 simulator, not part of the reproduction.
 """
 
+import os
+
 import pytest
 
 from repro import Cluster, SystemConfig, drive
 
 
 def build_cluster(nsites=2, config=None, files=()):
-    """A cluster with ``files``: iterable of (path, site_id, contents)."""
+    """A cluster with ``files``: iterable of (path, site_id, contents).
+
+    Set ``REPRO_OBS=1`` to run every benchmark under full observability
+    -- instrumentation charges no virtual time, so all reproduced
+    numbers must come out identical (docs/OBSERVABILITY.md).
+    """
     cluster = Cluster(site_ids=tuple(range(1, nsites + 1)),
                       config=config or SystemConfig())
+    if os.environ.get("REPRO_OBS"):
+        cluster.enable_observability()
     for path, site_id, contents in files:
         drive(cluster.engine, cluster.create_file(path, site_id=site_id))
         if contents:

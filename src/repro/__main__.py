@@ -101,10 +101,15 @@ def main(argv=None):
                         help="print the cluster inspection tables")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the event trace")
+    parser.add_argument("--trace-out", metavar="FILE.json", default=None,
+                        help="write a Chrome trace of causal spans "
+                             "(load at https://ui.perfetto.dev)")
     args = parser.parse_args(argv)
 
     cluster = Cluster(site_ids=(1, 2, 3))
     tracer = cluster.enable_tracing()
+    if args.trace_out:
+        cluster.enable_observability()
     print("== scenario: %s ==" % args.scenario)
     SCENARIOS[args.scenario](cluster, tracer)
     if not args.quiet:
@@ -116,6 +121,11 @@ def main(argv=None):
     if args.report:
         print()
         print(cluster_report(cluster))
+    if args.trace_out:
+        from repro.obs import to_chrome_trace, write_json
+
+        write_json(args.trace_out, to_chrome_trace(cluster.obs.spans))
+        print("\nwrote %s (load at https://ui.perfetto.dev)" % args.trace_out)
     return 0
 
 

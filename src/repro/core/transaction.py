@@ -49,6 +49,8 @@ class TxnRecord:
         self.coordinator_site = None
         self.participants = ()
         self.abort_reason = None
+        self.commit_started_at = None
+        self.obs_span = None  # root trace span (None unless observability is on)
 
     @property
     def holder(self):
@@ -127,7 +129,15 @@ class TransactionService:
             proc.nesting = 1
             proc.is_txn_top_level = True
             proc.file_list = set()
-            self.registry.create(tid, proc)
+            rec = self.registry.create(tid, proc)
+            obs = self._engine.obs
+            if obs is not None:
+                # Root of the causal trace: every syscall, lock wait,
+                # RPC, and 2PC span of this transaction nests under it.
+                rec.obs_span = obs.span(
+                    "txn", site_id=proc.site_id, root=True,
+                    tid=str(tid), pid=proc.pid,
+                )
         else:
             proc.nesting += 1
 
@@ -230,6 +240,9 @@ class TransactionService:
         sites.difference_update(skip_sites)
         yield from abort_at_participants(self._site, txn.tid, sorted(sites))
         txn.state = TxnState.ABORTED
+        obs = self._engine.obs
+        if obs is not None:
+            obs.end(txn.obs_span, status="aborted")
 
     def _gather_file_list(self, txn):
         out = set(txn.top_proc.file_list)

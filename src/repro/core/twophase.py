@@ -45,6 +45,12 @@ def run_two_phase_commit(site, txn):
     from .transaction import TxnState  # local import avoids a cycle
 
     engine, cost = site.engine, site.cost
+    obs = engine.obs
+    commit_started = engine.now
+    txn.commit_started_at = commit_started
+    span = None
+    if obs is not None:
+        span = obs.span("2pc", site_id=site.site_id, tid=str(txn.tid))
     txn.state = TxnState.PREPARING
     txn.coordinator_site = site.site_id
 
@@ -94,6 +100,9 @@ def run_two_phase_commit(site, txn):
         txn.abort_reason = "prepare failed: %s" % exc
         yield from abort_at_participants(site, txn.tid, participants)
         txn.state = TxnState.ABORTED
+        if obs is not None:
+            obs.end(span, status="aborted")
+            obs.end(getattr(txn, "obs_span", None), status="aborted")
         raise TransactionAborted(txn.tid, txn.abort_reason)
 
     # Step 3: the commit point (Figure 5 step 4) -- an in-place status
@@ -103,11 +112,19 @@ def run_two_phase_commit(site, txn):
     )
     txn.state = TxnState.COMMITTED
     site.trace("2pc.commit_point", tid=str(txn.tid))
+    if obs is not None:
+        # Commit latency as the application sees it: EndTrans to the
+        # commit point, measured at the coordinator (section 6.3's
+        # "at the requesting site" methodology).
+        obs.observe(site.site_id, "commit.latency", engine.now - commit_started)
 
-    # Phase two runs asynchronously (Figure 5 step 5).
+    # Phase two runs asynchronously (Figure 5 step 5).  Spawned before
+    # the coordinator span closes so it inherits the causal context.
     engine.process(
         phase_two(site, txn, participants), name="phase2@%s" % site.site_id
     )
+    if obs is not None:
+        obs.end(span, status="committed")
 
 
 def phase_two(site, txn, participants, retry_delay=0.25, max_rounds=40):
@@ -139,6 +156,16 @@ def phase_two(site, txn, participants, retry_delay=0.25, max_rounds=40):
     if not pending:
         site.coordinator_log.remove_where(lambda e: e.get("tid") == txn.tid)
         txn.state = TxnState.RESOLVED
+        obs = site.engine.obs
+        if obs is not None:
+            obs.end(getattr(txn, "obs_span", None), status="resolved")
+            if txn.commit_started_at is not None:
+                # Full resolution latency: EndTrans through the last
+                # participant ack (the paper's fifth I/O, section 6.1).
+                obs.observe(
+                    site.site_id, "commit.resolve",
+                    site.engine.now - txn.commit_started_at,
+                )
         if site.config.auto_propagate:
             yield from _propagate_replicated(site, txn)
 
@@ -182,6 +209,25 @@ def prepare_participant(site, tid, file_ids, coordinator):
     re-flushes nor duplicates log entries."""
     if tid in site.prepared:
         return {"prepared": True}
+    obs = site.engine.obs
+    span = None
+    if obs is not None:
+        span = obs.span("2pc.prepare", site_id=site.site_id, tid=str(tid),
+                        files=len(file_ids))
+    try:
+        result = yield from _prepare_participant_body(
+            site, tid, file_ids, coordinator
+        )
+    except BaseException:
+        if obs is not None:
+            obs.end(span, status="failed")
+        raise
+    if obs is not None:
+        obs.end(span, status="prepared")
+    return result
+
+
+def _prepare_participant_body(site, tid, file_ids, coordinator):
     holder = ("txn", tid)
     intents_list = []
     for file_id in sorted(file_ids):
@@ -219,6 +265,19 @@ def commit_participant(site, tid):
     """Generator: apply intentions and release retained locks.  Works
     from in-core state or, after a crash, from the prepare logs;
     idempotent either way."""
+    obs = site.engine.obs
+    span = None
+    if obs is not None:
+        span = obs.span("2pc.apply", site_id=site.site_id, tid=str(tid))
+    try:
+        result = yield from _commit_participant_body(site, tid)
+    finally:
+        if obs is not None:
+            obs.end(span, status="applied")
+    return result
+
+
+def _commit_participant_body(site, tid):
     holder = ("txn", tid)
     intents_list = site.prepared.pop(tid, None)
     if intents_list is None:
@@ -239,6 +298,19 @@ def abort_participant(site, tid):
     """Generator: roll back every trace of the transaction at this site:
     in-core working data, prepared shadow blocks (in-core or logged),
     locks, and queued lock waits."""
+    obs = site.engine.obs
+    span = None
+    if obs is not None:
+        span = obs.span("2pc.abort", site_id=site.site_id, tid=str(tid))
+    try:
+        result = yield from _abort_participant_body(site, tid)
+    finally:
+        if obs is not None:
+            obs.end(span, status="aborted")
+    return result
+
+
+def _abort_participant_body(site, tid):
     holder = ("txn", tid)
     # Logged-but-uninstalled shadow blocks (crash between prepare and
     # abort): free them from the durable record.

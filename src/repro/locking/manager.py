@@ -62,9 +62,10 @@ class _Waiter:
 class LockManager:
     """Lock arbitration for the files stored at one site."""
 
-    def __init__(self, engine, cost):
+    def __init__(self, engine, cost, site_id=None):
         self._engine = engine
         self._cost = cost
+        self.site_id = site_id  # observability attribution only
         self._tables = {}       # file_id -> LockTable
         self._queues = {}       # file_id -> deque[_Waiter]
         self._file_states = {}  # file_id -> OpenFileState (rule-2 hook)
@@ -105,9 +106,14 @@ class LockManager:
         request is cancelled (holder aborted).
         """
         yield self._engine.charge(self._cost.instr(self._cost.lock_instructions))
+        obs = self._engine.obs
         table = self.table(file_id)
         blockers = table.conflicts(holder, mode, start, end)
         if not blockers:
+            if obs is not None:
+                # Immediate grants are real zero-wait samples: leaving
+                # them out would inflate the wait percentiles.
+                obs.observe(self.site_id, "lock.wait", 0.0)
             self._do_grant(file_id, holder, mode, start, end, nontrans)
             # A mode *downgrade* (exclusive -> shared) can unblock queued
             # readers; re-examine the waiters.
@@ -120,7 +126,23 @@ class LockManager:
         self._queues.setdefault(file_id, deque()).append(waiter)
         if self.wait_hook is not None:
             self.wait_hook()
-        yield event  # the waker grants before signalling; failure raises
+        span = queued_at = None
+        if obs is not None:
+            queued_at = self._engine.now
+            span = obs.span(
+                "lock.wait", site_id=self.site_id, file=str(file_id),
+                holder=str(holder), mode=mode.name,
+                start=start, end=end,
+            )
+        try:
+            yield event  # the waker grants before signalling; failure raises
+        except BaseException:
+            if obs is not None:
+                obs.end(span, status="cancelled")
+            raise
+        if obs is not None:
+            obs.end(span, status="granted")
+            obs.observe(self.site_id, "lock.wait", self._engine.now - queued_at)
         return True
 
     def _do_grant(self, file_id, holder, mode, start, end, nontrans):

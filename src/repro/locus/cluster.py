@@ -54,6 +54,7 @@ class Cluster:
         self._scan_armed = False
         self._last_waitset = frozenset()
         self.tracer = None
+        self.obs = None
 
     def enable_tracing(self, capacity=100000):
         """Attach a :class:`~repro.locus.trace.Tracer`; every syscall and
@@ -62,6 +63,19 @@ class Cluster:
 
         self.tracer = Tracer(capacity=capacity)
         return self.tracer
+
+    def enable_observability(self, span_capacity=200000, bounds=None):
+        """Attach causal-span tracing and latency histograms.
+
+        Instrumentation is a pure observer: it charges no virtual time,
+        so an instrumented run is event-for-event identical to an
+        uninstrumented one (see docs/OBSERVABILITY.md)."""
+        from repro.obs import Observability
+
+        self.obs = Observability(
+            self.engine, span_capacity=span_capacity, bounds=bounds
+        ).install()
+        return self.obs
 
     # ------------------------------------------------------------------
     # construction
@@ -293,6 +307,8 @@ class Cluster:
                     if self.site(sid).up:
                         yield from abort_participant(self.site(sid), txn.tid)
                 txn.state = TxnState.ABORTED
+                if self.obs is not None:
+                    self.obs.end(txn.obs_span, status="aborted")
             elif unreachable:
                 service = self.site(top_site).txn_service
                 yield from service.abort(

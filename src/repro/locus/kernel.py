@@ -144,6 +144,11 @@ class Kernel:
 
     def sys_open(self, proc, path, write=False, append=False):
         """Syscall backend for :meth:`Syscalls.open`."""
+        return self._spanned(
+            proc, "open", self._sys_open(proc, path, write, append), path=path
+        )
+
+    def _sys_open(self, proc, path, write, append):
         yield from self._syscall(proc)
         self._trace(proc, "open", path=path, write=write, append=append)
         yield self.engine.charge(self.cost.instr(self.cost.open_instructions))
@@ -217,6 +222,11 @@ class Kernel:
 
     def sys_read(self, proc, fd, nbytes):
         """Syscall backend for :meth:`Syscalls.read` (implicit shared locking)."""
+        return self._spanned(
+            proc, "read", self._sys_read(proc, fd, nbytes), fd=fd, nbytes=nbytes
+        )
+
+    def _sys_read(self, proc, fd, nbytes):
         yield from self._syscall(proc)
         self._trace(proc, "read", fd=fd, nbytes=nbytes)
         ch = self._channel(proc, fd)
@@ -259,6 +269,11 @@ class Kernel:
 
     def sys_write(self, proc, fd, data):
         """Syscall backend for :meth:`Syscalls.write` (implicit exclusive locking)."""
+        return self._spanned(
+            proc, "write", self._sys_write(proc, fd, data), fd=fd, nbytes=len(data)
+        )
+
+    def _sys_write(self, proc, fd, data):
         yield from self._syscall(proc)
         self._trace(proc, "write", fd=fd, nbytes=len(data))
         ch = self._channel(proc, fd)
@@ -321,6 +336,11 @@ class Kernel:
     def sys_commit_file(self, proc, fd):
         """Explicit record commit of the caller's (process-owned) dirty
         data -- what a non-transaction client uses instead of close."""
+        return self._spanned(
+            proc, "commit_file", self._sys_commit_file(proc, fd), fd=fd
+        )
+
+    def _sys_commit_file(self, proc, fd):
         yield from self._syscall(proc)
         ch = self._channel(proc, fd)
         site = self.cluster.site(proc.site_id)
@@ -347,6 +367,12 @@ class Kernel:
     def sys_lock(self, proc, fd, length, mode="exclusive", wait=True, nontrans=False):
         """The paper's Lock(file, length, mode): lock ``length`` bytes at
         the current file pointer (EOF-relative in append mode)."""
+        return self._spanned(
+            proc, "lock", self._sys_lock(proc, fd, length, mode, wait, nontrans),
+            fd=fd, mode=mode,
+        )
+
+    def _sys_lock(self, proc, fd, length, mode, wait, nontrans):
         yield from self._syscall(proc)
         ch = self._channel(proc, fd)
         if not ch.writable:
@@ -442,6 +468,9 @@ class Kernel:
 
     def sys_begin_trans(self, proc):
         """Syscall backend for :meth:`Syscalls.begin_trans`."""
+        return self._spanned(proc, "begin_trans", self._sys_begin_trans(proc))
+
+    def _sys_begin_trans(self, proc):
         yield from self._syscall(proc)
         self._trace(proc, "begin_trans", nesting=proc.nesting)
         service = self.cluster.site(proc.site_id).txn_service
@@ -449,6 +478,9 @@ class Kernel:
 
     def sys_end_trans(self, proc):
         """Syscall backend for :meth:`Syscalls.end_trans`."""
+        return self._spanned(proc, "end_trans", self._sys_end_trans(proc))
+
+    def _sys_end_trans(self, proc):
         yield from self._syscall(proc)
         self._trace(proc, "end_trans", nesting=proc.nesting)
         service = self.cluster.site(proc.site_id).txn_service
@@ -518,6 +550,24 @@ class Kernel:
 
     def _syscall(self, proc):
         yield self.engine.charge(self.cost.instr(self.cost.syscall_instructions))
+
+    def _spanned(self, proc, name, gen, **attrs):
+        """Generator: run a syscall body inside an observability span.
+
+        A pure observer: with observability off this is a plain
+        delegation, and either way no virtual time is charged."""
+        obs = self.engine.obs
+        if obs is None:
+            return (yield from gen)
+        span = obs.span("syscall." + name, site_id=proc.site_id,
+                        pid=proc.pid, **attrs)
+        try:
+            result = yield from gen
+        except BaseException as exc:
+            obs.end(span, status=type(exc).__name__)
+            raise
+        obs.end(span, status="ok")
+        return result
 
     def _trace(self, proc, kind, **detail):
         tracer = self.cluster.tracer

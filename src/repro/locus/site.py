@@ -75,7 +75,7 @@ class Site:
             raise KernelError("volume %s exists" % vol_id)
         vol = Volume(
             self.engine, self.cost, vol_id, name=vol_id, cache=self.cache,
-            max_direct=self.config.max_direct_pointers,
+            max_direct=self.config.max_direct_pointers, site=self.site_id,
         )
         self.volumes[vol_id] = vol
         self._volume_order.append(vol_id)
@@ -111,7 +111,8 @@ class Site:
     # ------------------------------------------------------------------
 
     def _reset_incore(self):
-        self.lock_manager = LockManager(self.engine, self.cost)
+        self.lock_manager = LockManager(self.engine, self.cost,
+                                        site_id=self.site_id)
         self.lock_cache = LockCache()
         self.update_states = {}   # file_id -> OpenFileState
         self.open_refs = {}       # file_id -> int

@@ -13,6 +13,7 @@ Enable with ``cluster.enable_tracing()``; query with
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 __all__ = ["TraceEvent", "Tracer"]
@@ -46,22 +47,45 @@ class Tracer:
         self.capacity = capacity
         self.events = []
         self.dropped = 0
+        self._by_kind = {}  # kind -> [TraceEvent], in record order
+        self._by_pid = {}   # pid  -> [TraceEvent], in record order
 
     def record(self, time, site_id, pid, kind, **detail):
         if self.capacity is not None and len(self.events) >= self.capacity:
             self.dropped += 1
+            if self.dropped == 1:
+                warnings.warn(
+                    "Tracer capacity (%d events) reached; further events "
+                    "are being dropped. Raise it with "
+                    "enable_tracing(capacity=...) or pass capacity=None "
+                    "for an unbounded trace." % (self.capacity,),
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             return
-        self.events.append(
-            TraceEvent(
-                time=time, site_id=site_id, pid=pid, kind=kind,
-                detail=tuple(sorted(detail.items())),
-            )
+        ev = TraceEvent(
+            time=time, site_id=site_id, pid=pid, kind=kind,
+            detail=tuple(sorted(detail.items())),
         )
+        self.events.append(ev)
+        self._by_kind.setdefault(kind, []).append(ev)
+        self._by_pid.setdefault(pid, []).append(ev)
 
     def select(self, kind=None, pid=None, site_id=None):
-        """Events matching every given filter, in order."""
+        """Events matching every given filter, in order.
+
+        Kind and pid lookups run off per-key indices, so a filtered
+        query costs O(smallest candidate list), not O(total events).
+        """
+        candidates = self.events
+        if kind is not None:
+            candidates = self._by_kind.get(kind, [])
+        if pid is not None:
+            by_pid = self._by_pid.get(pid, [])
+            if len(by_pid) < len(candidates):
+                candidates = by_pid
         out = []
-        for ev in self.events:
+        for ev in candidates:
             if kind is not None and ev.kind != kind:
                 continue
             if pid is not None and ev.pid != pid:
@@ -72,7 +96,7 @@ class Tracer:
         return out
 
     def kinds(self):
-        return sorted({ev.kind for ev in self.events})
+        return sorted(self._by_kind)
 
     def format(self, **filters):
         return "\n".join(ev.format() for ev in self.select(**filters))
@@ -80,6 +104,8 @@ class Tracer:
     def clear(self):
         self.events = []
         self.dropped = 0
+        self._by_kind = {}
+        self._by_pid = {}
 
     def __len__(self):
         return len(self.events)

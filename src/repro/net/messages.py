@@ -39,6 +39,11 @@ class Message:
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
     reply_to: int = None
     ok: bool = True
+    #: Causal trace context, ``(trace_id, span_id)`` of the sender's
+    #: span, or None.  Observability metadata only: it rides in the
+    #: fixed message header (no extra simulated bytes) and is ignored
+    #: by every protocol handler.
+    trace: tuple = None
 
     @property
     def is_reply(self) -> bool:

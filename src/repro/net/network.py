@@ -136,10 +136,15 @@ class Network:
             raise NetworkError("unknown destination %r" % (message.dst,))
         self.stats.incr("net.messages")
         self.stats.incr("net.bytes", message.nbytes)
+        obs = self._engine.obs
+        if obs is not None:
+            obs.observe(message.src, "net.msg.bytes", message.nbytes)
         if not self.reachable(message.src, message.dst):
             self.stats.incr("net.dropped")
             return
         delay = self._cost.message_time(message.nbytes)
+        if obs is not None:
+            obs.observe(message.src, "net.msg.latency", delay)
         self._engine.schedule(delay, self._deliver, message)
 
     def _deliver(self, message: Message):

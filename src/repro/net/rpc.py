@@ -72,17 +72,37 @@ class RpcEndpoint:
                 )
 
     def _serve(self, msg):
-        handler = self._handlers.get(msg.kind)
-        if handler is None:
-            self._reply(msg, ok=False, body={"error": "no handler for %r" % msg.kind})
-            return
+        obs = self._engine.obs
+        span = None
+        if obs is not None:
+            # Parent is the *caller's* span, carried in the message: the
+            # cross-site link that stitches a distributed operation into
+            # one causal tree.
+            span = obs.span(
+                "rpc.serve", site_id=self.site_id, parent=msg.trace,
+                kind=msg.kind, src=msg.src,
+            )
         try:
-            result = yield from handler(msg.body, msg.src)
-        except Exception as exc:  # noqa: BLE001 - errors travel back to caller
-            self._reply(msg, ok=False, body={"error": "%s: %s" % (type(exc).__name__, exc)})
-            return
-        body, nbytes = _split_result(result)
-        self._reply(msg, ok=True, body=body, nbytes=nbytes)
+            handler = self._handlers.get(msg.kind)
+            if handler is None:
+                self._reply(msg, ok=False,
+                            body={"error": "no handler for %r" % msg.kind})
+                if obs is not None:
+                    obs.end(span, status="no-handler")
+                return
+            try:
+                result = yield from handler(msg.body, msg.src)
+            except Exception as exc:  # noqa: BLE001 - errors travel back to caller
+                self._reply(msg, ok=False,
+                            body={"error": "%s: %s" % (type(exc).__name__, exc)})
+                if obs is not None:
+                    obs.end(span, status="error")
+                return
+            body, nbytes = _split_result(result)
+            self._reply(msg, ok=True, body=body, nbytes=nbytes)
+        finally:
+            if obs is not None:
+                obs.end(span, status="ok")  # idempotent; error paths won
 
     def _reply(self, request, ok, body, nbytes=HEADER_BYTES):
         self._network.send(
@@ -107,23 +127,42 @@ class RpcEndpoint:
         Raises :class:`SiteUnreachable` on timeout and
         :class:`RemoteError` if the handler failed.
         """
-        msg = Message(src=self.site_id, dst=dst, kind=kind, body=body or {}, nbytes=nbytes)
+        obs = self._engine.obs
+        span = trace_ctx = None
+        if obs is not None:
+            span = obs.span("rpc.call", site_id=self.site_id, kind=kind, dst=dst)
+            trace_ctx = (span.trace_id, span.span_id)
+        started = self._engine.now
+        msg = Message(src=self.site_id, dst=dst, kind=kind, body=body or {},
+                      nbytes=nbytes, trace=trace_ctx)
         reply_ev = self._engine.event()
         self._pending[msg.msg_id] = reply_ev
         self._network.send(msg)
         limit = self.timeout if timeout is None else timeout
-        if limit == float("inf"):
-            # No timer: the caller waits as long as it takes (queued lock
-            # requests); cancellation arrives via abort/interrupt paths.
-            reply = yield reply_ev
-        else:
-            index, value = yield AnyOf(
-                self._engine, [reply_ev, self._engine.timeout(limit)]
-            )
-            if index == 1:
-                self._pending.pop(msg.msg_id, None)
-                raise SiteUnreachable("no reply from site %r for %s" % (dst, kind))
-            reply = value
+        try:
+            if limit == float("inf"):
+                # No timer: the caller waits as long as it takes (queued lock
+                # requests); cancellation arrives via abort/interrupt paths.
+                reply = yield reply_ev
+            else:
+                index, value = yield AnyOf(
+                    self._engine, [reply_ev, self._engine.timeout(limit)]
+                )
+                if index == 1:
+                    self._pending.pop(msg.msg_id, None)
+                    if obs is not None:
+                        obs.end(span, status="timeout")
+                    raise SiteUnreachable(
+                        "no reply from site %r for %s" % (dst, kind)
+                    )
+                reply = value
+        finally:
+            if obs is not None:
+                obs.end(span, status="ok")  # idempotent; timeout path won
+        if obs is not None:
+            # The paper measures "at the requesting site": the round trip
+            # includes network transit and the remote handler's work.
+            obs.observe(self.site_id, "rpc.rtt", self._engine.now - started)
         if not reply.ok:
             raise RemoteError(reply.body.get("error", "remote failure"))
         return reply.body
@@ -131,8 +170,11 @@ class RpcEndpoint:
     def cast(self, dst, kind, body=None, nbytes=HEADER_BYTES):
         """One-way send; no reply expected (used for async phase-two
         commit messages, section 4.2)."""
+        obs = self._engine.obs
+        trace_ctx = obs.spans.current_context() if obs is not None else None
         self._network.send(
-            Message(src=self.site_id, dst=dst, kind=kind, body=body or {}, nbytes=nbytes)
+            Message(src=self.site_id, dst=dst, kind=kind, body=body or {},
+                    nbytes=nbytes, trace=trace_ctx)
         )
 
     # ------------------------------------------------------------------

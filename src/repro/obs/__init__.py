@@ -1,0 +1,88 @@
+"""Observability: causal spans, metric histograms, and exporters.
+
+The paper's evaluation rests on kernel instrumentation -- I/O counts,
+service times and latencies measured "at the requesting site".  This
+package is that instrumentation layer for the simulated cluster,
+upgraded to modern practice:
+
+* :class:`SpanRecorder` / :class:`Span` -- a causal trace tree opened
+  and closed by the kernel around every transaction-lifecycle phase
+  (begin, lock acquire, 2PC prepare/commit, WAL write, disk I/O,
+  network RPC), with context propagated across process spawns and RPC
+  messages so a distributed commit is one linked tree across sites;
+* :class:`MetricsHub` / :class:`Histogram` -- fixed-bucket latency
+  distributions (p50/p95/p99/max) per site and per category;
+* exporters -- Chrome trace-event JSON (loadable in Perfetto) and the
+  stable ``repro.bench_report/1`` metrics schema consumed by
+  ``python -m repro.analysis.report``.
+
+Everything here is a pure observer of the simulation: recording a span
+or a sample never charges CPU and never advances the virtual clock, so
+instrumented runs reproduce uninstrumented results event for event.
+
+Enable on a cluster with ``cluster.enable_observability()``; the
+returned :class:`Observability` object is also installed as
+``engine.obs``, where every layer's hooks find it.
+"""
+
+from __future__ import annotations
+
+from .export import build_report, metrics_to_json, to_chrome_trace, write_json
+from .metrics import Histogram, MetricsHub, default_bounds
+from .schema import REQUIRED_METRICS, SCHEMA_ID, SchemaError, validate_report
+from .span import Span, SpanRecorder
+
+__all__ = [
+    "Histogram",
+    "MetricsHub",
+    "Observability",
+    "REQUIRED_METRICS",
+    "SCHEMA_ID",
+    "SchemaError",
+    "Span",
+    "SpanRecorder",
+    "build_report",
+    "default_bounds",
+    "metrics_to_json",
+    "to_chrome_trace",
+    "validate_report",
+    "write_json",
+]
+
+
+class Observability:
+    """The per-engine observability context: spans + metrics.
+
+    Install with :meth:`install` (or ``cluster.enable_observability()``)
+    -- instrumentation hooks throughout the stack check ``engine.obs``
+    and stay inert while it is None.
+    """
+
+    def __init__(self, engine, span_capacity=200000, bounds=None):
+        self.engine = engine
+        self.spans = SpanRecorder(engine, capacity=span_capacity)
+        self.metrics = MetricsHub(bounds=bounds)
+
+    def install(self):
+        """Attach to the engine so layer hooks start recording."""
+        self.engine.obs = self
+        return self
+
+    def uninstall(self):
+        """Detach; hooks go inert again (recorded data is kept)."""
+        if self.engine.obs is self:
+            self.engine.obs = None
+        return self
+
+    # Convenience pass-throughs used by instrumentation sites -----------
+
+    def span(self, name, site_id=None, parent=None, root=False, **attrs):
+        return self.spans.start(
+            name, site_id=site_id, parent=parent, root=root, **attrs
+        )
+
+    def end(self, span, status=None, **attrs):
+        self.spans.end(span, status=status, **attrs)
+
+    def observe(self, site, name, value):
+        self.metrics.observe(site, name, value)

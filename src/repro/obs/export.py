@@ -1,0 +1,144 @@
+"""Exporters: Chrome trace-event JSON (Perfetto-loadable) and the
+stable metrics/report JSON schema.
+
+The Chrome trace format renders each span as a complete ("X") event on
+a (pid, tid) track; we map the simulated *site* to the trace pid and
+the simulation process's deterministic track number to the tid, so
+concurrent activities at one site appear as parallel tracks and a
+distributed commit reads left-to-right across sites.  ``args`` carries
+the causal ids (trace_id / span_id / parent_id) plus the span's
+attributes, and cross-track parent links are emitted as flow events so
+Perfetto draws the arrows from coordinator to participants.
+
+Load the output at https://ui.perfetto.dev (or chrome://tracing).
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "to_chrome_trace",
+    "metrics_to_json",
+    "build_report",
+    "write_json",
+]
+
+_US = 1e6  # trace-event timestamps are microseconds
+
+
+def _site_pid(site_id):
+    """Map a site id onto a Chrome trace pid (0 = no site / background)."""
+    if site_id is None:
+        return 0
+    try:
+        return int(site_id)
+    except (TypeError, ValueError):
+        return abs(hash(str(site_id))) % 10000 + 1000
+
+
+def to_chrome_trace(recorder, now=None) -> dict:
+    """Chrome trace-event JSON for every recorded span.
+
+    Spans still open are rendered up to ``now`` (default: the
+    recorder's engine clock) with ``status: open`` in their args.
+    """
+    if now is None:
+        now = recorder._engine.now
+    events = []
+    seen_tracks = set()
+    for span in recorder.spans:
+        pid = _site_pid(span.site_id)
+        if (pid, span.site_id) not in seen_tracks:
+            seen_tracks.add((pid, span.site_id))
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": "site %s" % (span.site_id,)
+                         if span.site_id is not None else "background"},
+            })
+        end = span.end if span.end is not None else now
+        args = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+        }
+        if span.status is not None:
+            args["status"] = span.status
+        elif span.end is None:
+            args["status"] = "open"
+        for key, value in sorted(span.attrs.items()):
+            args[key] = value if isinstance(
+                value, (int, float, str, bool, type(None))
+            ) else str(value)
+        events.append({
+            "name": span.name,
+            "cat": span.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": span.start * _US,
+            "dur": max(end - span.start, 0.0) * _US,
+            "pid": pid,
+            "tid": span.tid,
+            "args": args,
+        })
+        # Cross-track causality: draw a flow arrow from the parent span
+        # when the child runs on a different (pid, tid) track.
+        parent = recorder.get(span.parent_id) if span.parent_id else None
+        if parent is not None and (
+            _site_pid(parent.site_id) != pid or parent.tid != span.tid
+        ):
+            flow = {"cat": "flow", "id": span.span_id, "name": "causal"}
+            events.append(dict(
+                flow, ph="s", ts=span.start * _US,
+                pid=_site_pid(parent.site_id), tid=parent.tid,
+            ))
+            events.append(dict(
+                flow, ph="f", bp="e", ts=span.start * _US,
+                pid=pid, tid=span.tid,
+            ))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def metrics_to_json(hub) -> dict:
+    """The stable per-site metrics payload: {site: {name: summary}}."""
+    return hub.by_site()
+
+
+def build_report(cluster, scenario="") -> dict:
+    """The full ``BENCH_report.json`` document for an observed cluster.
+
+    Stable schema (see :mod:`repro.obs.schema`): deliberately contains
+    no wall-clock timestamps so reruns of a deterministic scenario are
+    byte-identical.
+    """
+    from repro import __version__
+
+    obs = cluster.obs
+    if obs is None:
+        raise ValueError("cluster has no observability attached; "
+                         "call cluster.enable_observability() first")
+    doc = {
+        "schema": "repro.bench_report/1",
+        "generator": "repro %s" % __version__,
+        "scenario": scenario,
+        "virtual_time": cluster.engine.now,
+        "sites": metrics_to_json(obs.metrics),
+        "spans": {
+            "recorded": len(obs.spans),
+            "dropped": obs.spans.dropped,
+            "traces": len(obs.spans.trace_ids()),
+        },
+    }
+    if cluster.tracer is not None:
+        doc["trace_events"] = {
+            "recorded": len(cluster.tracer),
+            "dropped": cluster.tracer.dropped,
+        }
+    return doc
+
+
+def write_json(path, doc):
+    """Write a JSON document with stable key order and a trailing newline."""
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -1,0 +1,180 @@
+"""Fixed-bucket latency histograms and the per-site metrics hub.
+
+The paper reports averages; diagnosing lock-manager and commit-path
+behaviour needs *distributions* -- a p99 lock wait tells a different
+story than a mean.  :class:`Histogram` keeps geometric fixed buckets
+(so memory is constant regardless of sample count) plus exact count /
+sum / min / max; percentiles interpolate within the winning bucket and
+are clamped to the exact observed range, so all-equal samples report
+that exact value.
+
+:class:`MetricsHub` groups histograms by ``(site, name)``.  Everything
+here is pure bookkeeping: recording a sample never touches the virtual
+clock.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Histogram", "MetricsHub", "default_bounds"]
+
+
+def default_bounds(lo=1e-4, ratio=2.0, n=28):
+    """Geometric bucket upper bounds: 0.1 ms doubling up to ~3.7 h."""
+    bounds = []
+    value = lo
+    for _ in range(n):
+        bounds.append(value)
+        value *= ratio
+    return tuple(bounds)
+
+
+_DEFAULT_BOUNDS = default_bounds()
+
+
+class Histogram:
+    """A fixed-bucket histogram with exact count/sum/min/max."""
+
+    __slots__ = ("bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, bounds=None):
+        self.bounds = tuple(bounds) if bounds is not None else _DEFAULT_BOUNDS
+        # counts[i] covers (bounds[i-1], bounds[i]]; the final slot is
+        # the overflow bucket (> bounds[-1]).
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        """Record one sample (seconds, or any non-negative quantity)."""
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self.counts[self._bucket(value)] += 1
+
+    def _bucket(self, value):
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    @property
+    def mean(self):
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p):
+        """Estimated p-th percentile (0 < p <= 100), clamped to the
+        exact observed [min, max] so degenerate distributions are exact."""
+        if self.count == 0:
+            return 0.0
+        target = p / 100.0 * self.count
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if cumulative + n >= target:
+                lower = 0.0 if i == 0 else self.bounds[i - 1]
+                upper = self.bounds[i] if i < len(self.bounds) else self.max
+                fraction = (target - cumulative) / n
+                estimate = lower + (upper - lower) * fraction
+                return min(max(estimate, self.min), self.max)
+            cumulative += n
+        return self.max
+
+    def merge(self, other):
+        """Fold another histogram (same bounds) into this one."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different buckets")
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+    def summary(self) -> dict:
+        """The stable JSON form: exact stats + interpolated percentiles."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "buckets": {
+                "bounds": list(self.bounds),
+                "counts": list(self.counts),
+            },
+        }
+
+    def __repr__(self):
+        return "Histogram(count=%d, mean=%.6f, max=%s)" % (
+            self.count, self.mean, self.max,
+        )
+
+
+class MetricsHub:
+    """Histograms keyed by (site, metric name)."""
+
+    def __init__(self, bounds=None):
+        self._bounds = bounds
+        self._histograms = {}  # (site_key, name) -> Histogram
+
+    @staticmethod
+    def _site_key(site):
+        return "-" if site is None else str(site)
+
+    def observe(self, site, name, value):
+        """Record ``value`` into the (site, name) histogram."""
+        key = (self._site_key(site), name)
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = Histogram(self._bounds)
+            self._histograms[key] = hist
+        hist.observe(value)
+
+    def histogram(self, site, name) -> Histogram:
+        """The (site, name) histogram, or None if never observed."""
+        return self._histograms.get((self._site_key(site), name))
+
+    def sites(self):
+        return sorted({site for site, _name in self._histograms})
+
+    def names(self, site=None):
+        if site is None:
+            return sorted({name for _site, name in self._histograms})
+        key = self._site_key(site)
+        return sorted(name for s, name in self._histograms if s == key)
+
+    def merged(self, name) -> Histogram:
+        """One histogram folding every site's samples for ``name``."""
+        out = None
+        for (_site, metric), hist in sorted(self._histograms.items()):
+            if metric != name:
+                continue
+            if out is None:
+                out = Histogram(hist.bounds)
+            out.merge(hist)
+        return out
+
+    def by_site(self) -> dict:
+        """{site: {name: summary-dict}} -- the report's payload."""
+        out = {}
+        for (site, name), hist in sorted(self._histograms.items()):
+            out.setdefault(site, {})[name] = hist.summary()
+        return out
+
+    def __len__(self):
+        return len(self._histograms)

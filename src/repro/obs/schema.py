@@ -1,0 +1,130 @@
+"""The ``BENCH_report.json`` schema and its validator.
+
+The report is a contract between the simulator and downstream tooling
+(CI, dashboards, regression diffing), so the shape is validated rather
+than assumed.  The validator is hand-rolled -- the repository has a
+no-new-dependencies rule, so ``jsonschema`` is out -- but the checks
+are the same in spirit: required keys, types, and the internal
+consistency a histogram summary must satisfy (count/bucket agreement,
+monotone percentiles).
+
+Run standalone::
+
+    python -m repro.obs.schema BENCH_report.json
+"""
+
+from __future__ import annotations
+
+__all__ = ["SCHEMA_ID", "REQUIRED_METRICS", "validate_report", "SchemaError"]
+
+SCHEMA_ID = "repro.bench_report/1"
+
+#: Metric families every report must carry in at least one site
+#: (the per-phase breakdown the analysis layer is built on).
+REQUIRED_METRICS = ("lock.wait", "rpc.rtt", "disk.io", "commit.latency")
+
+_SUMMARY_NUMBERS = ("count", "sum", "min", "max", "mean", "p50", "p95", "p99")
+
+
+class SchemaError(ValueError):
+    """The document does not conform to ``repro.bench_report/1``."""
+
+
+def _fail(problems):
+    raise SchemaError(
+        "invalid bench report (%d problem%s):\n  - %s"
+        % (len(problems), "" if len(problems) == 1 else "s",
+           "\n  - ".join(problems))
+    )
+
+
+def validate_report(doc) -> int:
+    """Validate a report document; returns the number of metric
+    summaries checked.  Raises :class:`SchemaError` on any violation."""
+    problems = []
+    if not isinstance(doc, dict):
+        _fail(["top level is %s, expected object" % type(doc).__name__])
+    if doc.get("schema") != SCHEMA_ID:
+        problems.append("schema is %r, expected %r" % (doc.get("schema"), SCHEMA_ID))
+    for key, kind in (("generator", str), ("scenario", str),
+                      ("virtual_time", (int, float)), ("sites", dict),
+                      ("spans", dict)):
+        if key not in doc:
+            problems.append("missing top-level key %r" % key)
+        elif not isinstance(doc[key], kind):
+            problems.append("%r is %s, expected %s"
+                            % (key, type(doc[key]).__name__, kind))
+    if problems:
+        _fail(problems)
+
+    spans = doc["spans"]
+    for key in ("recorded", "dropped", "traces"):
+        if not isinstance(spans.get(key), int):
+            problems.append("spans.%s missing or not an integer" % key)
+
+    checked = 0
+    seen_metrics = set()
+    for site, metrics in sorted(doc["sites"].items()):
+        if not isinstance(metrics, dict):
+            problems.append("sites[%r] is not an object" % site)
+            continue
+        for name, summary in sorted(metrics.items()):
+            seen_metrics.add(name)
+            checked += 1
+            where = "sites[%r][%r]" % (site, name)
+            if not isinstance(summary, dict):
+                problems.append("%s is not an object" % where)
+                continue
+            for key in _SUMMARY_NUMBERS:
+                if not isinstance(summary.get(key), (int, float)):
+                    problems.append("%s.%s missing or not numeric" % (where, key))
+            buckets = summary.get("buckets")
+            if not isinstance(buckets, dict) or not isinstance(
+                buckets.get("bounds"), list
+            ) or not isinstance(buckets.get("counts"), list):
+                problems.append("%s.buckets malformed" % where)
+                continue
+            if len(buckets["counts"]) != len(buckets["bounds"]) + 1:
+                problems.append(
+                    "%s.buckets: %d counts for %d bounds (expected bounds+1)"
+                    % (where, len(buckets["counts"]), len(buckets["bounds"]))
+                )
+            if all(isinstance(summary.get(k), (int, float))
+                   for k in _SUMMARY_NUMBERS):
+                if sum(buckets["counts"]) != summary["count"]:
+                    problems.append("%s: bucket counts do not sum to count" % where)
+                p50, p95, p99 = summary["p50"], summary["p95"], summary["p99"]
+                if not (summary["min"] - 1e-12 <= p50 <= p95 <= p99
+                        <= summary["max"] + 1e-12):
+                    problems.append(
+                        "%s: percentiles not monotone within [min, max]" % where
+                    )
+    for name in REQUIRED_METRICS:
+        if name not in seen_metrics:
+            problems.append("required metric %r missing from every site" % name)
+    if problems:
+        _fail(problems)
+    return checked
+
+
+def _main(argv=None):
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.schema",
+        description="Validate a BENCH_report.json against %s." % SCHEMA_ID,
+    )
+    parser.add_argument("report", help="path to the report JSON file")
+    args = parser.parse_args(argv)
+    with open(args.report) as fh:
+        doc = json.load(fh)
+    checked = validate_report(doc)
+    print("%s: OK (%d metric summaries validated)" % (args.report, checked))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(_main())

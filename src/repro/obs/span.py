@@ -1,0 +1,208 @@
+"""Causal spans: a trace tree over the simulated cluster.
+
+A :class:`Span` is one timed phase of work -- a syscall, a lock wait, an
+RPC, a disk transfer, a 2PC step -- with a start and end in *virtual*
+time, a site, and a causal parent.  Spans belonging to one distributed
+operation share a ``trace_id``, so a distributed commit renders as one
+tree spanning the coordinator and every participant site.
+
+The :class:`SpanRecorder` is the paper's "kernel instrumentation"
+generalized: it is a pure observer.  Opening or closing a span never
+schedules an event, never charges CPU, and never advances the virtual
+clock, so an instrumented run is event-for-event identical to an
+uninstrumented one.
+
+Context propagation
+-------------------
+
+Each simulation process carries a stack of open spans; a span opened
+without an explicit parent becomes a child of the top of the current
+process's stack.  Two mechanisms carry context across boundaries:
+
+* **process spawn** -- :meth:`Engine.process` calls :meth:`inherit`, so
+  a worker spawned while a span is open (a 2PC prepare worker, the
+  asynchronous phase-two process) starts with that span as its ambient
+  parent;
+* **messages** -- the RPC layer stamps the caller's ``(trace_id,
+  span_id)`` onto each request, and the server side opens its handler
+  span with that tuple as the parent, linking the trees across sites.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+__all__ = ["Span", "SpanRecorder"]
+
+
+class Span:
+    """One timed, causally linked phase of work."""
+
+    __slots__ = (
+        "trace_id", "span_id", "parent_id", "name", "site_id", "tid",
+        "start", "end", "status", "attrs", "_stack",
+    )
+
+    def __init__(self, trace_id, span_id, parent_id, name, site_id, tid,
+                 start, attrs):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.site_id = site_id
+        self.tid = tid          # simulation-process track, not a kernel pid
+        self.start = start
+        self.end = None
+        self.status = None
+        self.attrs = attrs
+        self._stack = None
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    @property
+    def duration(self):
+        """Elapsed virtual seconds, or None while still open."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def __repr__(self):
+        return "<Span %s trace=%s id=%s parent=%s [%s, %s)>" % (
+            self.name, self.trace_id, self.span_id, self.parent_id,
+            self.start, self.end,
+        )
+
+
+class SpanRecorder:
+    """Collects spans; bounded, deterministic, zero virtual-time cost."""
+
+    def __init__(self, engine, capacity=200000):
+        self._engine = engine
+        self.capacity = capacity
+        self.spans = []           # in start order (deterministic)
+        self.dropped = 0
+        self._ids = itertools.count(1)
+        self._traces = itertools.count(1)
+        self._stacks = {}         # sim Process (or None) -> [open spans]
+        self._tracks = {}         # sim Process (or None) -> small int
+        self._by_id = {}          # span_id -> Span (recorded spans only)
+
+    # ------------------------------------------------------------------
+    # context plumbing
+    # ------------------------------------------------------------------
+
+    def _track(self, proc):
+        track = self._tracks.get(proc)
+        if track is None:
+            track = len(self._tracks)
+            self._tracks[proc] = track
+        return track
+
+    def current(self):
+        """The innermost open span of the current process, or None."""
+        stack = self._stacks.get(self._engine.current_process)
+        return stack[-1] if stack else None
+
+    def current_context(self):
+        """(trace_id, span_id) of the current span, or None -- the tuple
+        the RPC layer ships inside messages."""
+        span = self.current()
+        if span is None:
+            return None
+        return (span.trace_id, span.span_id)
+
+    def inherit(self, new_proc):
+        """Called by :meth:`Engine.process`: a process spawned while a
+        span is open starts with that span as its ambient parent."""
+        span = self.current()
+        if span is not None:
+            self._stacks[new_proc] = [span]
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def start(self, name, site_id=None, parent=None, root=False, **attrs) -> Span:
+        """Open a span.
+
+        ``parent`` may be another :class:`Span`, a ``(trace_id,
+        span_id)`` tuple carried in from another site, or None to use
+        the current process's innermost open span.  ``root=True`` forces
+        a fresh trace even when an ambient span is open (used for the
+        transaction root span, which *contains* the syscall that opened
+        it rather than nesting under it).
+        """
+        proc = self._engine.current_process
+        stack = self._stacks.setdefault(proc, [])
+        if parent is None and not root and stack:
+            parent = stack[-1]
+        if isinstance(parent, Span):
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        elif parent is not None:  # (trace_id, span_id) tuple off a message
+            trace_id, parent_id = parent[0], parent[1]
+        else:
+            trace_id, parent_id = next(self._traces), None
+        span = Span(
+            trace_id=trace_id,
+            span_id=next(self._ids),
+            parent_id=parent_id,
+            name=name,
+            site_id=site_id,
+            tid=self._track(proc),
+            start=self._engine.now,
+            attrs=attrs,
+        )
+        span._stack = stack
+        stack.append(span)
+        if self.capacity is not None and len(self.spans) >= self.capacity:
+            self.dropped += 1
+        else:
+            self.spans.append(span)
+            self._by_id[span.span_id] = span
+        return span
+
+    def end(self, span, status=None, **attrs):
+        """Close a span (idempotent; None is accepted and ignored)."""
+        if span is None or span.end is not None:
+            return
+        span.end = self._engine.now
+        if status is not None:
+            span.status = status
+        if attrs:
+            span.attrs.update(attrs)
+        stack = span._stack
+        if stack is not None and span in stack:
+            stack.remove(span)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def get(self, span_id):
+        """A recorded span by id (dropped spans are not retrievable)."""
+        return self._by_id.get(span_id)
+
+    def select(self, name=None, trace_id=None, site_id=None):
+        """Recorded spans matching every given filter, in start order."""
+        out = []
+        for span in self.spans:
+            if name is not None and span.name != name:
+                continue
+            if trace_id is not None and span.trace_id != trace_id:
+                continue
+            if site_id is not None and span.site_id != site_id:
+                continue
+            out.append(span)
+        return out
+
+    def children(self, span):
+        """Recorded direct children of ``span``, in start order."""
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def trace_ids(self):
+        return sorted({s.trace_id for s in self.spans})
+
+    def __len__(self):
+        return len(self.spans)

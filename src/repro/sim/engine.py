@@ -45,6 +45,11 @@ class Engine:
         self._seq = itertools.count()
         self._current = None  # process being resumed right now, if any
         self._running = False
+        # Optional observability context (repro.obs.Observability).
+        # Instrumentation hooks throughout the stack read this attribute
+        # and stay inert while it is None; the hooks are pure observers,
+        # so attaching one never changes event order or virtual time.
+        self.obs = None
 
     # ------------------------------------------------------------------
     # clock and scheduling
@@ -117,7 +122,13 @@ class Engine:
         """Spawn a simulation process driving ``generator``."""
         from .process import Process
 
-        return Process(self, generator, name=name)
+        proc = Process(self, generator, name=name)
+        if self.obs is not None:
+            # Causal-context inheritance: a process spawned while a span
+            # is open (a 2PC prepare worker, the async phase-two sender)
+            # starts with that span as its ambient trace parent.
+            self.obs.spans.inherit(proc)
+        return proc
 
     def charge(self, seconds):
         """Consume CPU for ``seconds``: advances time *and* books the cost

@@ -91,6 +91,8 @@ class OperationProbe:
         proc = self._engine.current_process
         if proc is None:
             raise RuntimeError("OperationProbe.stop() must run inside a process")
+        if self._t0 is None:
+            raise RuntimeError("OperationProbe.stop() before start()")
         self.latency = self._engine.now - self._t0
         self.service_time = proc.cpu_time - self._cpu0
         return self

@@ -32,10 +32,11 @@ class IOCategory:
 class Disk:
     """One spindle.  All methods doing I/O are simulation generators."""
 
-    def __init__(self, engine, cost, name="disk", stats=None):
+    def __init__(self, engine, cost, name="disk", stats=None, site=None):
         self._engine = engine
         self._cost = cost
         self.name = name
+        self.site = site  # observability attribution only
         self.stats = stats if stats is not None else Stats()
         self._arm = FifoResource(engine, capacity=1)
         self._blocks = {}  # block number -> bytes
@@ -47,7 +48,9 @@ class Disk:
     def read_block(self, block_no, category=IOCategory.DATA_READ):
         """Generator: read one block; returns its bytes (zeros if never
         written, like a freshly formatted disk)."""
+        span = self._io_begin("disk.read", block_no, category)
         yield from self._arm.use(self._cost.disk_io_time)
+        self._io_done(span)
         self.stats.incr(category)
         self.stats.incr("io.total")
         return self._blocks.get(block_no, bytes(self._cost.page_size))
@@ -59,10 +62,31 @@ class Disk:
                 "block %d: %d bytes exceeds page size %d"
                 % (block_no, len(data), self._cost.page_size)
             )
+        span = self._io_begin("disk.write", block_no, category)
         yield from self._arm.use(self._cost.disk_io_time)
+        self._io_done(span)
         self._blocks[block_no] = bytes(data)
         self.stats.incr(category)
         self.stats.incr("io.total")
+
+    def _io_begin(self, name, block_no, category):
+        obs = self._engine.obs
+        if obs is None:
+            return None
+        return obs.span(name, site_id=self.site, disk=self.name,
+                        block=block_no, category=category)
+
+    def _io_done(self, span):
+        """Close the I/O span and histogram the operation: total time at
+        the arm, plus the portion spent queued behind other requests."""
+        obs = self._engine.obs
+        if obs is None or span is None:
+            return
+        obs.end(span)
+        total = self._engine.now - span.start
+        obs.observe(self.site, "disk.io", total)
+        obs.observe(self.site, "disk.queue",
+                    max(total - self._cost.disk_io_time, 0.0))
 
     def free_block(self, block_no):
         """Release a block (no I/O: the free map lives in core and is

@@ -25,13 +25,14 @@ __all__ = ["Volume"]
 class Volume:
     """One mounted filesystem on one simulated disk."""
 
-    def __init__(self, engine, cost, vol_id, name=None, cache=None, max_direct=10):
+    def __init__(self, engine, cost, vol_id, name=None, cache=None, max_direct=10,
+                 site=None):
         self._engine = engine
         self._cost = cost
         self.vol_id = vol_id
         self.name = name or ("vol%s" % (vol_id,))
         self.max_direct = max_direct
-        self.disk = Disk(engine, cost, name="%s.disk" % self.name)
+        self.disk = Disk(engine, cost, name="%s.disk" % self.name, site=site)
         self.cache = cache if cache is not None else BufferCache(64)
         self._inodes = {}  # ino -> Inode (the on-disk table)
         self._next_ino = itertools.count(2)  # 1 reserved for the root dir

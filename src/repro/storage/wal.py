@@ -46,6 +46,12 @@ class WalFile:
         self._pages = {}          # page_index -> bytearray (working image)
         self._owners = {}         # page_index -> {owner: RangeSet}
         self._committed_pending = {}  # page_index -> RangeSet awaiting checkpoint
+        # Snapshot of committed-but-uncheckpointed bytes.  The working
+        # image cannot serve as the committed image: a later uncommitted
+        # write to the same range would leak into a checkpoint (steal) or
+        # an abort would clobber the committed bytes with the stale disk
+        # image.  Only the bytes inside ``_committed_pending`` are valid.
+        self._committed_images = {}   # page_index -> bytearray
         self._size = volume.inode(ino).size
         self._extents = {}
 
@@ -106,6 +112,12 @@ class WalFile:
         Returns the number of log pages written.  Data pages stay dirty
         in core until :meth:`checkpoint`.
         """
+        obs = self._engine.obs
+        span = None
+        started = self._engine.now
+        if obs is not None:
+            span = obs.span("wal.commit", site_id=self._volume.disk.site,
+                            ino=self.ino, owner=str(owner))
         log_bytes = 0
         records = []
         for page_index in sorted(self._owners):
@@ -113,8 +125,12 @@ class WalFile:
             if not ranges:
                 continue
             working = self._pages[page_index]
+            image = self._committed_images.setdefault(
+                page_index, bytearray(self._cost.page_size)
+            )
             for lo, hi in ranges:
                 log_bytes += (hi - lo) + _RECORD_HEADER_BYTES
+                image[lo:hi] = working[lo:hi]
                 records.append(
                     {
                         "page_index": page_index,
@@ -135,6 +151,10 @@ class WalFile:
             {"type": "commit", "owner": owner, "extent": extent, "records": records}
         )
         yield self._engine.charge(self._cost.instr(self._cost.commit_base_instr))
+        if obs is not None:
+            obs.end(span, status="ok", log_pages=log_pages + 1)
+            obs.observe(self._volume.disk.site, "wal.commit",
+                        self._engine.now - started)
         return log_pages + 1
 
     def abort(self, owner):
@@ -146,12 +166,22 @@ class WalFile:
                 continue
             working = self._pages[page_index]
             base = yield from self._disk_image(page_index)
+            committed = self._committed_pending.get(page_index)
+            image = self._committed_images.get(page_index)
             for lo, hi in ranges:
                 working[lo:hi] = base[lo:hi]
+                if committed is not None and image is not None:
+                    # Bytes committed since the disk image was last
+                    # checkpointed must survive this abort.
+                    for clo, chi in committed.clamp(lo, hi):
+                        working[clo:chi] = image[clo:chi]
         self._extents.pop(owner, None)
-        self._size = max([self._volume.inode(self.ino).size]
-                         + list(self._extents.values())
-                         + [0])
+        # Committed extents that have not been checkpointed yet live
+        # only in the log; they survive the abort just like their bytes.
+        committed_extent = max([self._volume.inode(self.ino).size] + [
+            e["extent"] for e in self.log.entries() if e.get("type") == "commit"
+        ] + [0])
+        self._size = max([committed_extent] + list(self._extents.values()))
 
     def checkpoint(self):
         """Generator: write committed ranges in place; returns pages written.
@@ -171,11 +201,14 @@ class WalFile:
         new_pointer_pages = set(range(old_npages, npages))
         for page_index in sorted(self._committed_pending):
             ranges = self._committed_pending.pop(page_index)
-            working = self._pages[page_index]
+            # Splice from the committed snapshot, not the working image:
+            # the working bytes may already hold a later *uncommitted*
+            # write, which must never reach disk (no-steal).
+            image = self._committed_images.pop(page_index)
             base = yield from self._disk_image(page_index)
             merged = bytearray(base)
             for lo, hi in ranges:
-                merged[lo:hi] = working[lo:hi]
+                merged[lo:hi] = image[lo:hi]
             block = inode.block_for(page_index)
             if block is None:
                 block = self._volume.alloc_block()

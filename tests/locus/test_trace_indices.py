@@ -1,0 +1,82 @@
+"""Tracer indices, bounded-capacity warning, and report surfacing."""
+
+import warnings
+
+import pytest
+
+from repro import Cluster, drive
+from repro.locus.inspect import cluster_report
+from repro.locus.trace import Tracer
+
+
+def fill(tracer, n, kinds=("open", "read", "write"), pids=(1, 2)):
+    for i in range(n):
+        tracer.record(i * 0.1, 1, pids[i % len(pids)], kinds[i % len(kinds)],
+                      seq=i)
+
+
+def test_indexed_select_matches_linear_scan():
+    tracer = Tracer()
+    fill(tracer, 300)
+    for kind in (None, "open", "write", "missing"):
+        for pid in (None, 1, 2, 99):
+            expected = [
+                ev for ev in tracer.events
+                if (kind is None or ev.kind == kind)
+                and (pid is None or ev.pid == pid)
+            ]
+            assert tracer.select(kind=kind, pid=pid) == expected
+
+
+def test_site_filter_composes_with_indices():
+    tracer = Tracer()
+    tracer.record(0.0, 1, 7, "open")
+    tracer.record(0.1, 2, 7, "open")
+    assert len(tracer.select(kind="open", site_id=2)) == 1
+    assert tracer.select(kind="open", site_id=2)[0].site_id == 2
+
+
+def test_kinds_and_clear():
+    tracer = Tracer()
+    fill(tracer, 9)
+    assert tracer.kinds() == ["open", "read", "write"]
+    tracer.clear()
+    assert tracer.kinds() == []
+    assert tracer.select(kind="open") == []
+    fill(tracer, 3)
+    assert len(tracer.select(pid=1)) == 2
+
+
+def test_drop_warns_once_and_counts():
+    tracer = Tracer(capacity=3)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        fill(tracer, 10)
+    runtime = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+    assert len(runtime) == 1
+    assert "capacity" in str(runtime[0].message)
+    assert tracer.dropped == 7
+    assert len(tracer) == 3
+
+
+def test_cluster_report_shows_dropped_events():
+    cluster = Cluster(site_ids=(1, 2))
+    drive(cluster.engine, cluster.create_file("/f", site_id=1))
+    tracer = cluster.enable_tracing(capacity=2)
+    cluster.enable_observability()
+
+    def prog(sysc):
+        fd = yield from sysc.open("/f", write=True)
+        yield from sysc.write(fd, b"spill over the tiny capacity")
+        yield from sysc.close(fd)
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        proc = cluster.spawn(prog, site_id=1)
+        cluster.run()
+    assert proc.exit_status == "done", proc.exit_value
+    assert tracer.dropped > 0
+    report = cluster_report(cluster)
+    assert "tracing" in report
+    assert "dropped" in report
+    assert "observability" in report

@@ -1,0 +1,85 @@
+"""Histogram and MetricsHub unit behaviour."""
+
+import pytest
+
+from repro.obs import Histogram, MetricsHub, default_bounds
+
+
+def test_exact_stats_and_degenerate_percentiles():
+    h = Histogram()
+    for _ in range(10):
+        h.observe(0.025)
+    assert h.count == 10
+    assert h.sum == pytest.approx(0.25)
+    assert h.min == h.max == 0.025
+    # All-equal samples must report the exact value, not a bucket edge.
+    assert h.percentile(50) == 0.025
+    assert h.percentile(95) == 0.025
+    assert h.percentile(99) == 0.025
+
+
+def test_percentiles_are_ordered_and_bounded():
+    h = Histogram()
+    for i in range(1, 101):
+        h.observe(i / 1000.0)  # 1ms .. 100ms
+    p50, p95, p99 = h.percentile(50), h.percentile(95), h.percentile(99)
+    assert h.min <= p50 <= p95 <= p99 <= h.max
+    # Interpolation should land in the right decade.
+    assert 0.02 <= p50 <= 0.075
+    assert p95 >= 0.06
+
+
+def test_zero_samples_fall_in_first_bucket():
+    h = Histogram()
+    h.observe(0.0)
+    assert h.counts[0] == 1
+    assert h.percentile(99) == 0.0
+
+
+def test_overflow_bucket():
+    h = Histogram(bounds=(0.001, 0.01))
+    h.observe(5.0)
+    assert h.counts[-1] == 1
+    assert h.percentile(99) == 5.0
+
+
+def test_merge_requires_same_bounds():
+    a, b = Histogram(), Histogram(bounds=(1.0,))
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_merge_folds_counts_and_extremes():
+    a, b = Histogram(), Histogram()
+    a.observe(0.001)
+    b.observe(0.5)
+    b.observe(0.002)
+    a.merge(b)
+    assert a.count == 3
+    assert a.min == 0.001
+    assert a.max == 0.5
+    assert sum(a.counts) == 3
+
+
+def test_default_bounds_are_geometric():
+    bounds = default_bounds()
+    assert len(bounds) == 28
+    for lo, hi in zip(bounds, bounds[1:]):
+        assert hi == pytest.approx(lo * 2)
+
+
+def test_hub_keys_sites_and_names():
+    hub = MetricsHub()
+    hub.observe(1, "lock.wait", 0.1)
+    hub.observe(1, "lock.wait", 0.2)
+    hub.observe(2, "lock.wait", 0.3)
+    hub.observe(None, "disk.io", 0.01)
+    assert hub.sites() == ["-", "1", "2"]
+    assert hub.names() == ["disk.io", "lock.wait"]
+    assert hub.histogram(1, "lock.wait").count == 2
+    merged = hub.merged("lock.wait")
+    assert merged.count == 3
+    assert merged.max == 0.3
+    by_site = hub.by_site()
+    assert by_site["1"]["lock.wait"]["count"] == 2
+    assert by_site["-"]["disk.io"]["count"] == 1

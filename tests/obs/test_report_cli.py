@@ -1,0 +1,71 @@
+"""The perf-report pipeline end to end: run, print, write, validate."""
+
+import json
+
+import pytest
+
+from repro.analysis.report import SCENARIOS, main, render_table, run_scenario
+from repro.obs import validate_report
+from repro.obs.schema import SchemaError
+
+
+def test_cli_writes_valid_report_and_trace(tmp_path, capsys):
+    out = tmp_path / "BENCH_report.json"
+    trace = tmp_path / "BENCH_trace.json"
+    rc = main(["commit", "--out", str(out), "--trace-out", str(trace)])
+    assert rc == 0
+
+    report = json.loads(out.read_text())
+    validate_report(report)  # raises on any schema violation
+    assert report["scenario"] == "commit"
+    for metric in ("lock.wait", "rpc.rtt", "disk.io", "commit.latency"):
+        assert any(metric in metrics for metrics in report["sites"].values())
+
+    chrome = json.loads(trace.read_text())
+    assert any(e["ph"] == "X" for e in chrome["traceEvents"])
+
+    printed = capsys.readouterr().out
+    assert "commit.latency" in printed
+    assert "p95ms" in printed
+
+
+def test_cli_trace_optional(tmp_path):
+    out = tmp_path / "r.json"
+    rc = main(["commit", "--out", str(out), "--trace-out", ""])
+    assert rc == 0
+    assert out.exists()
+    assert not (tmp_path / "BENCH_trace.json").exists()
+
+
+def test_every_scenario_produces_required_metrics():
+    from repro.obs import REQUIRED_METRICS, build_report
+
+    for name in SCENARIOS:
+        cluster = run_scenario(name)
+        report = build_report(cluster, scenario=name)
+        validate_report(report)
+        for metric in REQUIRED_METRICS:
+            assert any(metric in m for m in report["sites"].values()), (
+                "%s missing from scenario %s" % (metric, name))
+
+
+def test_run_scenario_rejects_unknown_name():
+    with pytest.raises(KeyError):
+        run_scenario("nonsense")
+
+
+def test_validator_rejects_tampered_report(tmp_path):
+    cluster = run_scenario("commit")
+    from repro.obs import build_report
+
+    report = build_report(cluster, scenario="commit")
+    report["sites"]["1"]["lock.wait"]["p95"] = -1.0  # impossible
+    with pytest.raises(SchemaError):
+        validate_report(report)
+
+
+def test_render_table_skips_byte_metrics():
+    cluster = run_scenario("commit")
+    table = render_table(cluster.obs.metrics)
+    assert "net.msg.bytes" not in table
+    assert "lock.wait" in table

@@ -1,0 +1,145 @@
+"""Span recorder: nesting, propagation, capacity, idempotence."""
+
+from repro.obs import Observability
+from repro.sim import Engine
+from tests.conftest import drive
+
+
+def obs_on(eng):
+    return Observability(eng).install()
+
+
+def test_ambient_nesting_within_a_process(eng):
+    obs = obs_on(eng)
+
+    def prog():
+        outer = obs.span("outer", site_id=1)
+        inner = obs.span("inner", site_id=1)
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+        obs.end(inner)
+        obs.end(outer)
+        yield eng.timeout(0)
+
+    drive(eng, prog())
+    outer, = obs.spans.select(name="outer")
+    assert [s.name for s in obs.spans.children(outer)] == ["inner"]
+
+
+def test_root_forces_fresh_trace(eng):
+    obs = obs_on(eng)
+
+    def prog():
+        ambient = obs.span("ambient")
+        fresh = obs.span("fresh", root=True)
+        assert fresh.trace_id != ambient.trace_id
+        assert fresh.parent_id is None
+        # The fresh root sits on the stack: later spans nest under it.
+        child = obs.span("child")
+        assert child.parent_id == fresh.span_id
+        obs.end(child), obs.end(fresh), obs.end(ambient)
+        yield eng.timeout(0)
+
+    drive(eng, prog())
+
+
+def test_spawned_process_inherits_open_span(eng):
+    obs = obs_on(eng)
+    seen = {}
+
+    def child():
+        span = obs.span("child-work")
+        seen["parent_id"] = span.parent_id
+        seen["trace_id"] = span.trace_id
+        obs.end(span)
+        yield eng.timeout(0)
+
+    def parent():
+        span = obs.span("parent-work")
+        eng.process(child())
+        yield eng.timeout(0.1)
+        obs.end(span)
+
+    drive(eng, parent())
+    parent_span, = obs.spans.select(name="parent-work")
+    assert seen["parent_id"] == parent_span.span_id
+    assert seen["trace_id"] == parent_span.trace_id
+
+
+def test_tuple_parent_links_across_contexts(eng):
+    obs = obs_on(eng)
+
+    def prog():
+        remote = obs.span("server-side", parent=(77, 123))
+        assert remote.trace_id == 77
+        assert remote.parent_id == 123
+        obs.end(remote)
+        yield eng.timeout(0)
+
+    drive(eng, prog())
+
+
+def test_end_is_idempotent_and_accepts_none(eng):
+    obs = obs_on(eng)
+
+    def prog():
+        span = obs.span("once")
+        yield eng.timeout(1.0)
+        obs.end(span, status="first")
+        yield eng.timeout(1.0)
+        obs.end(span, status="second")  # must not reopen or restamp
+        obs.end(None)                   # accepted, ignored
+        return span
+
+    span = drive(eng, prog())
+    assert span.end == 1.0
+    assert span.status == "first"
+
+
+def test_mid_stack_end_keeps_outer_context(eng):
+    obs = obs_on(eng)
+
+    def prog():
+        outer = obs.span("outer")
+        middle = obs.span("middle")
+        inner = obs.span("inner")
+        obs.end(middle)  # closed out of order (async resolution)
+        after = obs.span("after")
+        assert after.parent_id == inner.span_id
+        for s in (after, inner, outer):
+            obs.end(s)
+        yield eng.timeout(0)
+
+    drive(eng, prog())
+
+
+def test_capacity_drops_are_counted(eng):
+    obs = Observability(eng, span_capacity=2).install()
+
+    def prog():
+        for i in range(5):
+            obs.end(obs.span("s%d" % i))
+        yield eng.timeout(0)
+
+    drive(eng, prog())
+    assert len(obs.spans) == 2
+    assert obs.spans.dropped == 3
+
+
+def test_select_filters(eng):
+    obs = obs_on(eng)
+
+    def prog():
+        a = obs.span("x", site_id=1)
+        obs.end(a)
+        b = obs.span("x", site_id=2, root=True)
+        obs.end(b)
+        c = obs.span("y", site_id=1, root=True)
+        obs.end(c)
+        yield eng.timeout(0)
+
+    drive(eng, prog())
+    assert len(obs.spans.select(name="x")) == 2
+    assert len(obs.spans.select(site_id=1)) == 2
+    assert len(obs.spans.select(name="x", site_id=2)) == 1
+    assert len(obs.spans.trace_ids()) == 3

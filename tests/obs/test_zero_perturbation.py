@@ -1,0 +1,51 @@
+"""Instrumentation must not perturb the simulation.
+
+The acceptance bar for the observability layer: an instrumented run is
+event-for-event identical to an uninstrumented one -- same final
+virtual clock, same categorized I/O counts, same program results.
+"""
+
+from repro import Cluster, drive
+
+
+def run_workload(instrument):
+    cluster = Cluster(site_ids=(1, 2, 3))
+    if instrument:
+        cluster.enable_observability()
+    drive(cluster.engine, cluster.create_file("/db/a", site_id=1))
+    drive(cluster.engine, cluster.populate("/db/a", b"." * 256))
+    drive(cluster.engine, cluster.create_file("/db/b", site_id=3))
+    drive(cluster.engine, cluster.populate("/db/b", b"." * 256))
+
+    def writer(sysc, delay, offset):
+        yield from sysc.sleep(delay)
+        yield from sysc.begin_trans()
+        fda = yield from sysc.open("/db/a", write=True)
+        yield from sysc.seek(fda, offset)
+        yield from sysc.lock(fda, 48)
+        yield from sysc.write(fda, b"x" * 48)
+        fdb = yield from sysc.open("/db/b", write=True)
+        yield from sysc.write(fdb, b"y" * 32)
+        yield from sysc.end_trans()
+        return sysc.now
+
+    procs = [
+        cluster.spawn(writer, 0.01 * i, (i % 2) * 24,
+                      site_id=(1, 2, 3)[i % 3], name="w%d" % i)
+        for i in range(4)
+    ]
+    cluster.run()
+    outcomes = [(p.exit_status, p.exit_value) for p in procs]
+    return cluster, outcomes
+
+
+def test_instrumented_run_is_event_for_event_identical():
+    bare_cluster, bare_outcomes = run_workload(instrument=False)
+    inst_cluster, inst_outcomes = run_workload(instrument=True)
+
+    assert inst_outcomes == bare_outcomes
+    assert inst_cluster.engine.now == bare_cluster.engine.now
+    assert inst_cluster.io_stats() == bare_cluster.io_stats()
+    # The instrumented run did actually record something.
+    assert len(inst_cluster.obs.spans) > 0
+    assert len(inst_cluster.obs.metrics) > 0

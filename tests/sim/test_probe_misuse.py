@@ -1,0 +1,70 @@
+"""OperationProbe misuse and isolation guarantees."""
+
+import pytest
+
+from repro.sim import Engine, OperationProbe
+from tests.conftest import drive
+
+
+def test_start_outside_process_raises(eng):
+    probe = OperationProbe(eng)
+    with pytest.raises(RuntimeError, match="inside a process"):
+        probe.start()
+
+
+def test_stop_outside_process_raises(eng):
+    probe = OperationProbe(eng)
+    with pytest.raises(RuntimeError, match="inside a process"):
+        probe.stop()
+
+
+def test_stop_before_start_raises(eng):
+    probe = OperationProbe(eng)
+
+    def prog():
+        probe.stop()
+        yield eng.timeout(0)
+
+    with pytest.raises(RuntimeError, match="before start"):
+        drive(eng, prog())
+
+
+def test_stop_outside_process_after_started_inside(eng):
+    """A probe started inside a process still refuses a stop outside."""
+    probe = OperationProbe(eng)
+
+    def prog():
+        probe.start()
+        yield eng.timeout(0.5)
+
+    drive(eng, prog())
+    with pytest.raises(RuntimeError, match="inside a process"):
+        probe.stop()
+
+
+def test_concurrent_probes_do_not_cross_contaminate(eng):
+    """Two probed processes interleaving on the same engine each see
+    only their own CPU charges and their own elapsed window."""
+    results = {}
+
+    def worker(name, charge, wait):
+        probe = OperationProbe(eng)
+        probe.start()
+        yield eng.charge(charge)
+        yield eng.timeout(wait)
+        yield eng.charge(charge)
+        probe.stop()
+        results[name] = (probe.service_time, probe.latency)
+
+    eng.process(worker("a", 0.010, 0.5))
+    eng.process(worker("b", 0.002, 1.5))
+    eng.run()
+
+    service_a, latency_a = results["a"]
+    service_b, latency_b = results["b"]
+    assert service_a == pytest.approx(0.020)
+    assert service_b == pytest.approx(0.004)
+    # Latency covers each worker's own window only: b waited while a
+    # finished, and neither absorbed the other's charges or waits.
+    assert latency_a == pytest.approx(0.5 + 0.020)
+    assert latency_b == pytest.approx(1.5 + 0.004)
