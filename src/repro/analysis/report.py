@@ -23,7 +23,8 @@ import sys
 from repro import Cluster, drive
 from repro.obs import build_report, to_chrome_trace, validate_report, write_json
 
-__all__ = ["SCENARIOS", "run_scenario", "render_table", "main"]
+__all__ = ["SCENARIOS", "SCENARIO_CONFIG", "run_scenario", "render_table",
+           "render_cache_table", "main"]
 
 
 # ----------------------------------------------------------------------
@@ -88,9 +89,47 @@ def scenario_wal(cluster):
     drive(engine, wal_workload())
 
 
+def _lease_worker(sysc, path, rounds, offset):
+    """Sequential transactions re-locking the same remote range: the
+    first lock pays the RPC and earns a lease, the rest are local."""
+    for _ in range(rounds):
+        yield from sysc.begin_trans()
+        fd = yield from sysc.open(path, write=True)
+        yield from sysc.seek(fd, offset)
+        yield from sysc.lock(fd, 32)
+        yield from sysc.write(fd, b"c" * 32)
+        yield from sysc.end_trans()
+    return "committed"
+
+
+def scenario_lockcache(cluster):
+    """The lease-cache workload (docs/LOCK_CACHE.md): two using sites
+    repeatedly lock files stored at site 1 -- the first lock per file
+    earns a lease, later ones are cache hits -- then one cross-site
+    writer forces an invalidation callback (recall).  Runs with
+    ``lock_cache`` enabled (see SCENARIO_CONFIG)."""
+    drive(cluster.engine, cluster.create_file("/db/h2", site_id=1))
+    drive(cluster.engine, cluster.populate("/db/h2", b"." * 256))
+    drive(cluster.engine, cluster.create_file("/db/h3", site_id=1))
+    drive(cluster.engine, cluster.populate("/db/h3", b"." * 256))
+    cluster.spawn(_lease_worker, "/db/h2", 6, 0, site_id=2, name="worker2")
+    cluster.spawn(_lease_worker, "/db/h3", 6, 0, site_id=3, name="worker3")
+    cluster.run()
+    # Conflicting writer: site 3 locks site 2's leased file, forcing a
+    # recall callback before the grant.
+    cluster.spawn(_lease_worker, "/db/h2", 1, 64, site_id=3, name="recaller")
+    cluster.run()
+
+
 SCENARIOS = {
     "commit": scenario_commit,
     "wal": scenario_wal,
+    "lockcache": scenario_lockcache,
+}
+
+#: Per-scenario SystemConfig field overrides applied by run_scenario.
+SCENARIO_CONFIG = {
+    "lockcache": {"lock_cache": True},
 }
 
 
@@ -103,7 +142,13 @@ def run_scenario(name, site_ids=(1, 2, 3)):
     if name not in SCENARIOS:
         raise KeyError("unknown scenario %r (have: %s)"
                        % (name, ", ".join(sorted(SCENARIOS))))
-    cluster = Cluster(site_ids=site_ids)
+    config = None
+    overrides = SCENARIO_CONFIG.get(name)
+    if overrides:
+        from repro.config import SystemConfig
+
+        config = SystemConfig(**overrides)
+    cluster = Cluster(site_ids=site_ids, config=config)
     cluster.enable_observability()
     SCENARIOS[name](cluster)
     return cluster
@@ -131,6 +176,32 @@ def render_table(hub) -> str:
     return "\n".join(lines)
 
 
+def render_cache_table(hub) -> str:
+    """Per-site lock-cache effectiveness: hits, misses, hit rate,
+    recalls, piggybacked refreshes, and messages saved.  Empty string
+    when no site recorded any lock-cache counter (cache off)."""
+    counters = hub.counters_by_site()
+    rows = []
+    for site, values in counters.items():
+        hit = values.get("lock.cache.hit", 0)
+        miss = values.get("lock.cache.miss", 0)
+        recall = values.get("lock.cache.recall", 0)
+        refresh = values.get("lock.cache.refresh", 0)
+        saved = values.get("lock.cache.msgs_saved", 0)
+        if not (hit or miss or recall or refresh or saved):
+            continue
+        rate = "%6.1f%%" % (100.0 * hit / (hit + miss)) if hit + miss else "     --"
+        rows.append("%-6s %8d %8d %8s %8d %8d %10d" % (
+            site, hit, miss, rate, recall, refresh, saved,
+        ))
+    if not rows:
+        return ""
+    header = "%-6s %8s %8s %8s %8s %8s %10s" % (
+        "site", "hit", "miss", "hitrate", "recall", "refresh", "msgs-saved",
+    )
+    return "\n".join([header, "-" * len(header)] + rows)
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.report",
@@ -155,6 +226,10 @@ def main(argv=None):
              len(obs.spans.trace_ids())))
     print()
     print(render_table(obs.metrics))
+    cache_table = render_cache_table(obs.metrics)
+    if cache_table:
+        print("\n== lock cache ==")
+        print(cache_table)
 
     report = build_report(cluster, scenario=args.scenario)
     validate_report(report)

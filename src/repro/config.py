@@ -114,5 +114,21 @@ class SystemConfig:
     commit_protocol: str = "flat"
     tree_branching: int = 2
     rpc_timeout: float = 2.0             # declare a site unreachable after
+    rpc_idempotent_retries: int = 1      # deterministic resends of timed-out
+    #                                      idempotent requests (status
+    #                                      queries, lease recalls) before
+    #                                      declaring the site unreachable
     lock_wait_default: bool = True       # queue (True) or fail (False) on
     #                                      lock conflict, unless overridden
+
+    # Lease-based remote-lock caching (docs/LOCK_CACHE.md): a storage
+    # site grants a lease on the covering range along with a remote
+    # transaction lock, and the using site arbitrates later lock/unlock
+    # calls on leased ranges locally -- local-lock instruction cost,
+    # zero messages -- until an invalidation callback recalls the lease.
+    # Off by default so the fig5/fig6 paper reproductions are untouched.
+    lock_cache: bool = False
+    lock_cache_lease: float = 5.0        # lease duration (virtual seconds)
+    lock_cache_span: int = 16384         # lease granularity: requested
+    #                                      range rounded out to this many
+    #                                      bytes when nothing conflicts

@@ -197,9 +197,27 @@ class TransactionService:
         if proc.tid is not None:
             # Requesting-site caches for the finished transaction are
             # garbage from here on (holder ids are never reused).
-            site = self._site.cluster.site(proc.site_id)
-            site.lock_cache.drop_holder(("txn", proc.tid))
-            site.prefetch_cache.drop_holder(("txn", proc.tid))
+            holder = ("txn", proc.tid)
+            cluster = self._site.cluster
+            site = cluster.site(proc.site_id)
+            site.lock_cache.drop_holder(holder)
+            site.prefetch_cache.drop_holder(holder)
+            # Lease-local locks live at the *using* sites, which need
+            # not be 2PC participants; a committed transaction's are
+            # released here.  (Aborts release them in
+            # _abort_participant_body, after rollback, so a lease-local
+            # grant can never expose pre-rollback data.)  The leases
+            # themselves stay: the next transaction's first lock on a
+            # leased range is served locally.
+            txn = self.registry.get(proc.tid)
+            if txn is None or txn.state in (TxnState.COMMITTED, TxnState.RESOLVED):
+                lease_sites = {proc.site_id}
+                if txn is not None:
+                    lease_sites.update(txn.member_sites())
+                for sid in lease_sites:
+                    lease_site = cluster.sites.get(sid)
+                    if lease_site is not None and lease_site.up:
+                        lease_site.release_lease_locks(holder)
         proc.tid = None
         proc.nesting = 0
         proc.is_txn_top_level = False

@@ -77,12 +77,23 @@ def run_two_phase_commit(site, txn):
     def one_prepare(target, file_ids):
         if target == site.site_id:
             yield from prepare_participant(site, txn.tid, file_ids, site.site_id)
-        else:
-            yield from site.rpc.call(
-                target,
-                MessageKinds.PREPARE,
-                {"tid": txn.tid, "files": file_ids, "coordinator": site.site_id},
-            )
+            return
+        body = {"tid": txn.tid, "files": file_ids, "coordinator": site.site_id}
+        # Lease refresh piggybacks on the prepare message: committing
+        # regularly through a storage site keeps its leases warm with
+        # zero extra messages (docs/LOCK_CACHE.md).
+        leased = site.lease_cache.files_from(target)
+        if leased:
+            body["lease_refresh"] = leased
+        reply = yield from site.rpc.call(target, MessageKinds.PREPARE, body)
+        renewed = reply.get("lease_renewed") or ()
+        for file_id, expiry in renewed:
+            site.lease_cache.renew(tuple(file_id), expiry)
+        if renewed:
+            site.lease_cache.stats["refreshes"] += len(renewed)
+            obs = engine.obs
+            if obs is not None:
+                obs.incr(site.site_id, "lock.cache.refresh", len(renewed))
 
     workers = [
         engine.process(one_prepare(target, file_ids), name="prepare@%s" % target)
@@ -289,6 +300,7 @@ def _commit_participant_body(site, tid):
     site.prepared_coordinator.pop(tid, None)
     site.lock_manager.release_holder(holder)
     site.lock_cache.drop_holder(holder)
+    site.release_lease_locks(holder)
     _clear_prepare_logs(site, tid)
     site.trace("2pc.applied", tid=str(tid))
     return {"committed": True}
@@ -332,9 +344,10 @@ def _abort_participant_body(site, tid):
     for state in list(site.update_states.values()):
         if holder in state.owners():
             yield from state.abort(holder)
-    site.lock_manager.cancel_waits(holder, TransactionAborted(tid, "aborted"))
+    site.cancel_waits(holder, TransactionAborted(tid, "aborted"))
     site.lock_manager.release_holder(holder)
     site.lock_cache.drop_holder(holder)
+    site.release_lease_locks(holder)
     site.trace("2pc.aborted", tid=str(tid))
     return {"aborted": True}
 

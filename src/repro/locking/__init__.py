@@ -6,12 +6,17 @@ locking baseline."""
 from .cache import LockCache
 from .deadlock import build_wait_graph, choose_victim, find_cycle
 from .filelock import WHOLE_FILE, WholeFileLockManager
+from .lease import Lease, LeaseCache, LeaseRecalled, LeaseRegistry
 from .manager import LockCancelled, LockConflict, LockError, LockManager
 from .modes import LockMode, compatible, unix_access_allowed
 from .table import LockRecord, LockTable
 
 __all__ = [
     "WHOLE_FILE",
+    "Lease",
+    "LeaseCache",
+    "LeaseRecalled",
+    "LeaseRegistry",
     "LockCache",
     "LockCancelled",
     "LockConflict",

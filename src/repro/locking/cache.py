@@ -68,6 +68,19 @@ class LockCache:
         self.hits += 1
         return True
 
+    def holds_any(self, file_id, holder, start, end):
+        """Does the holder hold any cached lock overlapping the range?
+
+        Pure query for the lease-local fast path -- unlike
+        :meth:`covers` it does not count a hit or miss, so enabling the
+        lock cache does not perturb the section 5.1 cache statistics.
+        """
+        for mode in LockMode:
+            ranges = self._granted.get((file_id, holder, mode))
+            if ranges is not None and ranges.overlaps(start, end):
+                return True
+        return False
+
     def clear(self):
         """Forget everything (site crash)."""
         self._granted.clear()

@@ -16,6 +16,20 @@ local locking cheap, section 6.2).  It implements:
   from two-phase locking -- an unlock really releases them;
 * wait-for edge export for the out-of-kernel deadlock detector
   (section 3.1).
+
+Blocked requests are indexed per file *range* (fixed-width buckets), so
+an unlock re-examines only the waiters whose ranges overlap the bytes
+that changed, and wait-for edges are recomputed per dirty file rather
+than from scratch -- O(affected), not O(all waiters).  The grant order
+is provably the FIFO fixpoint order of the naive full rescan: a waiter
+whose range saw no table change is still blocked, so skipping it cannot
+reorder grants (tests/locking/test_wake_order_invariance.py checks this
+against the rescan algorithm directly).
+
+A second :class:`LockManager` instance serves as the *lease-local*
+arbiter at a using site when lock caching is enabled; the storage-site
+instance then carries a :class:`~repro.locking.lease.LeaseRegistry` in
+:attr:`LockManager.leases` (docs/LOCK_CACHE.md).
 """
 
 from __future__ import annotations
@@ -28,6 +42,13 @@ from .modes import LockMode
 from .table import LockTable
 
 __all__ = ["LockManager", "LockError", "LockConflict", "LockCancelled"]
+
+#: Waiter-index bucket width, in bytes.  Record-lock ranges are small
+#: (tens of bytes in the paper's workloads), so one bucket per waiter is
+#: the common case; a waiter spanning more than _WIDE_BUCKETS buckets is
+#: kept on a per-file "wide" list checked on every wake instead.
+_WAITER_BUCKET = 4096
+_WIDE_BUCKETS = 64
 
 
 class LockError(SimError):
@@ -48,15 +69,18 @@ class LockCancelled(LockError):
 
 
 class _Waiter:
-    __slots__ = ("event", "holder", "mode", "start", "end", "nontrans")
+    __slots__ = ("event", "holder", "mode", "start", "end", "nontrans",
+                 "seq", "buckets")
 
-    def __init__(self, event, holder, mode, start, end, nontrans):
+    def __init__(self, event, holder, mode, start, end, nontrans, seq):
         self.event = event
         self.holder = holder
         self.mode = mode
         self.start = start
         self.end = end
         self.nontrans = nontrans
+        self.seq = seq       # global FIFO rank; grant order follows it
+        self.buckets = None  # index buckets, or None when on the wide list
 
 
 class LockManager:
@@ -67,11 +91,18 @@ class LockManager:
         self._cost = cost
         self.site_id = site_id  # observability attribution only
         self._tables = {}       # file_id -> LockTable
-        self._queues = {}       # file_id -> deque[_Waiter]
+        self._queues = {}       # file_id -> deque[_Waiter] (FIFO)
+        self._buckets = {}      # file_id -> {bucket -> set[_Waiter]}
+        self._wide = {}         # file_id -> set[_Waiter]
         self._file_states = {}  # file_id -> OpenFileState (rule-2 hook)
+        self._edge_cache = {}   # file_id -> sorted wait-for edges
+        self._seq = 0
         # Invoked whenever a request queues; the cluster uses it to arm
         # the deadlock-detector system process on demand.
         self.wait_hook = None
+        # Storage-site lease registry (repro.locking.lease) when lock
+        # caching is enabled; None keeps every lease path inert.
+        self.leases = None
 
     # ------------------------------------------------------------------
     # wiring
@@ -86,13 +117,20 @@ class LockManager:
         """Drop all state for a file (last close)."""
         self._tables.pop(file_id, None)
         self._queues.pop(file_id, None)
+        self._buckets.pop(file_id, None)
+        self._wide.pop(file_id, None)
         self._file_states.pop(file_id, None)
+        self._edge_cache.pop(file_id, None)
 
     def table(self, file_id) -> LockTable:
         """The (lazily created) lock table for a file."""
         if file_id not in self._tables:
             self._tables[file_id] = LockTable()
         return self._tables[file_id]
+
+    def _touch(self, file_id):
+        """Invalidate derived state after a table or queue change."""
+        self._edge_cache.pop(file_id, None)
 
     # ------------------------------------------------------------------
     # lock / unlock
@@ -116,14 +154,15 @@ class LockManager:
                 obs.observe(self.site_id, "lock.wait", 0.0)
             self._do_grant(file_id, holder, mode, start, end, nontrans)
             # A mode *downgrade* (exclusive -> shared) can unblock queued
-            # readers; re-examine the waiters.
-            self._wake_waiters(file_id)
+            # readers; re-examine the waiters the grant could affect.
+            self._wake_waiters(file_id, [(start, end)])
             return True
         if not wait:
             raise LockConflict(blockers)
         event = self._engine.event()
-        waiter = _Waiter(event, holder, mode, start, end, nontrans)
-        self._queues.setdefault(file_id, deque()).append(waiter)
+        waiter = _Waiter(event, holder, mode, start, end, nontrans, self._seq)
+        self._seq += 1
+        self._add_waiter(file_id, waiter)
         if self.wait_hook is not None:
             self.wait_hook()
         span = queued_at = None
@@ -148,6 +187,7 @@ class LockManager:
     def _do_grant(self, file_id, holder, mode, start, end, nontrans):
         table = self.table(file_id)
         table.grant(holder, mode, start, end, nontrans=nontrans)
+        self._touch(file_id)
         if holder[0] == "txn" and not nontrans:
             self._adopt_dirty_records(file_id, holder, start, end)
 
@@ -181,7 +221,8 @@ class LockManager:
             table.retain(holder, start, end)
             return
         table.release(holder, start, end)
-        self._wake_waiters(file_id)
+        self._touch(file_id)
+        self._wake_waiters(file_id, [(start, end)])
 
     def unlock_auto(self, file_id, holder, start, end):
         """Generator: unlock with per-record discipline resolution.
@@ -194,7 +235,8 @@ class LockManager:
         table = self.table(file_id)
         if holder[0] == "proc":
             table.release(holder, start, end)
-            self._wake_waiters(file_id)
+            self._touch(file_id)
+            self._wake_waiters(file_id, [(start, end)])
             return
         released = False
         for rec in list(table.records()):
@@ -208,51 +250,183 @@ class LockManager:
                 hit = rec.ranges.clamp(start, end)
                 rec.retained = rec.retained.union(hit)
         if released:
-            self._wake_waiters(file_id)
+            self._touch(file_id)
+            self._wake_waiters(file_id, [(start, end)])
 
     def release_holder(self, holder):
         """Commit/abort: drop every lock and queued request of a holder
         across all files at this site."""
+        freed = {}
         for file_id, table in self._tables.items():
+            ranges = table.ranges_of(holder)
+            if ranges:
+                freed[file_id] = ranges.runs
             table.release_holder(holder)
+            self._touch(file_id)
         self.cancel_waits(holder, LockCancelled("holder %s finished" % (holder,)))
-        for file_id in list(self._tables):
-            self._wake_waiters(file_id)
+        for file_id, runs in freed.items():
+            self._wake_waiters(file_id, list(runs))
 
     def release_holder_on_file(self, file_id, holder):
         """Drop a holder's locks on one file (close of a non-transaction
         channel) and re-examine that file's waiters."""
-        self.table(file_id).release_holder(holder)
-        self._wake_waiters(file_id)
+        table = self.table(file_id)
+        freed = table.ranges_of(holder).runs
+        table.release_holder(holder)
+        self._touch(file_id)
+        if freed:
+            self._wake_waiters(file_id, list(freed))
 
     def cancel_waits(self, holder, exc):
         """Fail a holder's queued requests with ``exc``."""
-        for queue in self._queues.values():
-            doomed = [w for w in queue if w.holder == holder]
-            for w in doomed:
-                queue.remove(w)
-                if not w.event.triggered:
-                    w.event.fail(exc)
+        for file_id, queue in self._queues.items():
+            for waiter in [w for w in queue if w.holder == holder]:
+                self._remove_waiter(file_id, waiter)
+                if not waiter.event.triggered:
+                    waiter.event.fail(exc)
 
-    def _wake_waiters(self, file_id):
+    def fail_waiters(self, file_id, exc):
+        """Fail every request queued on one file (lease recall at a
+        using site: the waiters must retry through the storage site)."""
+        queue = self._queues.get(file_id)
+        while queue:
+            waiter = queue[0]
+            self._remove_waiter(file_id, waiter)
+            if not waiter.event.triggered:
+                waiter.event.fail(exc)
+
+    # ------------------------------------------------------------------
+    # waiter index
+    # ------------------------------------------------------------------
+
+    def _add_waiter(self, file_id, waiter):
+        self._queues.setdefault(file_id, deque()).append(waiter)
+        lo = waiter.start // _WAITER_BUCKET
+        hi = max(waiter.end - 1, waiter.start) // _WAITER_BUCKET
+        if hi - lo >= _WIDE_BUCKETS:
+            self._wide.setdefault(file_id, set()).add(waiter)
+        else:
+            waiter.buckets = range(lo, hi + 1)
+            buckets = self._buckets.setdefault(file_id, {})
+            for b in waiter.buckets:
+                buckets.setdefault(b, set()).add(waiter)
+        self._touch(file_id)
+
+    def _remove_waiter(self, file_id, waiter):
+        queue = self._queues.get(file_id)
+        if queue is not None:
+            try:
+                queue.remove(waiter)
+            except ValueError:
+                pass
+        if waiter.buckets is None:
+            self._wide.get(file_id, set()).discard(waiter)
+        else:
+            buckets = self._buckets.get(file_id, {})
+            for b in waiter.buckets:
+                members = buckets.get(b)
+                if members is not None:
+                    members.discard(waiter)
+                    if not members:
+                        del buckets[b]
+        self._touch(file_id)
+
+    def _candidates(self, file_id, changed):
+        """Queued waiters whose blocked-status may have flipped, FIFO.
+
+        ``changed`` is a list of (start, end) byte ranges the lock table
+        mutated under; None means "anything may have changed" (full
+        FIFO scan, used by the recovery paths)."""
         queue = self._queues.get(file_id)
         if not queue:
+            return []
+        if changed is None:
+            return list(queue)
+        found = set(self._wide.get(file_id, ()))
+        buckets = self._buckets.get(file_id)
+        if buckets:
+            for start, end in changed:
+                lo = start // _WAITER_BUCKET
+                hi = max(end - 1, start) // _WAITER_BUCKET
+                for b in range(lo, hi + 1):
+                    found.update(buckets.get(b, ()))
+        out = [
+            w for w in found
+            if any(w.start < end and start < w.end for start, end in changed)
+        ]
+        out.sort(key=lambda w: w.seq)
+        return out
+
+    def waiters(self, file_id):
+        """The FIFO queue for one file (read-only; lease granting checks
+        it so a lease window never overlaps a queued request)."""
+        return tuple(self._queues.get(file_id, ()))
+
+    def _wake_waiters(self, file_id, changed=None):
+        """Grant every queued request the table now admits.
+
+        Only waiters overlapping ``changed`` ranges are re-examined: a
+        waiter queued because of a conflict stays blocked until some
+        record in *its* range is released or converted, so untouched
+        waiters are provably still blocked.  Ranges granted in one pass
+        feed the next pass (a grant can downgrade-convert the holder's
+        other-mode locks and unblock readers), which reproduces the
+        naive full-rescan fixpoint's FIFO grant order exactly.
+        """
+        if not self._queues.get(file_id):
             return
         table = self.table(file_id)
+        if changed is not None:
+            changed = list(changed)
         progressed = True
         while progressed:
             progressed = False
-            for waiter in list(queue):
-                if table.conflicts(waiter.holder, waiter.mode, waiter.start, waiter.end):
+            for waiter in self._candidates(file_id, changed):
+                if table.conflicts(waiter.holder, waiter.mode,
+                                   waiter.start, waiter.end):
                     continue
-                queue.remove(waiter)
+                self._remove_waiter(file_id, waiter)
                 self._do_grant(
                     file_id, waiter.holder, waiter.mode,
                     waiter.start, waiter.end, waiter.nontrans,
                 )
                 if not waiter.event.triggered:
                     waiter.event.succeed(True)
+                if changed is not None:
+                    changed.append((waiter.start, waiter.end))
                 progressed = True
+
+    # ------------------------------------------------------------------
+    # lease support (lock caching, docs/LOCK_CACHE.md)
+    # ------------------------------------------------------------------
+
+    def mirror_grant(self, file_id, holder, mode, start, end, nontrans=False):
+        """Install a lock the storage site just granted into this
+        (using-site, lease-local) manager without charging instructions:
+        the storage site already arbitrated and charged for it."""
+        self._do_grant(file_id, holder, mode, start, end, nontrans)
+        self._wake_waiters(file_id, [(start, end)])
+
+    def install_remote_locks(self, file_id, records):
+        """Adopt lock state a recalled leaseholder shipped back.
+
+        ``records`` is the wire form produced by
+        ``Site.surrender_lease``: (holder, mode name, nontrans, ranges
+        runs, retained runs) tuples.  Grants cannot conflict -- they
+        were made under the lease's exclusive authority over the range.
+        """
+        changed = []
+        for holder, mode_name, nontrans, runs, retained in records:
+            holder = tuple(holder)
+            mode = LockMode[mode_name]
+            for lo, hi in runs:
+                self._do_grant(file_id, holder, mode, lo, hi, nontrans)
+                changed.append((lo, hi))
+            for lo, hi in retained:
+                self.table(file_id).retain(holder, lo, hi)
+        if changed:
+            self._touch(file_id)
+            self._wake_waiters(file_id, changed)
 
     # ------------------------------------------------------------------
     # access validation and attribution
@@ -290,16 +464,29 @@ class LockManager:
 
     def wait_edges(self):
         """(waiter, blocker) holder pairs for the wait-for graph --
-        the operating-system data interface of section 3.1."""
-        edges = []
+        the operating-system data interface of section 3.1.
+
+        Edges are cached per file and recomputed only for files whose
+        table or queue changed since the last export."""
+        edges = set()
         for file_id, queue in self._queues.items():
-            table = self.table(file_id)
-            for waiter in queue:
-                for blocker in table.conflicts(
-                    waiter.holder, waiter.mode, waiter.start, waiter.end
-                ):
-                    edges.append((waiter.holder, blocker))
-        return sorted(set(edges))
+            if not queue:
+                continue
+            cached = self._edge_cache.get(file_id)
+            if cached is None:
+                cached = self._edge_cache[file_id] = self._file_edges(file_id)
+            edges.update(cached)
+        return sorted(edges)
+
+    def _file_edges(self, file_id):
+        table = self.table(file_id)
+        edges = set()
+        for waiter in self._queues.get(file_id, ()):
+            for blocker in table.conflicts(
+                waiter.holder, waiter.mode, waiter.start, waiter.end
+            ):
+                edges.add((waiter.holder, blocker))
+        return sorted(edges)
 
     def waiting_holders(self):
         """Holders with at least one queued request."""

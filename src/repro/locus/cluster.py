@@ -86,11 +86,13 @@ class Cluster:
         site = Site(self, site_id, volume_names=volume_names)
         self.sites[site_id] = site
         site.lock_manager.wait_hook = self._arm_deadlock_scan
+        site.lease_manager.wait_hook = self._arm_deadlock_scan
         site.on_incore_reset = self._rewire_site_hooks
         return site
 
     def _rewire_site_hooks(self, site):
         site.lock_manager.wait_hook = self._arm_deadlock_scan
+        site.lease_manager.wait_hook = self._arm_deadlock_scan
 
     def site(self, site_id) -> Site:
         """The Site object for ``site_id``."""
@@ -231,7 +233,7 @@ class Cluster:
         if not up_sites:
             return
         home = up_sites[0]
-        edge_lists = [home.lock_manager.wait_edges()]
+        edge_lists = [home.wait_edges()]
         for site in up_sites[1:]:
             try:
                 reply = yield from home.rpc.call(
@@ -252,9 +254,7 @@ class Cluster:
             else:
                 for site in self.sites.values():
                     if site.up:
-                        site.lock_manager.cancel_waits(
-                            victim, LockCancelled("deadlock victim")
-                        )
+                        site.cancel_waits(victim, LockCancelled("deadlock victim"))
         # Keep scanning while the wait picture is still evolving.  A
         # stalled, cycle-free wait set cannot deadlock until some *new*
         # request queues -- and that re-arms us through the wait hook --
@@ -265,7 +265,7 @@ class Cluster:
             (site.site_id, holder)
             for site in self.sites.values()
             if site.up
-            for holder in site.lock_manager.waiting_holders()
+            for holder in site.waiting_holders()
         )
         if waitset and (cycle is not None or waitset != self._last_waitset):
             self._arm_deadlock_scan()
@@ -279,9 +279,39 @@ class Cluster:
 
     def _on_topology_event(self, event):
         if event["type"] in ("site_down", "partition"):
+            self._expire_leases(event)
             self.engine.process(
                 self._handle_topology_change(), name="topology-handler"
             )
+
+    def _expire_leases(self, event):
+        """Lease safety across failures (docs/LOCK_CACHE.md): a using
+        site stops serving from leases whose storage site became
+        unreachable the moment the topology change is detected; a
+        storage site immediately forgets leases granted to a *crashed*
+        site (its lease-local lock state died with it).  Leases granted
+        across a mere partition are instead waited out at the storage
+        site -- the recall path overrides them only past their expiry."""
+        from repro.locking import LeaseRecalled
+
+        for site in self.sites.values():
+            if not site.up:
+                continue
+            me = site.site_id
+            dropped = site.lease_cache.drop_unreachable(
+                lambda sid: self.network.reachable(me, sid)
+            )
+            for file_id in dropped:
+                site.lease_manager.fail_waiters(
+                    file_id,
+                    LeaseRecalled("lease on %r lost: storage unreachable"
+                                  % (file_id,)),
+                )
+                site.lease_manager.forget_file(file_id)
+            if event["type"] == "site_down":
+                registry = site.lock_manager.leases
+                if registry is not None:
+                    registry.drop_site(event["site"])
 
     def _handle_topology_change(self):
         """Abort every pre-commit-point transaction that now spans

@@ -17,7 +17,7 @@ process and hands it a :class:`Syscalls` facade.  Every syscall:
 from __future__ import annotations
 
 from repro.core.filelist import merge_file_list
-from repro.locking import LockCancelled, LockConflict
+from repro.locking import LeaseRecalled, LockCancelled, LockConflict, LockMode
 from repro.net import HEADER_BYTES, MessageKinds, RemoteError, SiteUnreachable
 from repro.sim import Interrupt
 
@@ -403,20 +403,10 @@ class Kernel:
                 proc_holder=proc.proc_holder(),
             )
         else:
-            reply = yield from self._remote(
-                site, ch.storage_site, MessageKinds.LOCK_REQUEST,
-                {
-                    "file_id": ch.file_id, "holder": holder, "mode": mode,
-                    "start": start, "length": length, "nontrans": nontrans,
-                    "wait": wait, "append": append,
-                    "proc_holder": proc.proc_holder(),
-                },
-                timeout=_LOCK_RPC_TIMEOUT if wait else None,
+            rng = yield from self._remote_lock_call(
+                proc, ch, site, holder, start, length, mode, wait, nontrans,
+                append,
             )
-            rng = tuple(reply["range"])
-            if "prefetch" in reply:
-                span_start, data = reply["prefetch"]
-                site.prefetch_cache.store(ch.file_id, holder, span_start, data)
         if mode == "unlock":
             site.lock_cache.record_release(ch.file_id, holder, rng[0], rng[1])
             site.lock_cache.record_release(
@@ -427,13 +417,92 @@ class Kernel:
                 ch.file_id, proc.proc_holder(), rng[0], rng[1]
             )
         else:
-            from repro.locking import LockMode
-
             lock_mode = (
                 LockMode.EXCLUSIVE if mode == "exclusive" else LockMode.SHARED
             )
             site.lock_cache.record_grant(ch.file_id, holder, lock_mode, rng[0], rng[1])
         return rng
+
+    def _remote_lock_call(self, proc, ch, site, holder, start, length, mode,
+                          wait, nontrans, append):
+        """Remote branch of :meth:`_lock_call`: serve the request from
+        this site's lease when one covers the range (local-lock
+        instruction cost, zero messages), otherwise RPC to the storage
+        site -- asking it for a lease on the way (docs/LOCK_CACHE.md)."""
+        cacheable = (
+            getattr(self.config, "lock_cache", False)
+            and not append and not nontrans and holder[0] == "txn"
+        )
+        end = start + length
+        obs = self.engine.obs
+        if cacheable and site.lease_cache.covers(
+            ch.file_id, start, end, self.engine.now
+        ):
+            if mode == "unlock":
+                if not site.lock_cache.holds_any(
+                    ch.file_id, proc.proc_holder(), start, end
+                ):
+                    yield from site.lease_manager.unlock_auto(
+                        ch.file_id, holder, start, end
+                    )
+                    self._lease_hit(site, obs)
+                    return (start, end)
+                # The process holds pre-transaction locks here too; only
+                # the storage site can release those (section 3.4).
+            else:
+                lock_mode = (LockMode.EXCLUSIVE if mode == "exclusive"
+                             else LockMode.SHARED)
+                started = self.engine.now
+                try:
+                    yield from site.lease_manager.lock(
+                        ch.file_id, holder, lock_mode, start, end,
+                        nontrans=False, wait=wait,
+                    )
+                except LeaseRecalled:
+                    pass  # recalled while queued: retry via the RPC path
+                else:
+                    self._lease_hit(site, obs)
+                    if obs is not None:
+                        obs.observe(site.site_id, "lock.cache.local",
+                                    self.engine.now - started)
+                    return (start, end)
+        if cacheable:
+            site.lease_cache.stats["misses"] += 1
+            if obs is not None:
+                obs.incr(site.site_id, "lock.cache.miss")
+        reply = yield from self._remote(
+            site, ch.storage_site, MessageKinds.LOCK_REQUEST,
+            {
+                "file_id": ch.file_id, "holder": holder, "mode": mode,
+                "start": start, "length": length, "nontrans": nontrans,
+                "wait": wait, "append": append,
+                "proc_holder": proc.proc_holder(),
+                "lease": cacheable,
+            },
+            timeout=_LOCK_RPC_TIMEOUT if wait else None,
+        )
+        rng = tuple(reply["range"])
+        if "prefetch" in reply:
+            span_start, data = reply["prefetch"]
+            site.prefetch_cache.store(ch.file_id, holder, span_start, data)
+        if "lease" in reply:
+            lo, hi, expiry = reply["lease"]
+            site.lease_cache.grant(ch.file_id, ch.storage_site, lo, hi, expiry)
+            lock_mode = (LockMode.EXCLUSIVE if mode == "exclusive"
+                         else LockMode.SHARED)
+            site.lease_manager.mirror_grant(
+                ch.file_id, holder, lock_mode, rng[0], rng[1]
+            )
+            site.lease_cache.note_mirrored(ch.file_id, holder, rng[0], rng[1])
+        return rng
+
+    def _lease_hit(self, site, obs):
+        site.lease_cache.stats["hits"] += 1
+        # A cached lock or unlock cycle skips one request/reply pair.
+        site.lease_cache.stats["msgs_saved"] += 2
+        if obs is not None:
+            obs.incr(site.site_id, "lock.cache.hit")
+            obs.incr(site.site_id, "lock.cache.msgs_saved", 2)
 
     def _implicit_lock(self, proc, ch, start, end, mode):
         """Section 3.1: a transaction's accesses lock implicitly unless

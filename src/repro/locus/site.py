@@ -21,8 +21,17 @@ from repro.core.twophase import (
     coordinator_status,
     prepare_participant,
 )
-from repro.locking import LockCache, LockManager, LockMode
-from repro.net import MessageKinds, RpcEndpoint
+from repro.locking import (
+    LeaseCache,
+    LeaseRecalled,
+    LeaseRegistry,
+    LockCache,
+    LockManager,
+    LockMode,
+)
+from repro.net import MessageKinds, RpcEndpoint, RpcError
+from repro.rangeset import RangeSet
+from repro.sim import AllOf
 from repro.storage import BufferCache, LogFile, OpenFileState, Volume
 
 from .errors import AccessDenied, KernelError
@@ -52,7 +61,9 @@ class Site:
             self.add_volume(name)
 
         self.rpc = RpcEndpoint(
-            self.engine, cluster.network, site_id, timeout=self.config.rpc_timeout
+            self.engine, cluster.network, site_id,
+            timeout=self.config.rpc_timeout,
+            retries=getattr(self.config, "rpc_idempotent_retries", 0),
         )
         self.coordinator_log = LogFile(
             self.engine, self.cost, self.root_volume, "coordinator",
@@ -114,6 +125,18 @@ class Site:
         self.lock_manager = LockManager(self.engine, self.cost,
                                         site_id=self.site_id)
         self.lock_cache = LockCache()
+        # Lease-based lock caching (docs/LOCK_CACHE.md).  The registry
+        # (storage side) exists only when the feature is on; the lease
+        # manager and cache (using side) are always present but inert
+        # without it, so every code path can reference them.
+        if getattr(self.config, "lock_cache", False):
+            self.lock_manager.leases = LeaseRegistry(
+                span=self.config.lock_cache_span,
+                duration=self.config.lock_cache_lease,
+            )
+        self.lease_manager = LockManager(self.engine, self.cost,
+                                         site_id=self.site_id)
+        self.lease_cache = LeaseCache()
         self.update_states = {}   # file_id -> OpenFileState
         self.open_refs = {}       # file_id -> int
         self.prepared = {}        # tid -> [IntentionsList]
@@ -198,6 +221,10 @@ class Site:
             if append:
                 start = state.size
             end = start + length
+        if mode != "unlock":
+            # Leased ranges are arbitrated at the leaseholder; recall
+            # any conflicting lease before consulting the local table.
+            yield from self.recall_leases(file_id, start, end)
         if mode == "unlock":
             yield from self.lock_manager.unlock_auto(file_id, holder, start, end)
             if (
@@ -228,6 +255,7 @@ class Site:
         already locked by the kernel's implicit-locking step."""
         state = self.update_state(file_id)
         if not is_txn:
+            yield from self.recall_leases(file_id, start, start + max(nbytes, 1))
             blockers = self.lock_manager.unix_access_blockers(
                 file_id, accessor_holder, False, start, start + max(nbytes, 1)
             )
@@ -247,6 +275,7 @@ class Site:
             start = state.size
         end = start + len(data)
         if tid is None:
+            yield from self.recall_leases(file_id, start, end)
             blockers = self.lock_manager.unix_access_blockers(
                 file_id, ("proc", pid), True, start, end
             )
@@ -263,6 +292,138 @@ class Site:
         return self.update_state(file_id).size
 
     # ------------------------------------------------------------------
+    # lock-cache leases (docs/LOCK_CACHE.md)
+    # ------------------------------------------------------------------
+
+    def grant_lease(self, file_id, origin, holder, mode, nontrans, start, end):
+        """Storage side: try to lease the covering range of a lock just
+        granted to remote site ``origin``; returns (lo, hi, expiry) or
+        None.  Only exclusive transaction locks carry leases: a lease is
+        exclusive *authority* over the range, which a shared or
+        non-transaction grant does not justify."""
+        registry = self.lock_manager.leases
+        if registry is None or nontrans or mode != "exclusive":
+            return None
+        if holder[0] != "txn":
+            return None
+        return registry.grant(
+            file_id, origin, holder, start, end, self.engine.now,
+            self.lock_manager,
+        )
+
+    def recall_leases(self, file_id, start, end):
+        """Generator: invalidate every lease conflicting with
+        ``[start, end)`` and wait until the range is back under this
+        (storage) site's sole authority.  Concurrent conflicting
+        requests share one callback per lease."""
+        registry = self.lock_manager.leases
+        if registry is None:
+            return
+        while True:
+            conflicting = registry.conflicting(file_id, start, end)
+            if not conflicting:
+                return
+            events = []
+            for lease in conflicting:
+                if lease.recall_event is None:
+                    lease.recall_event = self.engine.event()
+                    self.engine.process(
+                        self._recall_one(file_id, lease),
+                        name="lease-recall:%s->%s" % (self.site_id, lease.site_id),
+                    )
+                events.append(lease.recall_event)
+            yield AllOf(self.engine, events)
+
+    def _recall_one(self, file_id, lease):
+        """Generator (system process): one invalidation callback.  If the
+        leaseholder is unreachable even after the idempotent retry, the
+        lease is only overridden once its term has expired -- past that
+        point the holder no longer grants from it (shared clock; in a
+        real system, bounded drift)."""
+        registry = self.lock_manager.leases
+        event = lease.recall_event
+        obs = self.engine.obs
+        started = self.engine.now
+        try:
+            try:
+                reply = yield from self.rpc.call(
+                    lease.site_id, MessageKinds.LEASE_RECALL,
+                    {"file_id": file_id, "ranges": list(lease.ranges.runs)},
+                )
+            except RpcError:
+                remaining = lease.expiry - self.engine.now
+                if (registry.lease_of(file_id, lease.site_id) is lease
+                        and remaining > 0):
+                    yield self.engine.timeout(remaining)
+            else:
+                self.lock_manager.install_remote_locks(
+                    file_id, reply.get("locks", ())
+                )
+            registry.drop(file_id, lease.site_id)
+            if obs is not None:
+                obs.incr(self.site_id, "lock.cache.recall")
+                obs.observe(self.site_id, "lock.cache.recall",
+                            self.engine.now - started)
+        finally:
+            lease.recall_event = None
+            if not event.triggered:
+                event.succeed(True)
+
+    def surrender_lease(self, file_id):
+        """Using side: give a lease back.  Queued lease-local waiters
+        are failed (they retry through the storage site); lock state the
+        storage site has never seen -- everything beyond the mirrored
+        grants -- is packaged for the recall reply; then all local lease
+        state for the file is dropped."""
+        self.lease_manager.fail_waiters(
+            file_id, LeaseRecalled("lease on %r recalled" % (file_id,))
+        )
+        mirrored = self.lease_cache.mirrored_of(file_id)
+        records = []
+        for rec in self.lease_manager.table(file_id).records():
+            known = mirrored.get(rec.holder, RangeSet())
+            novel = rec.ranges.difference(known)
+            if not novel:
+                continue
+            retained = rec.retained.intersection(novel)
+            records.append((
+                rec.holder, rec.mode.name, rec.nontrans,
+                list(novel.runs), list(retained.runs),
+            ))
+        self.lease_manager.forget_file(file_id)
+        self.lease_cache.drop_file(file_id)
+        self.lease_cache.stats["recalls"] += 1
+        return records
+
+    def release_lease_locks(self, holder):
+        """Drop a finished holder's lease-local locks and mirror
+        bookkeeping (commit/abort cleanup; the leases themselves stay,
+        which is the whole point -- the next transaction's first lock on
+        a leased range is served locally)."""
+        self.lease_manager.release_holder(holder)
+        self.lease_cache.drop_holder(holder)
+
+    def wait_edges(self):
+        """Wait-for edges from both the storage-site table and the
+        lease-local one (a lease-local wait is as deadlock-capable as a
+        remote one, section 3.1)."""
+        edges = set(self.lock_manager.wait_edges())
+        edges.update(self.lease_manager.wait_edges())
+        return sorted(edges)
+
+    def waiting_holders(self):
+        """Holders queued at either lock manager."""
+        return sorted(
+            set(self.lock_manager.waiting_holders())
+            | set(self.lease_manager.waiting_holders())
+        )
+
+    def cancel_waits(self, holder, exc):
+        """Fail a holder's queued requests at both lock managers."""
+        self.lock_manager.cancel_waits(holder, exc)
+        self.lease_manager.cancel_waits(holder, exc)
+
+    # ------------------------------------------------------------------
     # RPC handlers
     # ------------------------------------------------------------------
 
@@ -270,6 +431,7 @@ class Site:
         reg = self.rpc.register
         reg(MessageKinds.LOCK_REQUEST, functools.partial(_h_lock, self))
         reg(MessageKinds.LOCK_RELEASE, functools.partial(_h_unlock, self))
+        reg(MessageKinds.LEASE_RECALL, functools.partial(_h_lease_recall, self))
         reg(MessageKinds.FILE_OPEN, functools.partial(_h_open, self))
         reg(MessageKinds.FILE_CLOSE, functools.partial(_h_close, self))
         reg(MessageKinds.PAGE_READ, functools.partial(_h_read, self))
@@ -330,20 +492,30 @@ class Site:
 # ----------------------------------------------------------------------
 
 def _h_lock(site, body, _src):
+    file_id = tuple(body["file_id"])
     result = yield from site.do_lock(
-        tuple(body["file_id"]), body["holder"], body["mode"], body["start"],
+        file_id, body["holder"], body["mode"], body["start"],
         body["length"], body["nontrans"], body["wait"], body["append"],
         proc_holder=body.get("proc_holder"), want_prefetch=True,
     )
+    nbytes = None
     if len(result) == 3:
         start, end, (span_start, data) = result
         from repro.net import HEADER_BYTES
 
-        return (
-            {"range": (start, end), "prefetch": (span_start, data)},
-            HEADER_BYTES + len(data),
+        reply = {"range": (start, end), "prefetch": (span_start, data)}
+        nbytes = HEADER_BYTES + len(data)
+    else:
+        start, end = result
+        reply = {"range": result}
+    if body.get("lease"):
+        lease = site.grant_lease(
+            file_id, _src, body["holder"], body["mode"], body["nontrans"],
+            start, end,
         )
-    return {"range": result}
+        if lease is not None:
+            reply["lease"] = lease
+    return reply if nbytes is None else (reply, nbytes)
 
 
 def _h_unlock(site, body, _src):
@@ -397,7 +569,28 @@ def _h_prepare(site, body, _src):
     result = yield from prepare_participant(
         site, body["tid"], [tuple(f) for f in body["files"]], body["coordinator"]
     )
+    # Lease refresh piggybacks on the prepare round trip: no separate
+    # renewal messages on the commit path (docs/LOCK_CACHE.md).
+    registry = site.lock_manager.leases
+    refresh = body.get("lease_refresh")
+    if registry is not None and refresh:
+        renewed = []
+        for file_id in refresh:
+            expiry = registry.refresh(tuple(file_id), _src, site.engine.now)
+            if expiry is not None:
+                renewed.append((tuple(file_id), expiry))
+        if renewed:
+            result = dict(result)
+            result["lease_renewed"] = renewed
     return result
+
+
+def _h_lease_recall(site, body, _src):
+    """Invalidation callback: surrender the lease on a file, shipping
+    back the lock state this (using) site accumulated under it."""
+    yield site.engine.charge(site.cost.instr(site.cost.trans_msg_instr))
+    locks = site.surrender_lease(tuple(body["file_id"]))
+    return {"locks": locks}
 
 
 def _h_commit(site, body, _src):
@@ -419,4 +612,4 @@ def _h_waitfor(site, body, _src):
     """Section 3.1's 'interface to operating system data': expose this
     kernel's wait-for edges to the deadlock-detector system process."""
     yield site.engine.charge(site.cost.instr(site.cost.trans_msg_instr))
-    return {"edges": site.lock_manager.wait_edges()}
+    return {"edges": site.wait_edges()}

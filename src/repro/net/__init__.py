@@ -3,10 +3,13 @@ and the lightweight RPC protocol used between Locus kernels."""
 
 from .messages import HEADER_BYTES, Message, MessageKinds
 from .network import Network, NetworkError
-from .rpc import RemoteError, RpcEndpoint, RpcError, SiteUnreachable
+from .rpc import (
+    IDEMPOTENT_KINDS, RemoteError, RpcEndpoint, RpcError, SiteUnreachable,
+)
 
 __all__ = [
     "HEADER_BYTES",
+    "IDEMPOTENT_KINDS",
     "Message",
     "MessageKinds",
     "Network",

@@ -53,9 +53,11 @@ class Message:
 class MessageKinds:
     """Well-known message kinds (section references in parentheses)."""
 
-    # record locking (5.1)
+    # record locking (5.1); LEASE_RECALL is the lock-cache invalidation
+    # callback (docs/LOCK_CACHE.md)
     LOCK_REQUEST = "lock.request"
     LOCK_RELEASE = "lock.release"
+    LEASE_RECALL = "lock.lease_recall"
 
     # remote file service
     FILE_OPEN = "file.open"

@@ -40,6 +40,10 @@ class Network:
         self._observers = []      # callables(event_dict)
         self._detection_delay = detection_delay
         self.stats = Stats()
+        # Deterministic fault-injection hook for tests: when set, a
+        # message for which ``loss_filter(message)`` is truthy is
+        # dropped (counted in net.dropped) instead of delivered.
+        self.loss_filter = None
 
     # ------------------------------------------------------------------
     # attachment
@@ -140,6 +144,9 @@ class Network:
         if obs is not None:
             obs.observe(message.src, "net.msg.bytes", message.nbytes)
         if not self.reachable(message.src, message.dst):
+            self.stats.incr("net.dropped")
+            return
+        if self.loss_filter is not None and self.loss_filter(message):
             self.stats.incr("net.dropped")
             return
         delay = self._cost.message_time(message.nbytes)

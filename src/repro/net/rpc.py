@@ -15,9 +15,19 @@ from __future__ import annotations
 
 from repro.sim import AnyOf, SimError
 
-from .messages import HEADER_BYTES, Message
+from .messages import HEADER_BYTES, Message, MessageKinds
 
-__all__ = ["RpcEndpoint", "RpcError", "RemoteError", "SiteUnreachable"]
+__all__ = ["RpcEndpoint", "RpcError", "RemoteError", "SiteUnreachable",
+           "IDEMPOTENT_KINDS"]
+
+#: Request kinds that are safe to resend verbatim after a timeout: pure
+#: status queries, and the lease-recall callback (re-recalling an
+#: already-surrendered lease is a no-op at the leaseholder).
+IDEMPOTENT_KINDS = frozenset({
+    MessageKinds.TXN_STATUS,
+    MessageKinds.WAITFOR_QUERY,
+    MessageKinds.LEASE_RECALL,
+})
 
 
 class RpcError(SimError):
@@ -35,11 +45,12 @@ class RemoteError(RpcError):
 class RpcEndpoint:
     """One site's attachment to the network."""
 
-    def __init__(self, engine, network, site_id, timeout=2.0):
+    def __init__(self, engine, network, site_id, timeout=2.0, retries=0):
         self._engine = engine
         self._network = network
         self.site_id = site_id
         self.timeout = timeout
+        self.retries = retries  # extra sends for IDEMPOTENT_KINDS only
         self._mailbox = network.attach(site_id)
         self._handlers = {}
         self._pending = {}  # msg_id -> Event awaiting the reply
@@ -125,8 +136,26 @@ class RpcEndpoint:
         """Generator: send a request and wait for the reply body.
 
         Raises :class:`SiteUnreachable` on timeout and
-        :class:`RemoteError` if the handler failed.
+        :class:`RemoteError` if the handler failed.  Timed-out requests
+        of :data:`IDEMPOTENT_KINDS` are deterministically resent up to
+        :attr:`retries` times before the failure surfaces -- one lost
+        message (or lost reply) must not wedge a status query or a lease
+        recall for good.
         """
+        limit = self.timeout if timeout is None else timeout
+        attempts = 1
+        if kind in IDEMPOTENT_KINDS and limit != float("inf"):
+            attempts += max(int(self.retries), 0)
+        failure = None
+        for _ in range(attempts):
+            try:
+                result = yield from self._call_once(dst, kind, body, nbytes, limit)
+                return result
+            except SiteUnreachable as exc:
+                failure = exc
+        raise failure
+
+    def _call_once(self, dst, kind, body, nbytes, limit):
         obs = self._engine.obs
         span = trace_ctx = None
         if obs is not None:
@@ -138,7 +167,6 @@ class RpcEndpoint:
         reply_ev = self._engine.event()
         self._pending[msg.msg_id] = reply_ev
         self._network.send(msg)
-        limit = self.timeout if timeout is None else timeout
         try:
             if limit == float("inf"):
                 # No timer: the caller waits as long as it takes (queued lock

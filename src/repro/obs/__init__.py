@@ -86,3 +86,6 @@ class Observability:
 
     def observe(self, site, name, value):
         self.metrics.observe(site, name, value)
+
+    def incr(self, site, name, value=1):
+        self.metrics.incr(site, name, value)

@@ -111,17 +111,19 @@ def build_report(cluster, scenario="") -> dict:
     byte-identical.
     """
     from repro import __version__
+    from .schema import SCHEMA_ID
 
     obs = cluster.obs
     if obs is None:
         raise ValueError("cluster has no observability attached; "
                          "call cluster.enable_observability() first")
     doc = {
-        "schema": "repro.bench_report/1",
+        "schema": SCHEMA_ID,
         "generator": "repro %s" % __version__,
         "scenario": scenario,
         "virtual_time": cluster.engine.now,
         "sites": metrics_to_json(obs.metrics),
+        "counters": obs.metrics.counters_by_site(),
         "spans": {
             "recorded": len(obs.spans),
             "dropped": obs.spans.dropped,

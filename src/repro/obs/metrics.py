@@ -8,9 +8,11 @@ sum / min / max; percentiles interpolate within the winning bucket and
 are clamped to the exact observed range, so all-equal samples report
 that exact value.
 
-:class:`MetricsHub` groups histograms by ``(site, name)``.  Everything
-here is pure bookkeeping: recording a sample never touches the virtual
-clock.
+:class:`MetricsHub` groups histograms by ``(site, name)``, and also
+keeps plain monotonic **counters** for events whose *count* is the
+story (cache hits, messages saved) rather than their latency.
+Everything here is pure bookkeeping: recording a sample never touches
+the virtual clock.
 """
 
 from __future__ import annotations
@@ -131,6 +133,7 @@ class MetricsHub:
     def __init__(self, bounds=None):
         self._bounds = bounds
         self._histograms = {}  # (site_key, name) -> Histogram
+        self._counters = {}    # (site_key, name) -> int
 
     @staticmethod
     def _site_key(site):
@@ -145,9 +148,18 @@ class MetricsHub:
             self._histograms[key] = hist
         hist.observe(value)
 
+    def incr(self, site, name, value=1):
+        """Bump the (site, name) counter by ``value``."""
+        key = (self._site_key(site), name)
+        self._counters[key] = self._counters.get(key, 0) + int(value)
+
     def histogram(self, site, name) -> Histogram:
         """The (site, name) histogram, or None if never observed."""
         return self._histograms.get((self._site_key(site), name))
+
+    def counter(self, site, name) -> int:
+        """The (site, name) counter value (0 if never bumped)."""
+        return self._counters.get((self._site_key(site), name), 0)
 
     def sites(self):
         return sorted({site for site, _name in self._histograms})
@@ -174,6 +186,13 @@ class MetricsHub:
         out = {}
         for (site, name), hist in sorted(self._histograms.items()):
             out.setdefault(site, {})[name] = hist.summary()
+        return out
+
+    def counters_by_site(self) -> dict:
+        """{site: {name: int}} -- the report's counters section."""
+        out = {}
+        for (site, name), value in sorted(self._counters.items()):
+            out.setdefault(site, {})[name] = value
         return out
 
     def __len__(self):

@@ -17,7 +17,12 @@ from __future__ import annotations
 
 __all__ = ["SCHEMA_ID", "REQUIRED_METRICS", "validate_report", "SchemaError"]
 
-SCHEMA_ID = "repro.bench_report/1"
+SCHEMA_ID = "repro.bench_report/2"
+
+#: Schema versions this validator accepts.  v2 added the per-site
+#: ``counters`` section (monotonic event counts, e.g. lock-cache hits);
+#: v1 documents remain valid with counters treated as absent.
+_ACCEPTED_SCHEMAS = ("repro.bench_report/1", SCHEMA_ID)
 
 #: Metric families every report must carry in at least one site
 #: (the per-phase breakdown the analysis layer is built on).
@@ -27,7 +32,7 @@ _SUMMARY_NUMBERS = ("count", "sum", "min", "max", "mean", "p50", "p95", "p99")
 
 
 class SchemaError(ValueError):
-    """The document does not conform to ``repro.bench_report/1``."""
+    """The document does not conform to ``repro.bench_report/2``."""
 
 
 def _fail(problems):
@@ -44,8 +49,9 @@ def validate_report(doc) -> int:
     problems = []
     if not isinstance(doc, dict):
         _fail(["top level is %s, expected object" % type(doc).__name__])
-    if doc.get("schema") != SCHEMA_ID:
-        problems.append("schema is %r, expected %r" % (doc.get("schema"), SCHEMA_ID))
+    if doc.get("schema") not in _ACCEPTED_SCHEMAS:
+        problems.append("schema is %r, expected one of %r"
+                        % (doc.get("schema"), _ACCEPTED_SCHEMAS))
     for key, kind in (("generator", str), ("scenario", str),
                       ("virtual_time", (int, float)), ("sites", dict),
                       ("spans", dict)):
@@ -61,6 +67,22 @@ def validate_report(doc) -> int:
     for key in ("recorded", "dropped", "traces"):
         if not isinstance(spans.get(key), int):
             problems.append("spans.%s missing or not an integer" % key)
+
+    if doc["schema"] == SCHEMA_ID:
+        counters = doc.get("counters")
+        if not isinstance(counters, dict):
+            problems.append("counters missing or not an object (v2 requires it)")
+        else:
+            for site, values in sorted(counters.items()):
+                if not isinstance(values, dict):
+                    problems.append("counters[%r] is not an object" % site)
+                    continue
+                for name, value in sorted(values.items()):
+                    if not isinstance(value, int) or isinstance(value, bool):
+                        problems.append(
+                            "counters[%r][%r] is %s, expected integer"
+                            % (site, name, type(value).__name__)
+                        )
 
     checked = 0
     seen_metrics = set()

@@ -5,11 +5,11 @@ event-for-event identical to an uninstrumented one -- same final
 virtual clock, same categorized I/O counts, same program results.
 """
 
-from repro import Cluster, drive
+from repro import Cluster, SystemConfig, drive
 
 
-def run_workload(instrument):
-    cluster = Cluster(site_ids=(1, 2, 3))
+def run_workload(instrument, config=None):
+    cluster = Cluster(site_ids=(1, 2, 3), config=config)
     if instrument:
         cluster.enable_observability()
     drive(cluster.engine, cluster.create_file("/db/a", site_id=1))
@@ -49,3 +49,23 @@ def test_instrumented_run_is_event_for_event_identical():
     # The instrumented run did actually record something.
     assert len(inst_cluster.obs.spans) > 0
     assert len(inst_cluster.obs.metrics) > 0
+
+
+def test_zero_perturbation_holds_with_lock_cache():
+    """The lease-cache instrumentation (hit/miss/recall counters and
+    histograms) must also be a pure observer."""
+    config = SystemConfig(lock_cache=True)
+    bare_cluster, bare_outcomes = run_workload(False, config=config)
+    inst_cluster, inst_outcomes = run_workload(True, config=SystemConfig(lock_cache=True))
+
+    assert inst_outcomes == bare_outcomes
+    assert inst_cluster.engine.now == bare_cluster.engine.now
+    assert inst_cluster.io_stats() == bare_cluster.io_stats()
+    # Identical cache behaviour, observed or not...
+    for sid in (1, 2, 3):
+        assert (inst_cluster.site(sid).lease_cache.stats
+                == bare_cluster.site(sid).lease_cache.stats)
+    # ...and the instrumented run recorded the cache counters.
+    counters = inst_cluster.obs.metrics.counters_by_site()
+    assert any("lock.cache" in name
+               for values in counters.values() for name in values)
