@@ -1,0 +1,79 @@
+"""Engine hot-path speed -- report-only, no pass/fail threshold.
+
+The discrete-event core (repro.sim.engine) is the floor under every
+benchmark in this directory, so its raw event rate is worth watching.
+This test drives the engine through a plain schedule/fire storm plus a
+cancellation-heavy storm (tombstoned events still pop and advance the
+clock), and reports wall-clock events per second.  Wall-clock numbers
+vary by host, so nothing here asserts a rate -- regressions show up in
+the pytest-benchmark comparison, not as a red build.
+"""
+
+import time
+
+from repro.sim import Engine
+
+N_EVENTS = 50_000
+
+
+def _storm():
+    engine = Engine()
+    fired = [0]
+
+    def tick(depth):
+        fired[0] += 1
+        if depth:
+            engine.schedule(0.001, tick, depth - 1)
+
+    for i in range(100):
+        engine.schedule(i * 0.01, tick, N_EVENTS // 100 - 1)
+    start = time.perf_counter()
+    engine.run()
+    seconds = time.perf_counter() - start
+    assert fired[0] == N_EVENTS
+    return N_EVENTS, seconds
+
+
+def _cancel_storm():
+    engine = Engine()
+    fired = [0]
+
+    def tick():
+        fired[0] += 1
+
+    entries = [engine.schedule(i * 0.001, tick) for i in range(N_EVENTS)]
+    for entry in entries[::2]:
+        engine.cancel(entry)
+    start = time.perf_counter()
+    engine.run()
+    seconds = time.perf_counter() - start
+    # Tombstones pop silently; only the surviving half fires.
+    assert fired[0] == N_EVENTS // 2
+    return N_EVENTS, seconds  # all N still pass through the heap
+
+
+def _report_rate(report, title, result):
+    events, seconds = result
+    report(
+        title,
+        ("metric", "value"),
+        [
+            ("events", events),
+            ("wall seconds", "%.4f" % seconds),
+            ("events/sec", "%.0f" % (events / seconds)),
+        ],
+        events_per_sec=events / seconds,
+    )
+
+
+def test_engine_event_rate(benchmark, report):
+    _report_rate(report, "Engine: schedule/fire storm (%d events)" % N_EVENTS,
+                 benchmark(_storm))
+
+
+def test_engine_cancel_rate(benchmark, report):
+    _report_rate(
+        report,
+        "Engine: 50%% cancelled storm (%d events through the heap)" % N_EVENTS,
+        benchmark(_cancel_storm),
+    )

@@ -4,8 +4,10 @@ Runs a named scenario on an instrumented cluster, prints a per-site
 latency-breakdown table (count / p50 / p95 / p99 / max per metric), and
 writes two artifacts:
 
-* ``BENCH_report.json`` -- the stable ``repro.bench_report/1`` metrics
+* ``BENCH_report.json`` -- the stable ``repro.bench_report/3`` metrics
   document (validated against :mod:`repro.obs.schema` before writing);
+  the ``throughput`` scenario writes ``BENCH_throughput.json`` with the
+  commit-batching on/off comparison (docs/COMMIT_BATCHING.md);
 * ``BENCH_trace.json`` -- a Chrome trace-event file of every causal
   span; load it at https://ui.perfetto.dev to see the distributed
   commit as one flow-linked tree across coordinator and participants.
@@ -23,8 +25,10 @@ import sys
 from repro import Cluster, drive
 from repro.obs import build_report, to_chrome_trace, validate_report, write_json
 
-__all__ = ["SCENARIOS", "SCENARIO_CONFIG", "run_scenario", "render_table",
-           "render_cache_table", "main"]
+__all__ = ["SCENARIOS", "SCENARIO_CONFIG", "THROUGHPUT_TXNS_PER_SITE",
+           "THROUGHPUT_RPC_TIMEOUT",
+           "run_scenario", "throughput_stats", "render_table",
+           "render_cache_table", "render_throughput_table", "main"]
 
 
 # ----------------------------------------------------------------------
@@ -121,15 +125,153 @@ def scenario_lockcache(cluster):
     cluster.run()
 
 
+#: Concurrent banking transactions per site in the throughput scenario.
+THROUGHPUT_TXNS_PER_SITE = 16
+
+#: RPC timeout for *both* throughput runs.  At this concurrency the
+#: unbatched baseline queues enough log I/O that prepare replies can
+#: exceed the default 2 s timeout; aborted transactions would make the
+#: on/off comparison unequal work, so both configs get the same long
+#: timeout and differ only in ``commit_batching``.
+THROUGHPUT_RPC_TIMEOUT = 30.0
+
+
+def _bank_txn(sysc, path_debit, path_credit, path_rates, delay, offset):
+    """One banking transfer: debit a local account, credit a remote one
+    (both exclusive-locked on a transaction-private range, so transfers
+    run concurrently), and consult the shared rate table under a shared
+    lock -- a participant that reads but never writes, exercising the
+    READ_ONLY prepare vote when commit_batching is on."""
+    yield from sysc.sleep(delay)
+    yield from sysc.begin_trans()
+    fda = yield from sysc.open(path_debit, write=True)
+    yield from sysc.seek(fda, offset)
+    yield from sysc.lock(fda, 16)
+    yield from sysc.write(fda, b"d" * 16)
+    fdb = yield from sysc.open(path_credit, write=True)
+    yield from sysc.seek(fdb, offset)
+    yield from sysc.lock(fdb, 16)
+    yield from sysc.write(fdb, b"c" * 16)
+    # Write-mode open is what permits locking (section 3.1 policy); the
+    # transaction still only *reads* the rate table, so its storage
+    # site has nothing to prepare.
+    fdr = yield from sysc.open(path_rates, write=True)
+    yield from sysc.lock(fdr, 8, mode="shared")
+    yield from sysc.read(fdr, 8)
+    yield from sysc.end_trans()
+    # The commit's completion time: the makespan is the latest of these,
+    # not engine.now (the engine also drains RPC-timeout events that
+    # were scheduled past the last commit).
+    return sysc.now
+
+
+def _throughput_workload(cluster, txns_per_site=THROUGHPUT_TXNS_PER_SITE):
+    """M concurrent banking transactions at each of three sites.  Each
+    transaction writes its local account file and the next site's, so
+    every commit is distributed; offsets are transaction-private so the
+    commits overlap rather than queue on locks."""
+    sites = (1, 2, 3)
+    account_bytes = 16 * txns_per_site * len(sites)
+    for s in sites:
+        drive(cluster.engine, cluster.create_file("/bank/acct%d" % s, site_id=s))
+        drive(cluster.engine,
+              cluster.populate("/bank/acct%d" % s, b"." * account_bytes))
+    drive(cluster.engine, cluster.create_file("/bank/rates", site_id=3))
+    drive(cluster.engine, cluster.populate("/bank/rates", b"r" * 64))
+    procs = []
+    for idx, s in enumerate(sites):
+        credit = sites[(idx + 1) % len(sites)]
+        for i in range(txns_per_site):
+            offset = (idx * txns_per_site + i) * 16
+            procs.append(cluster.spawn(
+                _bank_txn, "/bank/acct%d" % s, "/bank/acct%d" % credit,
+                "/bank/rates", 0.002 * i, offset,
+                site_id=s, name="bank%d-%d" % (s, i),
+            ))
+    cluster.run()
+    return procs
+
+
+def throughput_stats(cluster, procs) -> dict:
+    """The throughput section's per-run numbers (docs/COMMIT_BATCHING.md)."""
+    done_times = [p.exit_value for p in procs if p.exit_status == "done"]
+    committed = len(done_times)
+    now = max(done_times) if done_times else cluster.engine.now
+    io = cluster.io_stats()
+    log_physical = io.get("io.write.log", 0) + io.get("io.write.log_inode", 0)
+    log_logical = (io.get("io.write.log.coalesced", 0)
+                   + io.get("io.write.log_inode.coalesced", 0))
+    net = cluster.network.stats
+    phase2 = (net.get("net.msg.trans.commit")
+              + net.get("net.msg.trans.commit_batch"))
+    hub = cluster.obs.metrics
+    latency = hub.merged("commit.latency")
+    counters = hub.counters_by_site()
+
+    def counter_total(name):
+        return sum(values.get(name, 0) for values in counters.values())
+
+    return {
+        "txns": committed,
+        "txns_per_site": THROUGHPUT_TXNS_PER_SITE,
+        "virtual_seconds": now,
+        "commits_per_sec": committed / now if now else 0.0,
+        "commit_p50_ms": (latency.percentile(50) * 1e3) if latency else 0.0,
+        "commit_p95_ms": (latency.percentile(95) * 1e3) if latency else 0.0,
+        "log_ios_physical": log_physical,
+        "log_ios_logical": log_logical,
+        "log_ios_per_commit": log_physical / committed if committed else 0.0,
+        "phase2_messages": phase2,
+        "phase2_messages_per_commit": phase2 / committed if committed else 0.0,
+        "group_batched": counter_total("commit.group.batched"),
+        "ro_skips": counter_total("commit.ro_skips"),
+        "phase2_coalesced": counter_total("commit.phase2.coalesced"),
+    }
+
+
+def scenario_throughput(cluster):
+    """High-concurrency commit throughput, batching on vs off.
+
+    The passed (instrumented) cluster runs the workload with
+    ``commit_batching=True`` (see SCENARIO_CONFIG); an identically
+    seeded baseline cluster runs it with the feature off.  Both sides'
+    numbers land in the report's ``throughput`` section, which is what
+    EXPERIMENTS.md EXT-GROUPCOMMIT pins."""
+    from repro.config import SystemConfig
+
+    procs = _throughput_workload(cluster)
+    on_stats = throughput_stats(cluster, procs)
+
+    baseline = Cluster(site_ids=(1, 2, 3),
+                       config=SystemConfig(commit_batching=False,
+                                           rpc_timeout=THROUGHPUT_RPC_TIMEOUT))
+    baseline.enable_observability()
+    base_procs = _throughput_workload(baseline)
+    off_stats = throughput_stats(baseline, base_procs)
+
+    speedup = (on_stats["commits_per_sec"] / off_stats["commits_per_sec"]
+               if off_stats["commits_per_sec"] else 0.0)
+    cluster.report_sections = {
+        "throughput": {
+            "batching_on": on_stats,
+            "batching_off": off_stats,
+            "speedup": speedup,
+        }
+    }
+
+
 SCENARIOS = {
     "commit": scenario_commit,
     "wal": scenario_wal,
     "lockcache": scenario_lockcache,
+    "throughput": scenario_throughput,
 }
 
 #: Per-scenario SystemConfig field overrides applied by run_scenario.
 SCENARIO_CONFIG = {
     "lockcache": {"lock_cache": True},
+    "throughput": {"commit_batching": True,
+                   "rpc_timeout": THROUGHPUT_RPC_TIMEOUT},
 }
 
 
@@ -166,7 +308,7 @@ def render_table(hub) -> str:
     lines = [header, "-" * len(header)]
     for site, metrics in hub.by_site().items():
         for name, summary in metrics.items():
-            if name.endswith(".bytes"):
+            if name.endswith(".bytes") or name.startswith("disk.qdepth"):
                 continue  # not a latency; present in the JSON, not here
             lines.append("%-6s %-18s %8d %s %s %s %s" % (
                 site, name, summary["count"],
@@ -202,25 +344,69 @@ def render_cache_table(hub) -> str:
     return "\n".join([header, "-" * len(header)] + rows)
 
 
+def render_throughput_table(section) -> str:
+    """The batching on/off comparison as a printable table."""
+    on, off = section.get("batching_on", {}), section.get("batching_off", {})
+    rows = [
+        ("txns committed", "txns", "%d"),
+        ("virtual seconds", "virtual_seconds", "%.4f"),
+        ("commits/sim-sec", "commits_per_sec", "%.2f"),
+        ("commit p50 (ms)", "commit_p50_ms", "%.2f"),
+        ("commit p95 (ms)", "commit_p95_ms", "%.2f"),
+        ("log I/Os (physical)", "log_ios_physical", "%d"),
+        ("log I/Os (logical)", "log_ios_logical", "%d"),
+        ("log I/Os / commit", "log_ios_per_commit", "%.2f"),
+        ("phase-2 messages", "phase2_messages", "%d"),
+        ("phase-2 msgs / commit", "phase2_messages_per_commit", "%.2f"),
+        ("group-commit batched", "group_batched", "%d"),
+        ("read-only skips", "ro_skips", "%d"),
+        ("phase-2 coalesced", "phase2_coalesced", "%d"),
+    ]
+    header = "%-24s %12s %12s" % ("", "batching=on", "batching=off")
+    lines = [header, "-" * len(header)]
+    for label, key, fmt in rows:
+        lines.append("%-24s %12s %12s" % (
+            label, fmt % on.get(key, 0), fmt % off.get(key, 0),
+        ))
+    lines.append("%-24s %12s" % ("speedup", "%.2fx" % section.get("speedup", 0.0)))
+    return "\n".join(lines)
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.report",
         description="Run a scenario and emit a per-site latency report "
                     "plus a Perfetto-loadable causal trace.",
     )
-    parser.add_argument("scenario", nargs="?", default="commit",
+    parser.add_argument("scenario", nargs="?", default=None,
                         choices=sorted(SCENARIOS))
-    parser.add_argument("--out", default="BENCH_report.json",
-                        help="metrics report path (default: %(default)s)")
-    parser.add_argument("--trace-out", default="BENCH_trace.json",
-                        help="Chrome trace path (default: %(default)s); "
+    parser.add_argument("--scenario", dest="scenario_opt", default=None,
+                        choices=sorted(SCENARIOS),
+                        help="scenario to run (same as the positional)")
+    parser.add_argument("--out", default=None,
+                        help="metrics report path (default: "
+                             "BENCH_throughput.json for the throughput "
+                             "scenario, else BENCH_report.json)")
+    parser.add_argument("--trace-out", default=None,
+                        help="Chrome trace path (default: "
+                             "BENCH_throughput_trace.json for the "
+                             "throughput scenario, else BENCH_trace.json); "
                              "'' disables the trace file")
     args = parser.parse_args(argv)
+    scenario = args.scenario_opt or args.scenario or "commit"
+    out = args.out
+    if out is None:
+        out = ("BENCH_throughput.json" if scenario == "throughput"
+               else "BENCH_report.json")
+    trace_out = args.trace_out
+    if trace_out is None:
+        trace_out = ("BENCH_throughput_trace.json" if scenario == "throughput"
+                     else "BENCH_trace.json")
 
-    cluster = run_scenario(args.scenario)
+    cluster = run_scenario(scenario)
     obs = cluster.obs
 
-    print("== scenario: %s ==" % args.scenario)
+    print("== scenario: %s ==" % scenario)
     print("virtual time: %.6fs   spans: %d (%d dropped)   traces: %d"
           % (cluster.engine.now, len(obs.spans), obs.spans.dropped,
              len(obs.spans.trace_ids())))
@@ -230,14 +416,18 @@ def main(argv=None):
     if cache_table:
         print("\n== lock cache ==")
         print(cache_table)
+    sections = getattr(cluster, "report_sections", None) or {}
+    if "throughput" in sections:
+        print("\n== commit throughput ==")
+        print(render_throughput_table(sections["throughput"]))
 
-    report = build_report(cluster, scenario=args.scenario)
+    report = build_report(cluster, scenario=scenario)
     validate_report(report)
-    write_json(args.out, report)
-    print("\nwrote %s" % args.out)
-    if args.trace_out:
-        write_json(args.trace_out, to_chrome_trace(obs.spans))
-        print("wrote %s (load at https://ui.perfetto.dev)" % args.trace_out)
+    write_json(out, report)
+    print("\nwrote %s" % out)
+    if trace_out:
+        write_json(trace_out, to_chrome_trace(obs.spans))
+        print("wrote %s (load at https://ui.perfetto.dev)" % trace_out)
     return 0
 
 

@@ -132,3 +132,16 @@ class SystemConfig:
     lock_cache_span: int = 16384         # lease granularity: requested
     #                                      range rounded out to this many
     #                                      bytes when nothing conflicts
+
+    # Commit-path batching (docs/COMMIT_BATCHING.md), three cooperating
+    # mechanisms: group commit (concurrent log forces at one disk share
+    # a physical write), read-only participant elision (a participant
+    # with no dirty intentions votes READ_ONLY, skips its prepare-log
+    # force and phase 2), and phase-2 coalescing (commit notifications
+    # bound for the same site travel in one message).  Off by default so
+    # the fig5/fig6 paper reproductions are byte-identical.
+    commit_batching: bool = False
+    group_commit_window: float = 0.0     # extra virtual seconds a forming
+    #                                      batch waits for joiners; 0.0
+    #                                      batches only forces that arrive
+    #                                      while one is already in flight

@@ -26,6 +26,7 @@ from repro.sim import AllOf
 from repro.storage import IntentionsList
 
 __all__ = [
+    "Phase2Coalescer",
     "run_two_phase_commit",
     "prepare_participant",
     "commit_participant",
@@ -74,9 +75,15 @@ def run_two_phase_commit(site, txn):
     for vol_id, ino, storage_site in files:
         by_site.setdefault(storage_site, []).append((vol_id, ino))
 
+    ro_sites = set()  # participants that voted READ_ONLY at prepare
+
     def one_prepare(target, file_ids):
         if target == site.site_id:
-            yield from prepare_participant(site, txn.tid, file_ids, site.site_id)
+            reply = yield from prepare_participant(
+                site, txn.tid, file_ids, site.site_id
+            )
+            if reply.get("read_only"):
+                ro_sites.add(target)
             return
         body = {"tid": txn.tid, "files": file_ids, "coordinator": site.site_id}
         # Lease refresh piggybacks on the prepare message: committing
@@ -86,6 +93,8 @@ def run_two_phase_commit(site, txn):
         if leased:
             body["lease_refresh"] = leased
         reply = yield from site.rpc.call(target, MessageKinds.PREPARE, body)
+        if reply.get("read_only"):
+            ro_sites.add(target)
         renewed = reply.get("lease_renewed") or ()
         for file_id, expiry in renewed:
             site.lease_cache.renew(tuple(file_id), expiry)
@@ -131,8 +140,12 @@ def run_two_phase_commit(site, txn):
 
     # Phase two runs asynchronously (Figure 5 step 5).  Spawned before
     # the coordinator span closes so it inherits the causal context.
+    # READ_ONLY voters hold nothing to apply or release -- they are
+    # excluded from phase two entirely (their recovery-path commit
+    # message, if any, is an idempotent no-op).
+    live = [p for p in participants if p not in ro_sites]
     engine.process(
-        phase_two(site, txn, participants), name="phase2@%s" % site.site_id
+        phase_two(site, txn, live), name="phase2@%s" % site.site_id
     )
     if obs is not None:
         obs.end(span, status="committed")
@@ -155,6 +168,11 @@ def phase_two(site, txn, participants, retry_delay=0.25, max_rounds=40):
             try:
                 if target == site.site_id:
                     yield from commit_participant(site, txn.tid)
+                elif getattr(site, "phase2", None) is not None:
+                    # Coalesced delivery: concurrent phase-two senders
+                    # bound for the same site share one COMMIT_BATCH
+                    # message (docs/COMMIT_BATCHING.md).
+                    yield from site.phase2.deliver(target, txn.tid)
                 else:
                     yield from site.rpc.call(
                         target, MessageKinds.COMMIT, {"tid": txn.tid}
@@ -179,6 +197,95 @@ def phase_two(site, txn, participants, retry_delay=0.25, max_rounds=40):
                 )
         if site.config.auto_propagate:
             yield from _propagate_replicated(site, txn)
+
+
+class Phase2Coalescer:
+    """Per-site batching of outbound phase-two commit notifications
+    (the third commit_batching mechanism, docs/COMMIT_BATCHING.md).
+
+    Several background phase-two processes committing through the same
+    coordinator at once would each send their own ``trans.commit`` to a
+    shared participant.  With the coalescer, each instead enqueues its
+    tid for the target and waits; a per-target pump ships every queued
+    tid in one ``trans.commit_batch`` message (idempotent: participant
+    commit processing tolerates re-delivery, so the RPC layer may resend
+    it).  The batch round trip also carries the lease refresh that
+    single commit messages could not piggyback.
+    """
+
+    def __init__(self, site):
+        self._site = site
+        self._queues = {}  # target -> {tid: Event}
+        self._pumps = {}   # target -> pump Process while draining
+
+    def deliver(self, target, tid):
+        """Generator: enqueue ``tid`` for ``target``; returns once the
+        batch carrying it is acked.  Raises :class:`RpcError` exactly as
+        a solo ``trans.commit`` call would, so the caller's retry loop
+        is unchanged."""
+        queue = self._queues.setdefault(target, {})
+        event = queue.get(tid)
+        if event is None:
+            event = queue[tid] = self._site.engine.event()
+        if self._pumps.get(target) is None:
+            self._pumps[target] = self._site.engine.process(
+                self._drain(target),
+                name="phase2-batch:%s->%s" % (self._site.site_id, target),
+            )
+        yield event
+
+    def _drain(self, target):
+        site = self._site
+        engine = site.engine
+        try:
+            while self._queues.get(target):
+                queue, self._queues[target] = self._queues[target], {}
+                tids = sorted(queue)
+                body = {"tids": tids}
+                # Lease refresh piggybacks on the batch ack, extending
+                # the prepare-path piggyback (docs/LOCK_CACHE.md) to
+                # phase two.
+                leased = site.lease_cache.files_from(target)
+                if leased:
+                    body["lease_refresh"] = leased
+                obs = engine.obs
+                span = None
+                if obs is not None:
+                    span = obs.span(
+                        "2pc.phase2_batch", site_id=site.site_id,
+                        dst=target, tids=len(tids),
+                    )
+                try:
+                    reply = yield from site.rpc.call(
+                        target, MessageKinds.COMMIT_BATCH, body
+                    )
+                except RpcError as exc:
+                    if obs is not None:
+                        obs.end(span, status="unreachable")
+                    for event in queue.values():
+                        if not event.triggered:
+                            event.fail(exc)
+                    continue  # later arrivals may still go through
+                if obs is not None:
+                    if len(tids) > 1:
+                        # Messages saved vs one trans.commit per txn.
+                        obs.incr(
+                            site.site_id, "commit.phase2.coalesced",
+                            len(tids) - 1,
+                        )
+                    obs.end(span, status="ok")
+                renewed = reply.get("lease_renewed") or ()
+                for file_id, expiry in renewed:
+                    site.lease_cache.renew(tuple(file_id), expiry)
+                if renewed:
+                    site.lease_cache.stats["refreshes"] += len(renewed)
+                    if obs is not None:
+                        obs.incr(site.site_id, "lock.cache.refresh", len(renewed))
+                for event in queue.values():
+                    if not event.triggered:
+                        event.succeed(True)
+        finally:
+            self._pumps[target] = None
 
 
 def _propagate_replicated(site, txn):
@@ -240,6 +347,26 @@ def prepare_participant(site, tid, file_ids, coordinator):
 
 def _prepare_participant_body(site, tid, file_ids, coordinator):
     holder = ("txn", tid)
+    if getattr(site.config, "commit_batching", False) and not any(
+        state is not None and state.has_updates(holder)
+        for state in (site.update_states.get(tuple(f)) for f in file_ids)
+    ):
+        # Read-only participant optimisation: this site holds only read
+        # locks for the transaction -- nothing to flush, nothing to
+        # redo.  Vote READ_ONLY: skip the prepare-log force, release the
+        # locks now (the participant's serialization point is its
+        # prepare), and let the coordinator exclude us from phase two.
+        # The check runs *before* any flush so no empty intentions are
+        # recorded.  A recovery-time COMMIT/ABORT reaching this site
+        # anyway is an idempotent no-op (section 4.4).
+        site.lock_manager.release_holder(holder)
+        site.lock_cache.drop_holder(holder)
+        site.release_lease_locks(holder)
+        site.trace("2pc.ro_vote", tid=str(tid))
+        obs = site.engine.obs
+        if obs is not None:
+            obs.incr(site.site_id, "commit.ro_skips")
+        return {"prepared": True, "read_only": True}
     intents_list = []
     for file_id in sorted(file_ids):
         state = site.update_state(file_id)

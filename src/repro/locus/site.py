@@ -16,6 +16,7 @@ from repro.core import TransactionService
 from repro.core.filelist import handle_filelist_merge
 from repro.core.recovery import run_recovery
 from repro.core.twophase import (
+    Phase2Coalescer,
     abort_participant,
     commit_participant,
     coordinator_status,
@@ -32,7 +33,13 @@ from repro.locking import (
 from repro.net import MessageKinds, RpcEndpoint, RpcError
 from repro.rangeset import RangeSet
 from repro.sim import AllOf
-from repro.storage import BufferCache, LogFile, OpenFileState, Volume
+from repro.storage import (
+    BufferCache,
+    GroupCommitScheduler,
+    LogFile,
+    OpenFileState,
+    Volume,
+)
 
 from .errors import AccessDenied, KernelError
 
@@ -65,9 +72,14 @@ class Site:
             timeout=self.config.rpc_timeout,
             retries=getattr(self.config, "rpc_idempotent_retries", 0),
         )
+        # Group-commit schedulers, one per disk, shared by every log on
+        # that disk (docs/COMMIT_BATCHING.md).  Only populated when
+        # commit_batching is on; log forces go direct otherwise.
+        self._log_schedulers = {}
         self.coordinator_log = LogFile(
             self.engine, self.cost, self.root_volume, "coordinator",
             optimized=self.config.optimized_log_writes,
+            scheduler=self.log_scheduler(self.root_volume),
         )
         self._prepare_logs = {}
 
@@ -110,12 +122,31 @@ class Site:
         same medium as the files they describe)."""
         log = self._prepare_logs.get(vol_id)
         if log is None:
+            volume = self.volumes[vol_id]
             log = LogFile(
-                self.engine, self.cost, self.volumes[vol_id], "prepare",
+                self.engine, self.cost, volume, "prepare",
                 optimized=self.config.optimized_log_writes,
+                scheduler=self.log_scheduler(volume),
             )
             self._prepare_logs[vol_id] = log
         return log
+
+    def log_scheduler(self, volume):
+        """The group-commit scheduler for ``volume``'s disk, or None
+        when commit_batching is off (forces then go straight to the
+        disk, byte-identical to the unbatched system)."""
+        if not getattr(self.config, "commit_batching", False):
+            return None
+        disk = volume.disk
+        sched = self._log_schedulers.get(disk.name)
+        if sched is None:
+            sched = GroupCommitScheduler(
+                self.engine, disk,
+                window=getattr(self.config, "group_commit_window", 0.0),
+                site=self.site_id,
+            )
+            self._log_schedulers[disk.name] = sched
+        return sched
 
     # ------------------------------------------------------------------
     # in-core state
@@ -137,6 +168,12 @@ class Site:
         self.lease_manager = LockManager(self.engine, self.cost,
                                          site_id=self.site_id)
         self.lease_cache = LeaseCache()
+        # Phase-2 coalescing (docs/COMMIT_BATCHING.md): in-core queues,
+        # so a crash drops them -- recovery replays from the logs.
+        if getattr(self.config, "commit_batching", False):
+            self.phase2 = Phase2Coalescer(self)
+        else:
+            self.phase2 = None
         self.update_states = {}   # file_id -> OpenFileState
         self.open_refs = {}       # file_id -> int
         self.prepared = {}        # tid -> [IntentionsList]
@@ -439,6 +476,7 @@ class Site:
         reg(MessageKinds.FILE_COMMIT, functools.partial(_h_commit_file, self))
         reg(MessageKinds.PREPARE, functools.partial(_h_prepare, self))
         reg(MessageKinds.COMMIT, functools.partial(_h_commit, self))
+        reg(MessageKinds.COMMIT_BATCH, functools.partial(_h_commit_batch, self))
         reg(MessageKinds.ABORT, functools.partial(_h_abort, self))
         reg(MessageKinds.TXN_STATUS, functools.partial(_h_status, self))
         reg(MessageKinds.FILELIST_MERGE, functools.partial(handle_filelist_merge, self))
@@ -596,6 +634,28 @@ def _h_lease_recall(site, body, _src):
 def _h_commit(site, body, _src):
     yield site.engine.charge(site.cost.instr(site.cost.trans_msg_instr))
     return (yield from commit_participant(site, body["tid"]))
+
+
+def _h_commit_batch(site, body, _src):
+    """Coalesced phase two: several transactions' commit notifications
+    in one message (docs/COMMIT_BATCHING.md).  Message-handling CPU is
+    charged once -- that amortization is half the point; the ack also
+    piggybacks the coordinator's lease refresh, like a prepare reply."""
+    yield site.engine.charge(site.cost.instr(site.cost.trans_msg_instr))
+    for tid in body["tids"]:
+        yield from commit_participant(site, tid)
+    result = {"committed": len(body["tids"])}
+    registry = site.lock_manager.leases
+    refresh = body.get("lease_refresh")
+    if registry is not None and refresh:
+        renewed = []
+        for file_id in refresh:
+            expiry = registry.refresh(tuple(file_id), _src, site.engine.now)
+            if expiry is not None:
+                renewed.append((tuple(file_id), expiry))
+        if renewed:
+            result["lease_renewed"] = renewed
+    return result
 
 
 def _h_abort(site, body, _src):

@@ -67,10 +67,13 @@ class MessageKinds:
     FILE_COMMIT = "file.commit"
     FILE_ABORT = "file.abort"
 
-    # transaction protocol (4.1-4.3)
+    # transaction protocol (4.1-4.3); COMMIT_BATCH carries several
+    # transactions' phase-two commit notifications to one site in a
+    # single message (docs/COMMIT_BATCHING.md)
     FILELIST_MERGE = "trans.filelist_merge"
     PREPARE = "trans.prepare"
     COMMIT = "trans.commit"
+    COMMIT_BATCH = "trans.commit_batch"
     ABORT = "trans.abort"
     TXN_STATUS = "trans.status"
 

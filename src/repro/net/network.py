@@ -140,6 +140,9 @@ class Network:
             raise NetworkError("unknown destination %r" % (message.dst,))
         self.stats.incr("net.messages")
         self.stats.incr("net.bytes", message.nbytes)
+        # Per-kind message census: what phase-2 coalescing saves is an
+        # argument about message *counts by kind*, so count them here.
+        self.stats.incr("net.msg." + message.kind)
         obs = self._engine.obs
         if obs is not None:
             obs.observe(message.src, "net.msg.bytes", message.nbytes)

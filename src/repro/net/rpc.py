@@ -21,12 +21,16 @@ __all__ = ["RpcEndpoint", "RpcError", "RemoteError", "SiteUnreachable",
            "IDEMPOTENT_KINDS"]
 
 #: Request kinds that are safe to resend verbatim after a timeout: pure
-#: status queries, and the lease-recall callback (re-recalling an
-#: already-surrendered lease is a no-op at the leaseholder).
+#: status queries, the lease-recall callback (re-recalling an
+#: already-surrendered lease is a no-op at the leaseholder), and the
+#: coalesced phase-two commit batch (participant commit processing is
+#: idempotent, section 4.4, so re-delivering every tid in the batch is
+#: harmless).
 IDEMPOTENT_KINDS = frozenset({
     MessageKinds.TXN_STATUS,
     MessageKinds.WAITFOR_QUERY,
     MessageKinds.LEASE_RECALL,
+    MessageKinds.COMMIT_BATCH,
 })
 
 

@@ -13,8 +13,9 @@ upgraded to modern practice:
 * :class:`MetricsHub` / :class:`Histogram` -- fixed-bucket latency
   distributions (p50/p95/p99/max) per site and per category;
 * exporters -- Chrome trace-event JSON (loadable in Perfetto) and the
-  stable ``repro.bench_report/1`` metrics schema consumed by
-  ``python -m repro.analysis.report``.
+  stable ``repro.bench_report/3`` metrics schema consumed by
+  ``python -m repro.analysis.report`` (v1 and v2 documents still
+  validate).
 
 Everything here is a pure observer of the simulation: recording a span
 or a sample never charges CPU and never advances the virtual clock, so

@@ -135,6 +135,10 @@ def build_report(cluster, scenario="") -> dict:
             "recorded": len(cluster.tracer),
             "dropped": cluster.tracer.dropped,
         }
+    # Scenario-provided extra sections (e.g. the throughput scenario's
+    # batching on/off comparison); validated by the v3 schema.
+    for key, value in (getattr(cluster, "report_sections", None) or {}).items():
+        doc[key] = value
     return doc
 
 

@@ -17,12 +17,17 @@ from __future__ import annotations
 
 __all__ = ["SCHEMA_ID", "REQUIRED_METRICS", "validate_report", "SchemaError"]
 
-SCHEMA_ID = "repro.bench_report/2"
+SCHEMA_ID = "repro.bench_report/3"
 
 #: Schema versions this validator accepts.  v2 added the per-site
 #: ``counters`` section (monotonic event counts, e.g. lock-cache hits);
-#: v1 documents remain valid with counters treated as absent.
-_ACCEPTED_SCHEMAS = ("repro.bench_report/1", SCHEMA_ID)
+#: v3 added the optional ``throughput`` section (batching on/off commit
+#: throughput comparison, docs/COMMIT_BATCHING.md).  v1 and v2
+#: documents remain valid with the newer sections treated as absent.
+_ACCEPTED_SCHEMAS = ("repro.bench_report/1", "repro.bench_report/2", SCHEMA_ID)
+
+#: Versions that carry the mandatory ``counters`` section.
+_COUNTER_SCHEMAS = ("repro.bench_report/2", SCHEMA_ID)
 
 #: Metric families every report must carry in at least one site
 #: (the per-phase breakdown the analysis layer is built on).
@@ -68,10 +73,10 @@ def validate_report(doc) -> int:
         if not isinstance(spans.get(key), int):
             problems.append("spans.%s missing or not an integer" % key)
 
-    if doc["schema"] == SCHEMA_ID:
+    if doc["schema"] in _COUNTER_SCHEMAS:
         counters = doc.get("counters")
         if not isinstance(counters, dict):
-            problems.append("counters missing or not an object (v2 requires it)")
+            problems.append("counters missing or not an object (v2+ requires it)")
         else:
             for site, values in sorted(counters.items()):
                 if not isinstance(values, dict):
@@ -83,6 +88,11 @@ def validate_report(doc) -> int:
                             "counters[%r][%r] is %s, expected integer"
                             % (site, name, type(value).__name__)
                         )
+
+    if doc["schema"] == SCHEMA_ID and "throughput" in doc:
+        problems.extend(_check_throughput(doc["throughput"]))
+    elif doc["schema"] != SCHEMA_ID and "throughput" in doc:
+        problems.append("throughput section requires schema %r" % SCHEMA_ID)
 
     checked = 0
     seen_metrics = set()
@@ -127,6 +137,36 @@ def validate_report(doc) -> int:
     if problems:
         _fail(problems)
     return checked
+
+
+#: Numeric fields every throughput run (batching on or off) must carry.
+_THROUGHPUT_RUN_NUMBERS = (
+    "txns", "virtual_seconds", "commits_per_sec",
+    "commit_p50_ms", "commit_p95_ms",
+    "log_ios_physical", "log_ios_logical",
+    "phase2_messages",
+)
+
+
+def _check_throughput(section):
+    """Problems with a v3 ``throughput`` section (empty list = valid)."""
+    problems = []
+    if not isinstance(section, dict):
+        return ["throughput is %s, expected object" % type(section).__name__]
+    for run_key in ("batching_on", "batching_off"):
+        run = section.get(run_key)
+        where = "throughput[%r]" % run_key
+        if not isinstance(run, dict):
+            problems.append("%s missing or not an object" % where)
+            continue
+        for name in _THROUGHPUT_RUN_NUMBERS:
+            value = run.get(name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append("%s.%s missing or not numeric" % (where, name))
+    speedup = section.get("speedup")
+    if not isinstance(speedup, (int, float)) or isinstance(speedup, bool):
+        problems.append("throughput.speedup missing or not numeric")
+    return problems
 
 
 def _main(argv=None):

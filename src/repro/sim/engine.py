@@ -43,6 +43,7 @@ class Engine:
         self._now = 0.0
         self._heap = []
         self._seq = itertools.count()
+        self._seq_next = self._seq.__next__
         self._current = None  # process being resumed right now, if any
         self._running = False
         # Optional observability context (repro.obs.Observability).
@@ -66,10 +67,28 @@ class Engine:
         return self._current
 
     def schedule(self, delay, fn, *args):
-        """Run ``fn(*args)`` after ``delay`` seconds of virtual time."""
+        """Run ``fn(*args)`` after ``delay`` seconds of virtual time.
+
+        Returns an opaque entry handle accepted by :meth:`cancel`.
+        """
         if delay < 0:
             raise SimError("cannot schedule into the past (delay=%r)" % delay)
-        heapq.heappush(self._heap, (self._now + delay, next(self._seq), fn, args))
+        entry = [self._now + delay, self._seq_next(), fn, args]
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def cancel(self, entry):
+        """Tombstone a scheduled callback.
+
+        The entry still pops at its scheduled time and advances the
+        clock -- exactly what the no-op resume it replaces would have
+        done -- but the callback is never invoked, so dead timeouts
+        (e.g. the loser of an RPC-vs-timeout race) cost a heap pop
+        instead of a full Python resume.  Virtual time and event order
+        are unchanged by cancellation.
+        """
+        entry[2] = None
+        entry[3] = ()
 
     def step(self) -> bool:
         """Execute the next scheduled callback.  Returns False if idle."""
@@ -77,7 +96,8 @@ class Engine:
             return False
         time, _seq, fn, args = heapq.heappop(self._heap)
         self._now = time
-        fn(*args)
+        if fn is not None:
+            fn(*args)
         return True
 
     def run(self, until=None):
@@ -90,14 +110,31 @@ class Engine:
         if self._running:
             raise SimError("Engine.run() is not reentrant")
         self._running = True
+        # The run loop is the simulator's wall-clock hot path: heap ops
+        # and the entry fields are bound to locals so each event pays no
+        # repeated attribute lookups.
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap:
-                time = self._heap[0][0]
-                if until is not None and time > until:
+            if until is None:
+                while heap:
+                    entry = pop(heap)
+                    self._now = entry[0]
+                    fn = entry[2]
+                    if fn is not None:
+                        fn(*entry[3])
+                return
+            while heap:
+                time = heap[0][0]
+                if time > until:
                     self._now = until
                     return
-                self.step()
-            if until is not None and until > self._now:
+                entry = pop(heap)
+                self._now = time
+                fn = entry[2]
+                if fn is not None:
+                    fn(*entry[3])
+            if until > self._now:
                 self._now = until
         finally:
             self._running = False

@@ -28,9 +28,21 @@ class Timeout(Waitable):
         self._engine = engine
         self._delay = delay
         self._value = value
+        self._entry = None
 
     def _subscribe(self, callback):
-        self._engine.schedule(self._delay, callback, True, self._value)
+        self._entry = self._engine.schedule(self._delay, callback, True, self._value)
+
+    def cancel(self):
+        """Tombstone the pending callback (no-op before subscription).
+
+        The heap entry still pops at the scheduled time and advances the
+        clock exactly as the dead no-op resume would have, so virtual
+        time and event order are untouched -- only the wasted Python
+        call is skipped (see :meth:`Engine.cancel`).
+        """
+        if self._entry is not None:
+            self._engine.cancel(self._entry)
 
 
 class Event(Waitable):

@@ -4,6 +4,7 @@ mechanisms."""
 
 from .buffercache import BufferCache
 from .disk import Disk, IOCategory
+from .groupcommit import GroupCommitScheduler
 from .inode import Inode, inode_write_ios, pages_needed
 from .logfile import LogFile
 from .shadow import IntentEntry, IntentionsList, OpenFileState, ShadowError
@@ -13,6 +14,7 @@ from .wal import WalFile
 __all__ = [
     "BufferCache",
     "Disk",
+    "GroupCommitScheduler",
     "IOCategory",
     "Inode",
     "IntentEntry",

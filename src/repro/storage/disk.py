@@ -69,10 +69,29 @@ class Disk:
         self.stats.incr(category)
         self.stats.incr("io.total")
 
+    def absorb_block(self, block_no, data, category=IOCategory.LOG_WRITE):
+        """Install block contents with **no** arm time or physical I/O:
+        the bytes rode along with a group-commit batch write that already
+        paid the physical transfer (docs/COMMIT_BATCHING.md).
+
+        Counted separately as a *coalesced* (logical) I/O -- per category
+        and in ``io.coalesced`` -- so Figure-5-style I/O accounting stays
+        exact under group commit: a batched force is 1 physical I/O, N
+        logical ones.
+        """
+        self._blocks[block_no] = bytes(data)
+        self.stats.incr(category + ".coalesced")
+        self.stats.incr("io.coalesced")
+
     def _io_begin(self, name, block_no, category):
         obs = self._engine.obs
         if obs is None:
             return None
+        # Queue depth per I/O category, sampled at request arrival: how
+        # many requests (including this one) the arm has outstanding.
+        # Under group commit this shows log-force convoys collapsing.
+        obs.observe(self.site, "disk.qdepth." + category,
+                    float(self._arm.in_use + self._arm.queue_length + 1))
         return obs.span(name, site_id=self.site, disk=self.name,
                         block=block_no, category=category)
 

@@ -24,12 +24,17 @@ __all__ = ["LogFile"]
 class LogFile:
     """A durable, append-only sequence of dictionary records."""
 
-    def __init__(self, engine, cost, volume, name, optimized=False):
+    def __init__(self, engine, cost, volume, name, optimized=False, scheduler=None):
         self._engine = engine
         self._cost = cost
         self._volume = volume
         self.name = name
         self.optimized = optimized
+        # Optional GroupCommitScheduler: when set, forces are routed
+        # through it so concurrent commits at this disk share a physical
+        # write (docs/COMMIT_BATCHING.md).  None = direct writes,
+        # byte-identical to the pre-group-commit behaviour.
+        self.scheduler = scheduler
         self._entries = []  # durable: survives crashes
 
     def __len__(self):
@@ -46,13 +51,12 @@ class LogFile:
         yield self._engine.charge(self._cost.instr(self._cost.trans_log_write_instr))
         # Log pages live in their own block namespace; they never collide
         # with (or leak from) the volume's data-block allocator.
-        data_block = ("log", self.name, len(self._entries))
-        yield from self._volume.disk.write_block(data_block, b"", IOCategory.LOG_WRITE)
+        blocks = [(("log", self.name, len(self._entries)), b"", IOCategory.LOG_WRITE)]
         if not self.optimized:
-            inode_block = ("log-inode", self.name)
-            yield from self._volume.disk.write_block(
-                inode_block, b"", IOCategory.LOG_INODE_WRITE
+            blocks.append(
+                (("log-inode", self.name), b"", IOCategory.LOG_INODE_WRITE)
             )
+        yield from self._force(blocks)
         self._entries.append(frozen)
 
     def append_in_place(self, entry: dict):
@@ -66,8 +70,18 @@ class LogFile:
         frozen = copy.deepcopy(entry)
         yield self._engine.charge(self._cost.instr(self._cost.trans_log_write_instr))
         data_block = ("log", self.name, "in-place", len(self._entries))
-        yield from self._volume.disk.write_block(data_block, b"", IOCategory.LOG_WRITE)
+        yield from self._force([(data_block, b"", IOCategory.LOG_WRITE)])
         self._entries.append(frozen)
+
+    def _force(self, blocks):
+        """Generator: make ``blocks`` durable, batched when a scheduler
+        is attached.  Entries are appended by the caller only after this
+        returns, so a crash mid-force never fabricates a durable record."""
+        if self.scheduler is not None:
+            yield from self.scheduler.force(blocks)
+            return
+        for block_no, data, category in blocks:
+            yield from self._volume.disk.write_block(block_no, data, category)
 
     def entries(self):
         """All durable records, oldest first (recovery-time scan)."""

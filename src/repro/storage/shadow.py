@@ -188,6 +188,19 @@ class OpenFileState:
         """Owners with a flushed-but-unapplied intentions list."""
         return set(self._prepared)
 
+    def has_updates(self, owner) -> bool:
+        """Any state here that commits or aborts with ``owner``: dirty
+        page ranges, a reserved append extent, or a flushed-but-unapplied
+        intentions list.  False means the owner only *read* (or locked)
+        this file -- the read-only-participant test of the 2PC prepare
+        elision (docs/COMMIT_BATCHING.md)."""
+        if owner in self._prepared or self._extents.get(owner, 0):
+            return True
+        return any(
+            owner in ps.owners and ps.owners[owner]
+            for ps in self._pages.values()
+        )
+
     # ------------------------------------------------------------------
     # read / write
     # ------------------------------------------------------------------

@@ -51,6 +51,63 @@ def test_instrumented_run_is_event_for_event_identical():
     assert len(inst_cluster.obs.metrics) > 0
 
 
+#: Deterministic fingerprint of ``run_workload`` under the default
+#: config, captured before commit batching was merged.  The feature is
+#: default-off and must be byte-identical when off -- every paper table
+#: and figure reproduction depends on this baseline not moving.
+SEED_FINGERPRINT = {
+    "now": 3.3505512,
+    "io": {"io.total": 50, "io.write.data": 10, "io.write.inode": 12,
+           "io.write.log": 16, "io.write.log_inode": 12},
+    "net_messages": 68,
+    "net_bytes": 4544,
+    "outcomes": [("done", 0.4573352000000001), ("done", 1.0622952),
+                 ("done", 1.3505512), ("done", 0.7524680000000002)],
+}
+
+
+def test_feature_off_matches_pinned_seed_fingerprint():
+    """With ``commit_batching`` left off (the default) the workload is
+    byte-identical to the pre-feature seed: same clock, same categorized
+    I/O, same message traffic, same outcomes."""
+    cluster, outcomes = run_workload(instrument=False)
+    assert cluster.engine.now == SEED_FINGERPRINT["now"]
+    assert dict(cluster.io_stats()) == SEED_FINGERPRINT["io"]
+    assert cluster.network.stats.get("net.messages") \
+        == SEED_FINGERPRINT["net_messages"]
+    assert cluster.network.stats.get("net.bytes") \
+        == SEED_FINGERPRINT["net_bytes"]
+    assert outcomes == SEED_FINGERPRINT["outcomes"]
+
+
+def test_explicit_off_equals_default():
+    """``commit_batching=False`` spelled out is the same simulation as
+    the default config."""
+    default_cluster, default_outcomes = run_workload(instrument=False)
+    off_cluster, off_outcomes = run_workload(
+        instrument=False, config=SystemConfig(commit_batching=False))
+    assert off_outcomes == default_outcomes
+    assert off_cluster.engine.now == default_cluster.engine.now
+    assert off_cluster.io_stats() == default_cluster.io_stats()
+
+
+def test_zero_perturbation_holds_with_commit_batching():
+    """Group commit, read-only votes, and phase-2 coalescing reschedule
+    real work, so the *feature* may move the clock -- but observing it
+    must not: instrumented and bare runs with ``commit_batching=True``
+    are event-for-event identical."""
+    bare_cluster, bare_outcomes = run_workload(
+        False, config=SystemConfig(commit_batching=True))
+    inst_cluster, inst_outcomes = run_workload(
+        True, config=SystemConfig(commit_batching=True))
+
+    assert inst_outcomes == bare_outcomes
+    assert inst_cluster.engine.now == bare_cluster.engine.now
+    assert inst_cluster.io_stats() == bare_cluster.io_stats()
+    assert len(inst_cluster.obs.spans) > 0
+    assert len(inst_cluster.obs.metrics) > 0
+
+
 def test_zero_perturbation_holds_with_lock_cache():
     """The lease-cache instrumentation (hit/miss/recall counters and
     histograms) must also be a pure observer."""

@@ -96,3 +96,53 @@ def test_determinism_two_identical_runs():
         return seen
 
     assert build() == build()
+
+
+def test_schedule_returns_a_cancellable_handle():
+    eng = Engine()
+    seen = []
+    entry = eng.schedule(1.0, seen.append, "dead")
+    eng.schedule(2.0, seen.append, "alive")
+    eng.cancel(entry)
+    eng.run()
+    assert seen == ["alive"]
+    assert eng.now == 2.0
+
+
+def test_cancelled_entry_still_advances_the_clock():
+    """Tombstones pop at their scheduled time: a run that ends on a
+    cancelled entry leaves the clock where the live callback would
+    have -- cancellation never perturbs virtual time."""
+    eng = Engine()
+    entry = eng.schedule(5.0, lambda: None)
+    eng.cancel(entry)
+    eng.run()
+    assert eng.now == 5.0
+
+
+def test_cancelled_entry_is_skipped_by_step():
+    eng = Engine()
+    seen = []
+    entry = eng.schedule(1.0, seen.append, "dead")
+    eng.cancel(entry)
+    assert eng.step() is True   # the tombstone pop is still a step
+    assert eng.now == 1.0
+    assert seen == []
+
+
+def test_cancellation_preserves_event_order():
+    def build(cancel):
+        eng = Engine()
+        seen = []
+        entries = [eng.schedule(float(i % 3), seen.append, i)
+                   for i in range(12)]
+        if cancel:
+            for entry in entries[::4]:
+                eng.cancel(entry)
+        eng.run()
+        return seen, eng.now
+
+    full, full_now = build(cancel=False)
+    partial, partial_now = build(cancel=True)
+    assert partial_now == full_now
+    assert partial == [i for i in full if i % 4 != 0]

@@ -133,3 +133,21 @@ def test_anyof_returns_first_completion_index_and_value():
 def test_anyof_requires_children():
     with pytest.raises(SimError):
         AnyOf(Engine(), [])
+
+
+def test_timeout_cancel_skips_callback_but_keeps_time():
+    eng = Engine()
+    fired = []
+    timeout = eng.timeout(3.0, "late")
+    timeout._subscribe(lambda _done, value: fired.append(value))
+    timeout.cancel()
+    eng.run()
+    assert fired == []
+    assert eng.now == 3.0  # the tombstone still drains at its time
+
+
+def test_timeout_cancel_before_subscription_is_a_noop():
+    eng = Engine()
+    eng.timeout(1.0).cancel()  # never subscribed: nothing to tombstone
+    eng.run()
+    assert eng.now == 0.0
