@@ -4,8 +4,10 @@ Runs a named scenario on an instrumented cluster, prints a per-site
 latency-breakdown table (count / p50 / p95 / p99 / max per metric), and
 writes two artifacts:
 
-* ``BENCH_report.json`` -- the stable ``repro.bench_report/3`` metrics
-  document (validated against :mod:`repro.obs.schema` before writing);
+* ``BENCH_report.json`` -- the stable ``repro.bench_report/4`` metrics
+  document (validated against :mod:`repro.obs.schema` before writing),
+  including the ``critpath`` (per-transaction blame decomposition) and
+  ``contention`` (resource / waits-for attribution) analysis sections;
   the ``throughput`` scenario writes ``BENCH_throughput.json`` with the
   commit-batching on/off comparison (docs/COMMIT_BATCHING.md);
 * ``BENCH_trace.json`` -- a Chrome trace-event file of every causal
@@ -23,12 +25,14 @@ import argparse
 import sys
 
 from repro import Cluster, drive
+from repro.analysis.contention import render_contention_table
 from repro.obs import build_report, to_chrome_trace, validate_report, write_json
 
 __all__ = ["SCENARIOS", "SCENARIO_CONFIG", "THROUGHPUT_TXNS_PER_SITE",
            "THROUGHPUT_RPC_TIMEOUT",
-           "run_scenario", "throughput_stats", "render_table",
-           "render_cache_table", "render_throughput_table", "main"]
+           "run_scenario", "attach_analysis_sections", "throughput_stats",
+           "render_table", "render_cache_table", "render_throughput_table",
+           "render_critpath_table", "main"]
 
 
 # ----------------------------------------------------------------------
@@ -293,7 +297,23 @@ def run_scenario(name, site_ids=(1, 2, 3)):
     cluster = Cluster(site_ids=site_ids, config=config)
     cluster.enable_observability()
     SCENARIOS[name](cluster)
+    attach_analysis_sections(cluster)
     return cluster
+
+
+def attach_analysis_sections(cluster):
+    """Compute the ``critpath`` and ``contention`` analysis sections
+    from the finished run's spans and merge them into
+    ``cluster.report_sections`` (pure readers -- the run is over, so
+    this cannot perturb anything).  Returns the sections dict."""
+    from repro.analysis.contention import contention_section
+    from repro.obs.critpath import critpath_section
+
+    sections = getattr(cluster, "report_sections", None) or {}
+    sections.setdefault("critpath", critpath_section(cluster.obs))
+    sections.setdefault("contention", contention_section(cluster.obs))
+    cluster.report_sections = sections
+    return sections
 
 
 def _ms(seconds):
@@ -372,6 +392,49 @@ def render_throughput_table(section) -> str:
     return "\n".join(lines)
 
 
+def render_critpath_table(section) -> str:
+    """The critical-path blame report as printable text (times in ms):
+    aggregate category totals, one row per transaction, and the slowest
+    transactions' span-by-span drill-down."""
+    lines = []
+    cats = section.get("categories", {})
+    ccats = section.get("commit_categories", {})
+    if cats:
+        header = "%-12s %12s %12s" % ("category", "totalms", "commitms")
+        lines += [header, "-" * len(header)]
+        for cat in sorted(cats, key=lambda c: (-cats[c], c)):
+            lines.append("%-12s %12.3f %12.3f" % (
+                cat, cats[cat] / 1e6, ccats.get(cat, 0) / 1e6,
+            ))
+    txns = section.get("transactions", ())
+    if txns:
+        if lines:
+            lines.append("")
+        header = "%-6s %-5s %-10s %12s %12s  %s" % (
+            "tid", "site", "status", "totalms", "commitms", "dominant",
+        )
+        lines += [header, "-" * len(header)]
+        for txn in txns:
+            categories = txn.get("categories", {})
+            dominant = (max(categories, key=lambda c: (categories[c], c))
+                        if categories else "--")
+            commit_ns = (txn.get("commit") or {}).get("total_ns", 0)
+            lines.append("%-6s %-5s %-10s %12.3f %12.3f  %s" % (
+                txn.get("tid"), txn.get("site"), txn.get("status"),
+                txn.get("total_ns", 0) / 1e6, commit_ns / 1e6, dominant,
+            ))
+    for entry in section.get("top", ()):
+        lines.append("")
+        lines.append("slowest txn %s (%.3f ms):" % (
+            entry.get("tid"), entry.get("total_ns", 0) / 1e6,
+        ))
+        for step in entry.get("steps", ()):
+            lines.append("  %-28s %-12s %10.3f ms" % (
+                step["span"], step["category"], step["self_ns"] / 1e6,
+            ))
+    return "\n".join(lines)
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.report",
@@ -420,6 +483,14 @@ def main(argv=None):
     if "throughput" in sections:
         print("\n== commit throughput ==")
         print(render_throughput_table(sections["throughput"]))
+    if "critpath" in sections:
+        print("\n== critical path ==")
+        print(render_critpath_table(sections["critpath"]))
+    if "contention" in sections:
+        contention_table = render_contention_table(sections["contention"])
+        if contention_table:
+            print("\n== contention ==")
+            print(contention_table)
 
     report = build_report(cluster, scenario=scenario)
     validate_report(report)

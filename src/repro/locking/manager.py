@@ -168,10 +168,14 @@ class LockManager:
         span = queued_at = None
         if obs is not None:
             queued_at = self._engine.now
+            # ``blocked_by`` is the contention profiler's raw material:
+            # the holders whose locks queued this request, captured at
+            # queue time (repro.analysis.contention).  Pure reader.
             span = obs.span(
                 "lock.wait", site_id=self.site_id, file=str(file_id),
-                holder=str(holder), mode=mode.name,
+                holder="%s:%s" % holder, mode=mode.name,
                 start=start, end=end,
+                blocked_by=tuple(sorted("%s:%s" % b for b in blockers)),
             )
         try:
             yield event  # the waker grants before signalling; failure raises

@@ -244,8 +244,28 @@ class Cluster:
                 continue
         graph = build_wait_graph(edge_lists)
         cycle = find_cycle(graph)
+        obs = self.engine.obs
+        if obs is not None and graph:
+            # Wait-for snapshot as a Chrome-trace instant event: the
+            # detector's view lines up in Perfetto next to the lock.wait
+            # spans it explains.  Pure observer.
+            edges = sorted(
+                "%s:%s->%s:%s" % (w + b)
+                for w, blockers in graph.items() for b in blockers
+            )
+            obs.spans.instant(
+                "deadlock.waitfor", site_id=home.site_id,
+                edges=tuple(edges),
+                waiters=sum(1 for blockers in graph.values() if blockers),
+            )
         if cycle is not None:
             victim = choose_victim(cycle)
+            if obs is not None:
+                obs.spans.instant(
+                    "deadlock.cycle", site_id=home.site_id,
+                    cycle=tuple("%s:%s" % h for h in cycle),
+                    victim="%s:%s" % victim,
+                )
             if victim[0] == "txn":
                 txn = self.txn_registry.get(victim[1])
                 if txn is not None and not txn.is_finished():

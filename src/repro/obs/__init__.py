@@ -12,10 +12,15 @@ upgraded to modern practice:
   messages so a distributed commit is one linked tree across sites;
 * :class:`MetricsHub` / :class:`Histogram` -- fixed-bucket latency
   distributions (p50/p95/p99/max) per site and per category;
-* exporters -- Chrome trace-event JSON (loadable in Perfetto) and the
-  stable ``repro.bench_report/3`` metrics schema consumed by
-  ``python -m repro.analysis.report`` (v1 and v2 documents still
-  validate).
+* exporters -- Chrome trace-event JSON (loadable in Perfetto), with
+  :class:`Instant` markers for point-in-time observations such as
+  deadlock-detector wait-for snapshots, and the stable
+  ``repro.bench_report/4`` metrics schema consumed by
+  ``python -m repro.analysis.report`` (v1-v3 documents still
+  validate);
+* analysis readers -- :mod:`repro.obs.critpath` (per-transaction
+  critical-path blame) and :mod:`repro.obs.lint` (span-tree
+  well-formedness, ``python -m repro.obs.lint``).
 
 Everything here is a pure observer of the simulation: recording a span
 or a sample never charges CPU and never advances the virtual clock, so
@@ -31,10 +36,11 @@ from __future__ import annotations
 from .export import build_report, metrics_to_json, to_chrome_trace, write_json
 from .metrics import Histogram, MetricsHub, default_bounds
 from .schema import REQUIRED_METRICS, SCHEMA_ID, SchemaError, validate_report
-from .span import Span, SpanRecorder
+from .span import Instant, Span, SpanRecorder
 
 __all__ = [
     "Histogram",
+    "Instant",
     "MetricsHub",
     "Observability",
     "REQUIRED_METRICS",

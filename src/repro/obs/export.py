@@ -47,15 +47,20 @@ def to_chrome_trace(recorder, now=None) -> dict:
         now = recorder._engine.now
     events = []
     seen_tracks = set()
+
+    def _name_track(pid, site_id):
+        if (pid, site_id) in seen_tracks:
+            return
+        seen_tracks.add((pid, site_id))
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": "site %s" % (site_id,)
+                     if site_id is not None else "background"},
+        })
+
     for span in recorder.spans:
         pid = _site_pid(span.site_id)
-        if (pid, span.site_id) not in seen_tracks:
-            seen_tracks.add((pid, span.site_id))
-            events.append({
-                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
-                "args": {"name": "site %s" % (span.site_id,)
-                         if span.site_id is not None else "background"},
-            })
+        _name_track(pid, span.site_id)
         end = span.end if span.end is not None else now
         args = {
             "trace_id": span.trace_id,
@@ -95,6 +100,27 @@ def to_chrome_trace(recorder, now=None) -> dict:
                 flow, ph="f", bp="e", ts=span.start * _US,
                 pid=pid, tid=span.tid,
             ))
+    # Instant markers (e.g. deadlock-detector wait-for snapshots) render
+    # as 'i' events on the recording site's track, process-scoped so
+    # Perfetto draws them next to the spans they annotate.
+    for marker in recorder.instants:
+        pid = _site_pid(marker.site_id)
+        _name_track(pid, marker.site_id)
+        args = {}
+        for key, value in sorted(marker.attrs.items()):
+            args[key] = value if isinstance(
+                value, (int, float, str, bool, type(None))
+            ) else str(value)
+        events.append({
+            "name": marker.name,
+            "cat": marker.name.split(".", 1)[0],
+            "ph": "i",
+            "s": "p",
+            "ts": marker.ts * _US,
+            "pid": pid,
+            "tid": marker.tid,
+            "args": args,
+        })
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
@@ -128,6 +154,7 @@ def build_report(cluster, scenario="") -> dict:
             "recorded": len(obs.spans),
             "dropped": obs.spans.dropped,
             "traces": len(obs.spans.trace_ids()),
+            "instants": len(obs.spans.instants),
         },
     }
     if cluster.tracer is not None:

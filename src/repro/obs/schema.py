@@ -17,17 +17,23 @@ from __future__ import annotations
 
 __all__ = ["SCHEMA_ID", "REQUIRED_METRICS", "validate_report", "SchemaError"]
 
-SCHEMA_ID = "repro.bench_report/3"
+SCHEMA_ID = "repro.bench_report/4"
 
 #: Schema versions this validator accepts.  v2 added the per-site
 #: ``counters`` section (monotonic event counts, e.g. lock-cache hits);
 #: v3 added the optional ``throughput`` section (batching on/off commit
-#: throughput comparison, docs/COMMIT_BATCHING.md).  v1 and v2
-#: documents remain valid with the newer sections treated as absent.
-_ACCEPTED_SCHEMAS = ("repro.bench_report/1", "repro.bench_report/2", SCHEMA_ID)
+#: throughput comparison, docs/COMMIT_BATCHING.md); v4 added the
+#: optional ``critpath`` and ``contention`` analysis sections
+#: (docs/OBSERVABILITY.md).  Older documents remain valid with the
+#: newer sections treated as absent.
+_ACCEPTED_SCHEMAS = ("repro.bench_report/1", "repro.bench_report/2",
+                     "repro.bench_report/3", SCHEMA_ID)
 
 #: Versions that carry the mandatory ``counters`` section.
-_COUNTER_SCHEMAS = ("repro.bench_report/2", SCHEMA_ID)
+_COUNTER_SCHEMAS = ("repro.bench_report/2", "repro.bench_report/3", SCHEMA_ID)
+
+#: Versions that may carry the optional ``throughput`` section.
+_THROUGHPUT_SCHEMAS = ("repro.bench_report/3", SCHEMA_ID)
 
 #: Metric families every report must carry in at least one site
 #: (the per-phase breakdown the analysis layer is built on).
@@ -37,7 +43,7 @@ _SUMMARY_NUMBERS = ("count", "sum", "min", "max", "mean", "p50", "p95", "p99")
 
 
 class SchemaError(ValueError):
-    """The document does not conform to ``repro.bench_report/2``."""
+    """The document does not conform to any accepted schema version."""
 
 
 def _fail(problems):
@@ -89,10 +95,21 @@ def validate_report(doc) -> int:
                             % (site, name, type(value).__name__)
                         )
 
-    if doc["schema"] == SCHEMA_ID and "throughput" in doc:
-        problems.extend(_check_throughput(doc["throughput"]))
-    elif doc["schema"] != SCHEMA_ID and "throughput" in doc:
-        problems.append("throughput section requires schema %r" % SCHEMA_ID)
+    if "throughput" in doc:
+        if doc["schema"] in _THROUGHPUT_SCHEMAS:
+            problems.extend(_check_throughput(doc["throughput"]))
+        else:
+            problems.append("throughput section requires schema %r or newer"
+                            % _THROUGHPUT_SCHEMAS[0])
+
+    for section, checker in (("critpath", _check_critpath),
+                             ("contention", _check_contention)):
+        if section in doc:
+            if doc["schema"] == SCHEMA_ID:
+                problems.extend(checker(doc[section]))
+            else:
+                problems.append("%s section requires schema %r"
+                                % (section, SCHEMA_ID))
 
     checked = 0
     seen_metrics = set()
@@ -166,6 +183,84 @@ def _check_throughput(section):
     speedup = section.get("speedup")
     if not isinstance(speedup, (int, float)) or isinstance(speedup, bool):
         problems.append("throughput.speedup missing or not numeric")
+    return problems
+
+
+def _check_critpath(section):
+    """Problems with a v4 ``critpath`` section (empty list = valid).
+
+    Beyond shape, this enforces the section's defining invariant: each
+    transaction's per-category nanoseconds sum *exactly* to its total
+    (integer arithmetic, no tolerance), and likewise for the commit
+    window.
+    """
+    problems = []
+    if not isinstance(section, dict):
+        return ["critpath is %s, expected object" % type(section).__name__]
+    txns = section.get("transactions")
+    if not isinstance(txns, list):
+        problems.append("critpath.transactions missing or not a list")
+        txns = []
+    for i, txn in enumerate(txns):
+        where = "critpath.transactions[%d]" % i
+        if not isinstance(txn, dict):
+            problems.append("%s is not an object" % where)
+            continue
+        total = txn.get("total_ns")
+        cats = txn.get("categories")
+        if not isinstance(total, int) or isinstance(total, bool):
+            problems.append("%s.total_ns missing or not an integer" % where)
+        elif not isinstance(cats, dict):
+            problems.append("%s.categories missing or not an object" % where)
+        elif sum(cats.values()) != total:
+            problems.append(
+                "%s: category sum %d != total_ns %d"
+                % (where, sum(cats.values()), total)
+            )
+        commit = txn.get("commit")
+        if commit is not None:
+            if not isinstance(commit, dict):
+                problems.append("%s.commit is not an object" % where)
+                continue
+            ctotal = commit.get("total_ns")
+            ccats = commit.get("categories")
+            if not isinstance(ctotal, int) or isinstance(ctotal, bool):
+                problems.append("%s.commit.total_ns missing or not an integer"
+                                % where)
+            elif not isinstance(ccats, dict):
+                problems.append("%s.commit.categories missing or not an object"
+                                % where)
+            elif sum(ccats.values()) != ctotal:
+                problems.append(
+                    "%s.commit: category sum %d != total_ns %d"
+                    % (where, sum(ccats.values()), ctotal)
+                )
+            if not isinstance(commit.get("latency_s"), (int, float)):
+                problems.append("%s.commit.latency_s missing or not numeric"
+                                % where)
+    for key in ("categories", "commit_categories"):
+        if not isinstance(section.get(key), dict):
+            problems.append("critpath.%s missing or not an object" % key)
+    if not isinstance(section.get("top"), list):
+        problems.append("critpath.top missing or not a list")
+    return problems
+
+
+def _check_contention(section):
+    """Problems with a v4 ``contention`` section (empty list = valid)."""
+    problems = []
+    if not isinstance(section, dict):
+        return ["contention is %s, expected object" % type(section).__name__]
+    if not isinstance(section.get("range_bucket"), int):
+        problems.append("contention.range_bucket missing or not an integer")
+    for key in ("lock_resources", "disk_resources", "edges"):
+        if not isinstance(section.get(key), list):
+            problems.append("contention.%s missing or not a list" % key)
+        if not isinstance(section.get(key + "_total"), int):
+            problems.append("contention.%s_total missing or not an integer" % key)
+    cycle = section.get("aggregate_cycle", None)
+    if cycle is not None and not isinstance(cycle, list):
+        problems.append("contention.aggregate_cycle is not a list or null")
     return problems
 
 

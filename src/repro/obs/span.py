@@ -32,7 +32,26 @@ from __future__ import annotations
 
 import itertools
 
-__all__ = ["Span", "SpanRecorder"]
+__all__ = ["Instant", "Span", "SpanRecorder"]
+
+
+class Instant:
+    """A zero-duration marker event: something *observed* at one virtual
+    instant rather than a timed phase -- e.g. a deadlock-detector
+    wait-for snapshot.  Rendered as a Chrome-trace instant ('i') event
+    so it lines up in Perfetto next to the spans it annotates."""
+
+    __slots__ = ("name", "site_id", "tid", "ts", "attrs")
+
+    def __init__(self, name, site_id, tid, ts, attrs):
+        self.name = name
+        self.site_id = site_id
+        self.tid = tid
+        self.ts = ts
+        self.attrs = attrs
+
+    def __repr__(self):
+        return "<Instant %s @%s t=%s>" % (self.name, self.site_id, self.ts)
 
 
 class Span:
@@ -88,6 +107,7 @@ class SpanRecorder:
         self._stacks = {}         # sim Process (or None) -> [open spans]
         self._tracks = {}         # sim Process (or None) -> small int
         self._by_id = {}          # span_id -> Span (recorded spans only)
+        self.instants = []        # Instant markers, in record order
 
     # ------------------------------------------------------------------
     # context plumbing
@@ -162,6 +182,19 @@ class SpanRecorder:
             self.spans.append(span)
             self._by_id[span.span_id] = span
         return span
+
+    def instant(self, name, site_id=None, **attrs) -> Instant:
+        """Record a zero-duration marker at the current virtual time
+        (pure observer, like spans)."""
+        marker = Instant(
+            name=name,
+            site_id=site_id,
+            tid=self._track(self._engine.current_process),
+            ts=self._engine.now,
+            attrs=attrs,
+        )
+        self.instants.append(marker)
+        return marker
 
     def end(self, span, status=None, **attrs):
         """Close a span (idempotent; None is accepted and ignored)."""

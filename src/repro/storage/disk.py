@@ -97,15 +97,18 @@ class Disk:
 
     def _io_done(self, span):
         """Close the I/O span and histogram the operation: total time at
-        the arm, plus the portion spent queued behind other requests."""
+        the arm, plus the portion spent queued behind other requests.
+        The queued portion is also pinned on the span (``queued`` attr)
+        so the critical-path extractor can split the span into
+        disk.queue and disk.io blame without knowing the cost model."""
         obs = self._engine.obs
         if obs is None or span is None:
             return
-        obs.end(span)
         total = self._engine.now - span.start
+        queued = max(total - self._cost.disk_io_time, 0.0)
+        obs.end(span, queued=queued)
         obs.observe(self.site, "disk.io", total)
-        obs.observe(self.site, "disk.queue",
-                    max(total - self._cost.disk_io_time, 0.0))
+        obs.observe(self.site, "disk.queue", queued)
 
     def free_block(self, block_no):
         """Release a block (no I/O: the free map lives in core and is

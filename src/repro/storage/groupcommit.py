@@ -75,7 +75,19 @@ class GroupCommitScheduler:
             self._pump = self._engine.process(
                 self._drain(), name="groupcommit@%s" % self._disk.name
             )
-        yield batch.done
+        obs = self._engine.obs
+        span = None
+        if obs is not None:
+            # The member's wait for its covering batch: the critical-path
+            # extractor blames this window on group commit rather than on
+            # whatever span happens to enclose the force.
+            span = obs.span("groupcommit.wait", site_id=self._site,
+                            disk=self._disk.name)
+        try:
+            yield batch.done
+        finally:
+            if obs is not None:
+                obs.end(span)
 
     def _drain(self):
         """Generator (pump process): write forming batches until none

@@ -1,0 +1,174 @@
+"""Contention attribution: resource tables, waits-for edges, and the
+aggregate cycle check."""
+
+from repro.analysis.contention import (
+    contention_section,
+    disk_resources,
+    holder_label,
+    lock_resources,
+    render_contention_table,
+    wait_edges,
+)
+from repro.analysis.report import run_scenario
+from repro.obs import Observability
+from tests.conftest import drive
+
+
+def obs_on(eng):
+    return Observability(eng).install()
+
+
+def test_holder_label_formats():
+    assert holder_label(("txn", 7)) == "txn:7"
+    assert holder_label(("proc", 3)) == "proc:3"
+    assert holder_label("already") == "already"
+
+
+# ----------------------------------------------------------------------
+# unit: synthetic spans
+# ----------------------------------------------------------------------
+
+def _wait(obs, eng, seconds, *, file, start, holder, blocked_by):
+    span = obs.span("lock.wait", site_id=1, file=file, start=start,
+                    holder=holder, blocked_by=blocked_by)
+    yield eng.timeout(seconds)
+    obs.end(span)
+
+
+def test_lock_resources_aggregate_by_range_bucket(eng):
+    obs = obs_on(eng)
+
+    def prog():
+        # Two waits in the same 4 KiB bucket, one in the next.
+        yield from _wait(obs, eng, 0.1, file="f", start=0,
+                         holder="txn:2", blocked_by=("txn:1",))
+        yield from _wait(obs, eng, 0.2, file="f", start=100,
+                         holder="txn:3", blocked_by=("txn:1",))
+        yield from _wait(obs, eng, 0.4, file="f", start=5000,
+                         holder="txn:4", blocked_by=("txn:9",))
+
+    drive(eng, prog())
+    table = lock_resources(obs.spans)
+    assert len(table) == 2
+    # Ranked by total blocked time: the 0.4 s bucket first.
+    assert table[0]["range"] == [4096, 8192]
+    assert table[0]["waits"] == 1
+    assert table[1]["range"] == [0, 4096]
+    assert table[1]["waits"] == 2
+    assert table[1]["total_ns"] == 300_000_000
+    assert table[1]["max_ns"] == 200_000_000
+    assert table[1]["blockers"][0] == {"holder": "txn:1",
+                                       "blocked_ns": 300_000_000}
+
+
+def test_wait_edges_count_and_rank(eng):
+    obs = obs_on(eng)
+
+    def prog():
+        yield from _wait(obs, eng, 0.1, file="f", start=0,
+                         holder="txn:2", blocked_by=("txn:1",))
+        yield from _wait(obs, eng, 0.2, file="f", start=0,
+                         holder="txn:2", blocked_by=("txn:1", "txn:3"))
+
+    drive(eng, prog())
+    edges = wait_edges(obs.spans)
+    assert [(e["waiter"], e["blocker"], e["count"]) for e in edges] == [
+        ("txn:2", "txn:1", 2),
+        ("txn:2", "txn:3", 1),
+    ]
+    assert edges[0]["total_ns"] == 300_000_000
+
+
+def test_aggregate_cycle_detected_from_opposed_edges(eng):
+    obs = obs_on(eng)
+
+    def prog():
+        yield from _wait(obs, eng, 0.1, file="f", start=0,
+                         holder="txn:1", blocked_by=("txn:2",))
+        yield from _wait(obs, eng, 0.1, file="g", start=0,
+                         holder="txn:2", blocked_by=("txn:1",))
+
+    drive(eng, prog())
+
+    class FakeObs:
+        spans = obs.spans
+
+    section = contention_section(FakeObs())
+    assert section["aggregate_cycle"] is not None
+    assert set(section["aggregate_cycle"]) == {"txn:1", "txn:2"}
+
+
+def test_disk_resources_report_queued_time(eng):
+    obs = obs_on(eng)
+
+    def prog():
+        a = obs.span("disk.write", site_id=1, disk="d1", category="io.write.page")
+        yield eng.timeout(0.026)
+        obs.end(a, queued=0.0)
+        b = obs.span("disk.write", site_id=1, disk="d1", category="io.write.page")
+        yield eng.timeout(0.052)
+        obs.end(b, queued=0.026)
+
+    drive(eng, prog())
+    table = disk_resources(obs.spans)
+    assert len(table) == 1
+    entry = table[0]
+    assert entry["ios"] == 2
+    assert entry["queued_ios"] == 1
+    assert entry["queued_ns"] == 26_000_000
+
+
+# ----------------------------------------------------------------------
+# integration: real scenarios
+# ----------------------------------------------------------------------
+
+def test_commit_scenario_attributes_contention():
+    cluster = run_scenario("commit")
+    section = cluster.report_sections["contention"]
+    # The staggered writers all queue on /db/a's first bucket.
+    assert section["lock_resources_total"] >= 1
+    hottest = section["lock_resources"][0]
+    assert hottest["waits"] >= 4
+    assert hottest["blockers"], "hot resource must name its blockers"
+    # The first writer blocks everyone at least once.
+    edges = section["edges"]
+    assert edges and all(e["count"] >= 1 for e in edges)
+    # No aggregate lock-order inversion in this workload.
+    assert section["aggregate_cycle"] is None
+
+
+def test_lock_waits_blame_matches_critpath_totals():
+    """Cross-check the two profilers: the contention table's blocked
+    nanoseconds are the same lock.wait spans the critical-path
+    extractor blames (here every wait is on one path, so totals
+    match exactly)."""
+    from repro.obs.critpath import to_ns
+
+    cluster = run_scenario("commit")
+    section = cluster.report_sections["contention"]
+    span_total = sum(
+        to_ns(s.end) - to_ns(s.start)
+        for s in cluster.obs.spans.select(name="lock.wait")
+        if s.end is not None
+    )
+    table_total = sum(e["total_ns"] for e in section["lock_resources"])
+    assert table_total == span_total
+
+
+def test_disk_queue_contention_visible_under_throughput():
+    cluster = run_scenario("throughput")
+    section = cluster.report_sections["contention"]
+    queued = [e for e in section["disk_resources"] if e["queued_ns"] > 0]
+    assert queued, "concurrent commits must queue at the log disk"
+
+
+def test_render_contention_table_lists_hot_resource():
+    cluster = run_scenario("commit")
+    text = render_contention_table(cluster.report_sections["contention"])
+    assert "top blocker" in text
+    assert "waiter" in text
+
+
+def test_render_contention_table_empty_section():
+    assert render_contention_table({"lock_resources": [], "disk_resources": [],
+                                    "edges": []}) == ""

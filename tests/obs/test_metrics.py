@@ -61,6 +61,78 @@ def test_merge_folds_counts_and_extremes():
     assert sum(a.counts) == 3
 
 
+def test_empty_histogram_is_well_defined():
+    """No samples: every statistic pins to zero, and the summary still
+    passes the schema's monotonicity check (min <= p50 <= ... <= max)."""
+    h = Histogram()
+    assert h.count == 0
+    assert h.mean == 0.0
+    assert h.percentile(50) == 0.0
+    assert h.percentile(99) == 0.0
+    s = h.summary()
+    assert s["min"] == s["max"] == s["p50"] == s["p95"] == s["p99"] == 0.0
+    assert sum(s["buckets"]["counts"]) == 0
+
+
+def test_samples_exactly_on_bucket_bounds():
+    """A sample equal to a bucket's upper bound belongs to that bucket
+    (buckets are (lo, hi]), and percentiles stay inside [min, max]."""
+    h = Histogram(bounds=(0.001, 0.01, 0.1))
+    for value in (0.001, 0.01, 0.1):
+        h.observe(value)
+    assert h.counts == [1, 1, 1, 0]       # no spill into the next bucket
+    p50, p95, p99 = h.percentile(50), h.percentile(95), h.percentile(99)
+    assert h.min <= p50 <= p95 <= p99 <= h.max
+    assert h.percentile(1) == h.min        # clamped, not interpolated below
+    assert h.percentile(100) == h.max
+
+
+def test_single_sample_on_lowest_bound_reports_exactly():
+    h = Histogram(bounds=(0.001, 0.01))
+    h.observe(0.001)
+    # Interpolation inside (0, 0.001] would undershoot; the [min, max]
+    # clamp pins the exact value.
+    assert h.percentile(50) == 0.001
+    assert h.percentile(99) == 0.001
+
+
+def test_merge_empty_into_full_and_back():
+    full, empty = Histogram(), Histogram()
+    full.observe(0.004)
+    full.observe(0.2)
+
+    full.merge(empty)                      # no-op
+    assert full.count == 2
+    assert (full.min, full.max) == (0.004, 0.2)
+
+    empty.merge(full)                      # adopts everything
+    assert empty.count == 2
+    assert (empty.min, empty.max) == (0.004, 0.2)
+    assert empty.sum == full.sum
+    assert empty.counts == full.counts
+
+    both = Histogram()
+    both.merge(Histogram())                # empty + empty stays empty
+    assert both.count == 0 and both.min is None and both.max is None
+
+
+def test_merge_preserves_summary_consistency():
+    a, b = Histogram(), Histogram()
+    for i in range(50):
+        a.observe(0.001 * (i + 1))
+        b.observe(0.002 * (i + 1))
+    a.merge(b)
+    s = a.summary()
+    assert sum(s["buckets"]["counts"]) == s["count"] == 100
+    assert s["min"] <= s["p50"] <= s["p95"] <= s["p99"] <= s["max"]
+
+
+def test_merged_returns_none_for_unseen_name():
+    hub = MetricsHub()
+    hub.observe(1, "lock.wait", 0.1)
+    assert hub.merged("no.such.metric") is None
+
+
 def test_default_bounds_are_geometric():
     bounds = default_bounds()
     assert len(bounds) == 28
