@@ -4,15 +4,22 @@ Runs a named scenario on an instrumented cluster, prints a per-site
 latency-breakdown table (count / p50 / p95 / p99 / max per metric), and
 writes two artifacts:
 
-* ``BENCH_report.json`` -- the stable ``repro.bench_report/4`` metrics
+* ``BENCH_report.json`` -- the stable ``repro.bench_report/5`` metrics
   document (validated against :mod:`repro.obs.schema` before writing),
-  including the ``critpath`` (per-transaction blame decomposition) and
-  ``contention`` (resource / waits-for attribution) analysis sections;
-  the ``throughput`` scenario writes ``BENCH_throughput.json`` with the
-  commit-batching on/off comparison (docs/COMMIT_BATCHING.md);
+  including the ``critpath`` (per-transaction blame decomposition),
+  ``contention`` (resource / waits-for attribution), ``timeline``
+  (per-site gauge/rate series) and ``monitors`` (runtime protocol
+  verification) sections; the ``throughput`` scenario writes
+  ``BENCH_throughput.json`` with the commit-batching on/off comparison
+  (docs/COMMIT_BATCHING.md);
 * ``BENCH_trace.json`` -- a Chrome trace-event file of every causal
-  span; load it at https://ui.perfetto.dev to see the distributed
-  commit as one flow-linked tree across coordinator and participants.
+  span plus counter ('C') tracks for the timeline gauges; load it at
+  https://ui.perfetto.dev to see the distributed commit as one
+  flow-linked tree across coordinator and participants.
+
+Scenarios run with the protocol monitors attached in strict mode: a
+2PC/locking/lease/WAL invariant violation aborts report generation
+rather than silently producing numbers from a broken protocol run.
 
 The simulator is deterministic and the report contains no wall-clock
 timestamps, so rerunning a scenario reproduces both files byte for
@@ -283,8 +290,17 @@ SCENARIO_CONFIG = {
 # runner and rendering
 # ----------------------------------------------------------------------
 
-def run_scenario(name, site_ids=(1, 2, 3)):
-    """Build an instrumented cluster, run the scenario, return the cluster."""
+#: Timeline tick used by :func:`run_scenario` (virtual seconds).
+REPORT_TIMELINE_TICK = 0.25
+
+
+def run_scenario(name, site_ids=(1, 2, 3), monitors=True, strict=True,
+                 timeline_tick=REPORT_TIMELINE_TICK):
+    """Build an instrumented cluster, run the scenario, return the cluster.
+
+    Monitors run in strict mode by default: the stock scenarios are
+    protocol-correct, so any :class:`~repro.obs.MonitorViolation` here
+    is a real regression and should fail loudly."""
     if name not in SCENARIOS:
         raise KeyError("unknown scenario %r (have: %s)"
                        % (name, ", ".join(sorted(SCENARIOS))))
@@ -295,7 +311,8 @@ def run_scenario(name, site_ids=(1, 2, 3)):
 
         config = SystemConfig(**overrides)
     cluster = Cluster(site_ids=site_ids, config=config)
-    cluster.enable_observability()
+    cluster.enable_observability(monitors=monitors, strict=strict,
+                                 timeline_tick=timeline_tick)
     SCENARIOS[name](cluster)
     attach_analysis_sections(cluster)
     return cluster
@@ -494,10 +511,29 @@ def main(argv=None):
 
     report = build_report(cluster, scenario=scenario)
     validate_report(report)
+    monitors = report.get("monitors")
+    if monitors is not None:
+        print("\n== monitors ==")
+        print("events: %d   checks: %d   violations: %d%s" % (
+            monitors["events"], len(monitors["checks"]),
+            monitors["total_violations"],
+            "   (strict)" if monitors["strict"] else "",
+        ))
+        for violation in monitors["violations"]:
+            print("  [%s] %s" % (violation["check"], violation["message"]))
+    timeline = report.get("timeline")
+    if timeline is not None:
+        print("\n== timeline ==")
+        print("%d ticks x %.3fs over %d site(s): %d points (%d dropped)" % (
+            timeline["ticks"], timeline["tick"], len(timeline["sites"]),
+            timeline["points"], timeline["dropped"],
+        ))
     write_json(out, report)
     print("\nwrote %s" % out)
     if trace_out:
-        write_json(trace_out, to_chrome_trace(obs.spans))
+        write_json(trace_out, to_chrome_trace(
+            obs.spans, metrics=obs.metrics, timeline=obs.timeline,
+        ))
         print("wrote %s (load at https://ui.perfetto.dev)" % trace_out)
     return 0
 

@@ -145,3 +145,15 @@ class SystemConfig:
     #                                      batch waits for joiners; 0.0
     #                                      batches only forces that arrive
     #                                      while one is already in flight
+
+    # Online protocol monitors and time-series telemetry
+    # (docs/OBSERVABILITY.md): pure observers layered on the span/event
+    # stream, zero virtual time, active only once
+    # cluster.enable_observability() has run.  ``monitors`` feeds the
+    # 2PC/lock/lease/WAL state machines of repro.obs.monitor;
+    # ``monitor_strict`` raises MonitorViolation at the offending
+    # instant instead of only counting; ``timeline_tick`` > 0 records
+    # gauge/rate series sampled onto that virtual-time grid at export.
+    monitors: bool = False
+    monitor_strict: bool = False
+    timeline_tick: float = 0.0

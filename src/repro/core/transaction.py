@@ -41,16 +41,57 @@ class TxnRecord:
     observer's index of it (and what tests assert on).
     """
 
-    def __init__(self, tid, top_proc):
+    def __init__(self, tid, top_proc, registry=None):
         self.tid = tid
         self.top_proc = top_proc
         self.members = {top_proc.pid: top_proc}
+        # Assigned before ``state``: the state setter reports lifecycle
+        # transitions through registry.engine.obs when observability is on.
+        self.registry = registry
         self.state = TxnState.ACTIVE
         self.coordinator_site = None
         self.participants = ()
         self.abort_reason = None
         self.commit_started_at = None
         self.obs_span = None  # root trace span (None unless observability is on)
+
+    @property
+    def state(self):
+        return self._state
+
+    @state.setter
+    def state(self, value):
+        """Every lifecycle transition funnels through here, so the state
+        assignments scattered across the commit, abort and topology-
+        change paths all feed the 2PC monitor and the txn gauges without
+        each call site carrying instrumentation.  Pure observer."""
+        old = getattr(self, "_state", None)
+        self._state = value
+        if old == value:
+            return
+        registry = getattr(self, "registry", None)
+        engine = getattr(registry, "engine", None)
+        obs = getattr(engine, "obs", None)
+        if obs is None:
+            return
+        site = self.top_proc.site_id
+        timeline = obs.timeline
+        if timeline is not None:
+            terminal = (TxnState.RESOLVED, TxnState.ABORTED)
+            if old is None:
+                timeline.gauge_adjust(site, "txn.active", 1)
+            elif value in terminal and old not in terminal:
+                timeline.gauge_adjust(site, "txn.active", -1)
+            if value == TxnState.COMMITTED:
+                timeline.count(site, "txn.commit")
+            elif value == TxnState.ABORTING:
+                timeline.count(site, "txn.abort")
+        if value == TxnState.COMMITTED:
+            obs.event("2pc.decide", site_id=site, tid=self.tid,
+                      decision="commit")
+        elif value == TxnState.ABORTING:
+            obs.event("2pc.decide", site_id=site, tid=self.tid,
+                      decision="abort")
 
     @property
     def holder(self):
@@ -82,10 +123,11 @@ class TxnRegistry:
 
     def __init__(self):
         self._by_tid = {}
+        self.engine = None  # set by the cluster; lets records find obs
 
     def create(self, tid, top_proc) -> TxnRecord:
         """Register a new transaction under its top-level process."""
-        rec = TxnRecord(tid, top_proc)
+        rec = TxnRecord(tid, top_proc, registry=self)
         self._by_tid[tid] = rec
         return rec
 

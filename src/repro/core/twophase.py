@@ -331,17 +331,26 @@ def prepare_participant(site, tid, file_ids, coordinator):
     span = None
     if obs is not None:
         span = obs.span("2pc.prepare", site_id=site.site_id, tid=str(tid),
-                        files=len(file_ids))
+                        files=len(file_ids), coordinator=coordinator)
     try:
         result = yield from _prepare_participant_body(
             site, tid, file_ids, coordinator
         )
     except BaseException:
         if obs is not None:
-            obs.end(span, status="failed")
+            # A failed prepare IS the NO vote (the coordinator sees the
+            # error and aborts).  The ``vote`` attr keeps saved traces
+            # replayable through the monitors offline (obs.lint
+            # --monitors).
+            obs.end(span, status="failed", vote="no")
+            obs.event("2pc.vote", site_id=site.site_id, tid=tid,
+                      vote="no", coordinator=coordinator)
         raise
     if obs is not None:
-        obs.end(span, status="prepared")
+        vote = "ro" if result.get("read_only") else "yes"
+        obs.end(span, status="prepared", vote=vote)
+        obs.event("2pc.vote", site_id=site.site_id, tid=tid,
+                  vote=vote, coordinator=coordinator)
     return result
 
 
@@ -407,6 +416,8 @@ def commit_participant(site, tid):
     span = None
     if obs is not None:
         span = obs.span("2pc.apply", site_id=site.site_id, tid=str(tid))
+        obs.event("2pc.deliver", site_id=site.site_id, tid=tid,
+                  decision="commit")
     try:
         result = yield from _commit_participant_body(site, tid)
     finally:
@@ -441,6 +452,8 @@ def abort_participant(site, tid):
     span = None
     if obs is not None:
         span = obs.span("2pc.abort", site_id=site.site_id, tid=str(tid))
+        obs.event("2pc.deliver", site_id=site.site_id, tid=tid,
+                  decision="abort")
     try:
         result = yield from _abort_participant_body(site, tid)
     finally:

@@ -133,6 +133,10 @@ class LeaseRegistry:
         """File ids with at least one outstanding lease (sorted)."""
         return sorted(self._leases, key=str)
 
+    def count(self):
+        """Total outstanding leases (the ``lease.live`` timeline gauge)."""
+        return sum(len(by_site) for by_site in self._leases.values())
+
     # ------------------------------------------------------------------
     # refresh / teardown
     # ------------------------------------------------------------------

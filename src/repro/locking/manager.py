@@ -86,10 +86,13 @@ class _Waiter:
 class LockManager:
     """Lock arbitration for the files stored at one site."""
 
-    def __init__(self, engine, cost, site_id=None):
+    def __init__(self, engine, cost, site_id=None, role="storage"):
         self._engine = engine
         self._cost = cost
         self.site_id = site_id  # observability attribution only
+        self.role = role        # "storage" or "lease" (using-site local
+        #                         arbiter); tags monitor events and
+        #                         timeline gauge names
         self._tables = {}       # file_id -> LockTable
         self._queues = {}       # file_id -> deque[_Waiter] (FIFO)
         self._buckets = {}      # file_id -> {bucket -> set[_Waiter]}
@@ -121,6 +124,7 @@ class LockManager:
         self._wide.pop(file_id, None)
         self._file_states.pop(file_id, None)
         self._edge_cache.pop(file_id, None)
+        self._notify_gauges()
 
     def table(self, file_id) -> LockTable:
         """The (lazily created) lock table for a file."""
@@ -192,8 +196,35 @@ class LockManager:
         table = self.table(file_id)
         table.grant(holder, mode, start, end, nontrans=nontrans)
         self._touch(file_id)
+        obs = self._engine.obs
+        if obs is not None:
+            # Every grant path funnels through here (immediate grants,
+            # waiter wake-ups, lease mirrors, recalled-state installs),
+            # so this one event feeds the lock monitor's cross-check.
+            obs.event(
+                "lock.grant", site_id=self.site_id, role=self.role,
+                file_id=file_id, holder=holder, mode=mode,
+                start=start, end=end, nontrans=nontrans, table=table,
+            )
+            self._timeline_gauges(obs)
         if holder[0] == "txn" and not nontrans:
             self._adopt_dirty_records(file_id, holder, start, end)
+
+    def _notify_gauges(self):
+        obs = self._engine.obs
+        if obs is not None:
+            self._timeline_gauges(obs)
+
+    def _timeline_gauges(self, obs):
+        """Refresh this manager's entry/waiter gauges (pure reader)."""
+        timeline = obs.timeline
+        if timeline is None:
+            return
+        prefix = "lock.table." if self.role == "storage" else "lease.table."
+        entries = sum(len(t.records()) for t in self._tables.values())
+        waiting = sum(len(q) for q in self._queues.values())
+        timeline.gauge_set(self.site_id, prefix + "entries", entries)
+        timeline.gauge_set(self.site_id, prefix + "waiters", waiting)
 
     def _adopt_dirty_records(self, file_id, txn_holder, start, end):
         """Rule 2: dirty-uncommitted bytes under a fresh transaction lock
@@ -226,6 +257,7 @@ class LockManager:
             return
         table.release(holder, start, end)
         self._touch(file_id)
+        self._notify_gauges()
         self._wake_waiters(file_id, [(start, end)])
 
     def unlock_auto(self, file_id, holder, start, end):
@@ -240,6 +272,7 @@ class LockManager:
         if holder[0] == "proc":
             table.release(holder, start, end)
             self._touch(file_id)
+            self._notify_gauges()
             self._wake_waiters(file_id, [(start, end)])
             return
         released = False
@@ -255,6 +288,7 @@ class LockManager:
                 rec.retained = rec.retained.union(hit)
         if released:
             self._touch(file_id)
+            self._notify_gauges()
             self._wake_waiters(file_id, [(start, end)])
 
     def release_holder(self, holder):
@@ -268,6 +302,7 @@ class LockManager:
             table.release_holder(holder)
             self._touch(file_id)
         self.cancel_waits(holder, LockCancelled("holder %s finished" % (holder,)))
+        self._notify_gauges()
         for file_id, runs in freed.items():
             self._wake_waiters(file_id, list(runs))
 
@@ -278,6 +313,7 @@ class LockManager:
         freed = table.ranges_of(holder).runs
         table.release_holder(holder)
         self._touch(file_id)
+        self._notify_gauges()
         if freed:
             self._wake_waiters(file_id, list(freed))
 
@@ -315,6 +351,7 @@ class LockManager:
             for b in waiter.buckets:
                 buckets.setdefault(b, set()).add(waiter)
         self._touch(file_id)
+        self._notify_gauges()
 
     def _remove_waiter(self, file_id, waiter):
         queue = self._queues.get(file_id)
@@ -334,6 +371,7 @@ class LockManager:
                     if not members:
                         del buckets[b]
         self._touch(file_id)
+        self._notify_gauges()
 
     def _candidates(self, file_id, changed):
         """Queued waiters whose blocked-status may have flipped, FIFO.

@@ -80,6 +80,30 @@ class LockTable:
                 blockers.append(rec.holder)
         return sorted(set(blockers))
 
+    def conflicting_pairs(self, start, end):
+        """Every pair of live records from *different* holders whose
+        modes are incompatible and whose ranges overlap each other
+        inside ``[start, end)``.
+
+        A correctly arbitrated table always returns [] -- this is the
+        runtime monitor's cross-check (``repro.obs.monitor``), asked at
+        every grant instant.  It deliberately re-derives conflicts from
+        the raw records rather than trusting :meth:`conflicts`, so a
+        granting-path bug cannot vouch for itself.
+        """
+        live = [r for r in self.records() if r.ranges.overlaps(start, end)]
+        pairs = []
+        for i, rec_a in enumerate(live):
+            for rec_b in live[i + 1:]:
+                if rec_a.holder == rec_b.holder:
+                    continue
+                if compatible(rec_a.mode, rec_b.mode):
+                    continue
+                if rec_a.ranges.clamp(start, end).overlaps_set(
+                        rec_b.ranges.clamp(start, end)):
+                    pairs.append((rec_a, rec_b))
+        return pairs
+
     def unix_conflicts(self, accessor, want_write, start, end):
         """Holders blocking an unlocked Unix access (Figure 1 row 1)."""
         blockers = []

@@ -44,6 +44,7 @@ class Cluster:
         self.network = Network(self.engine, self.cost)
         self.namespace = Namespace()
         self.txn_registry = TxnRegistry()
+        self.txn_registry.engine = self.engine
         self.pids = PidGenerator()
         self.procs = {}
         self.sites = {}
@@ -64,17 +65,38 @@ class Cluster:
         self.tracer = Tracer(capacity=capacity)
         return self.tracer
 
-    def enable_observability(self, span_capacity=200000, bounds=None):
+    def enable_observability(self, span_capacity=200000, bounds=None,
+                             monitors=None, strict=None, timeline_tick=None):
         """Attach causal-span tracing and latency histograms.
 
         Instrumentation is a pure observer: it charges no virtual time,
         so an instrumented run is event-for-event identical to an
-        uninstrumented one (see docs/OBSERVABILITY.md)."""
+        uninstrumented one (see docs/OBSERVABILITY.md).
+
+        ``monitors``/``strict``/``timeline_tick`` default from the
+        cluster config (``SystemConfig.monitors`` etc.), which in turn
+        can be overridden by the ``REPRO_MONITOR`` / ``REPRO_TIMELINE``
+        environment variables -- so an existing experiment script gains
+        runtime verification without a code change."""
+        import os
+
         from repro.obs import Observability
 
         self.obs = Observability(
             self.engine, span_capacity=span_capacity, bounds=bounds
         ).install()
+        if monitors is None:
+            monitors = self.config.monitors or bool(os.environ.get("REPRO_MONITOR"))
+        if strict is None:
+            strict = self.config.monitor_strict
+        if timeline_tick is None:
+            timeline_tick = self.config.timeline_tick
+            if not timeline_tick and os.environ.get("REPRO_TIMELINE"):
+                timeline_tick = float(os.environ["REPRO_TIMELINE"])
+        if monitors:
+            self.obs.attach_monitors(strict=strict)
+        if timeline_tick:
+            self.obs.attach_timeline(tick=timeline_tick)
         return self.obs
 
     # ------------------------------------------------------------------
@@ -178,10 +200,19 @@ class Cluster:
     def partition(self, *groups):
         """Split the network into the given site groups."""
         self.network.partition(*groups)
+        obs = self.engine.obs
+        if obs is not None:
+            obs.event(
+                "net.partition",
+                groups=tuple(tuple(sorted(g)) for g in groups),
+            )
 
     def heal_partition(self):
         """Restore full connectivity."""
         self.network.heal_partition()
+        obs = self.engine.obs
+        if obs is not None:
+            obs.event("net.heal")
 
     # ------------------------------------------------------------------
     # aggregate statistics
@@ -321,7 +352,10 @@ class Cluster:
             dropped = site.lease_cache.drop_unreachable(
                 lambda sid: self.network.reachable(me, sid)
             )
+            obs = self.engine.obs
             for file_id in dropped:
+                if obs is not None:
+                    obs.event("lease.drop", site_id=me, file_id=file_id)
                 site.lease_manager.fail_waiters(
                     file_id,
                     LeaseRecalled("lease on %r lost: storage unreachable"

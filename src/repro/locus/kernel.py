@@ -494,6 +494,13 @@ class Kernel:
                 ch.file_id, holder, lock_mode, rng[0], rng[1]
             )
             site.lease_cache.note_mirrored(ch.file_id, holder, rng[0], rng[1])
+            if obs is not None:
+                # The storage site granted this lock itself, so a recall
+                # need not report it back; the lease monitor tracks the
+                # same fact independently to audit surrenders.
+                obs.event("lease.mirror", site_id=site.site_id,
+                          file_id=ch.file_id, holder=holder,
+                          lo=rng[0], hi=rng[1])
         return rng
 
     def _lease_hit(self, site, obs):

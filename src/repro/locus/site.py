@@ -166,7 +166,7 @@ class Site:
                 duration=self.config.lock_cache_lease,
             )
         self.lease_manager = LockManager(self.engine, self.cost,
-                                         site_id=self.site_id)
+                                         site_id=self.site_id, role="lease")
         self.lease_cache = LeaseCache()
         # Phase-2 coalescing (docs/COMMIT_BATCHING.md): in-core queues,
         # so a crash drops them -- recovery replays from the logs.
@@ -343,10 +343,24 @@ class Site:
             return None
         if holder[0] != "txn":
             return None
-        return registry.grant(
+        granted = registry.grant(
             file_id, origin, holder, start, end, self.engine.now,
             self.lock_manager,
         )
+        obs = self.engine.obs
+        if granted is not None and obs is not None:
+            lo, hi, expiry = granted
+            obs.event("lease.grant", site_id=self.site_id, file_id=file_id,
+                      using_site=origin, lo=lo, hi=hi, expiry=expiry)
+            self._lease_gauge(obs)
+        return granted
+
+    def _lease_gauge(self, obs):
+        """Refresh the ``lease.live`` gauge for this storage site."""
+        timeline = obs.timeline
+        if timeline is not None and self.lock_manager.leases is not None:
+            timeline.gauge_set(self.site_id, "lease.live",
+                               self.lock_manager.leases.count())
 
     def recall_leases(self, file_id, start, end):
         """Generator: invalidate every lease conflicting with
@@ -398,6 +412,7 @@ class Site:
                 )
             registry.drop(file_id, lease.site_id)
             if obs is not None:
+                self._lease_gauge(obs)
                 obs.incr(self.site_id, "lock.cache.recall")
                 obs.observe(self.site_id, "lock.cache.recall",
                             self.engine.now - started)
@@ -427,6 +442,13 @@ class Site:
                 rec.holder, rec.mode.name, rec.nontrans,
                 list(novel.runs), list(retained.runs),
             ))
+        obs = self.engine.obs
+        if obs is not None:
+            # Emitted while the lease-local table is still intact: the
+            # lease monitor audits the shipped records against it.
+            obs.event("lease.surrender", site_id=self.site_id,
+                      file_id=file_id, records=tuple(records),
+                      table=self.lease_manager.table(file_id))
         self.lease_manager.forget_file(file_id)
         self.lease_cache.drop_file(file_id)
         self.lease_cache.stats["recalls"] += 1
@@ -498,6 +520,12 @@ class Site:
         if not self.up:
             return
         self.up = False
+        obs = self.engine.obs
+        if obs is not None:
+            obs.event("site.crash", site_id=self.site_id)
+            if obs.timeline is not None:
+                # In-core tables die with the site; the series show it.
+                obs.timeline.zero_site(self.site_id)
         for proc in list(self.procs.values()):
             if proc.sim_proc is not None:
                 proc.sim_proc.kill()
@@ -513,6 +541,9 @@ class Site:
         if self.up:
             return None
         self.up = True
+        obs = self.engine.obs
+        if obs is not None:
+            obs.event("site.recover", site_id=self.site_id)
         self.cluster.network.restart_site(self.site_id)
         self.rpc.restart()
         if recover:
@@ -613,10 +644,15 @@ def _h_prepare(site, body, _src):
     refresh = body.get("lease_refresh")
     if registry is not None and refresh:
         renewed = []
+        obs = site.engine.obs
         for file_id in refresh:
             expiry = registry.refresh(tuple(file_id), _src, site.engine.now)
             if expiry is not None:
                 renewed.append((tuple(file_id), expiry))
+                if obs is not None:
+                    obs.event("lease.renew", site_id=site.site_id,
+                              file_id=tuple(file_id), using_site=_src,
+                              expiry=expiry)
         if renewed:
             result = dict(result)
             result["lease_renewed"] = renewed
@@ -649,10 +685,15 @@ def _h_commit_batch(site, body, _src):
     refresh = body.get("lease_refresh")
     if registry is not None and refresh:
         renewed = []
+        obs = site.engine.obs
         for file_id in refresh:
             expiry = registry.refresh(tuple(file_id), _src, site.engine.now)
             if expiry is not None:
                 renewed.append((tuple(file_id), expiry))
+                if obs is not None:
+                    obs.event("lease.renew", site_id=site.site_id,
+                              file_id=tuple(file_id), using_site=_src,
+                              expiry=expiry)
         if renewed:
             result["lease_renewed"] = renewed
     return result

@@ -171,6 +171,9 @@ class RpcEndpoint:
         reply_ev = self._engine.event()
         self._pending[msg.msg_id] = reply_ev
         self._network.send(msg)
+        timeline = obs.timeline if obs is not None else None
+        if timeline is not None:
+            timeline.gauge_adjust(self.site_id, "rpc.inflight", 1)
         try:
             if limit == float("inf"):
                 # No timer: the caller waits as long as it takes (queued lock
@@ -189,6 +192,8 @@ class RpcEndpoint:
                     )
                 reply = value
         finally:
+            if timeline is not None:
+                timeline.gauge_adjust(self.site_id, "rpc.inflight", -1)
             if obs is not None:
                 obs.end(span, status="ok")  # idempotent; timeout path won
         if obs is not None:

@@ -15,12 +15,19 @@ upgraded to modern practice:
 * exporters -- Chrome trace-event JSON (loadable in Perfetto), with
   :class:`Instant` markers for point-in-time observations such as
   deadlock-detector wait-for snapshots, and the stable
-  ``repro.bench_report/4`` metrics schema consumed by
+  ``repro.bench_report/5`` metrics schema consumed by
   ``python -m repro.analysis.report`` (v1-v3 documents still
   validate);
 * analysis readers -- :mod:`repro.obs.critpath` (per-transaction
   critical-path blame) and :mod:`repro.obs.lint` (span-tree
-  well-formedness, ``python -m repro.obs.lint``).
+  well-formedness, ``python -m repro.obs.lint``; ``--monitors``
+  replays saved traces through the protocol monitors offline);
+* online verification -- :mod:`repro.obs.monitor` (2PC / lock / lease /
+  WAL protocol state machines fed per-event, violations as Instant
+  markers + ``monitor.violations.<check>`` counters, ``strict=True``
+  raises :class:`MonitorViolation`);
+* time series -- :mod:`repro.obs.timeline` (gauge/rate series over
+  virtual time, post-hoc tick sampling, Chrome-trace counter events).
 
 Everything here is a pure observer of the simulation: recording a span
 or a sample never charges CPU and never advances the virtual clock, so
@@ -35,19 +42,24 @@ from __future__ import annotations
 
 from .export import build_report, metrics_to_json, to_chrome_trace, write_json
 from .metrics import Histogram, MetricsHub, default_bounds
+from .monitor import MonitorHub, MonitorViolation
 from .schema import REQUIRED_METRICS, SCHEMA_ID, SchemaError, validate_report
 from .span import Instant, Span, SpanRecorder
+from .timeline import Timeline
 
 __all__ = [
     "Histogram",
     "Instant",
     "MetricsHub",
+    "MonitorHub",
+    "MonitorViolation",
     "Observability",
     "REQUIRED_METRICS",
     "SCHEMA_ID",
     "SchemaError",
     "Span",
     "SpanRecorder",
+    "Timeline",
     "build_report",
     "default_bounds",
     "metrics_to_json",
@@ -69,11 +81,34 @@ class Observability:
         self.engine = engine
         self.spans = SpanRecorder(engine, capacity=span_capacity)
         self.metrics = MetricsHub(bounds=bounds)
+        self.monitors = None   # MonitorHub when attach_monitors() ran
+        self.timeline = None   # Timeline when attach_timeline() ran
 
     def install(self):
         """Attach to the engine so layer hooks start recording."""
         self.engine.obs = self
         return self
+
+    def attach_monitors(self, strict=False):
+        """Enable the online protocol monitors (idempotent; ``strict``
+        upgrades an existing hub)."""
+        if self.monitors is None:
+            self.monitors = MonitorHub(obs=self, strict=strict)
+        elif strict:
+            self.monitors.strict = True
+        return self.monitors
+
+    def attach_timeline(self, tick=0.25):
+        """Enable gauge/rate time-series recording (idempotent)."""
+        if self.timeline is None:
+            self.timeline = Timeline(self.engine, tick=tick)
+        return self.timeline
+
+    def finish_monitors(self):
+        """Run end-of-run liveness checks; safe to call repeatedly."""
+        if self.monitors is not None:
+            self.monitors.finish()
+        return self.monitors
 
     def uninstall(self):
         """Detach; hooks go inert again (recorded data is kept)."""
@@ -96,3 +131,9 @@ class Observability:
 
     def incr(self, site, name, value=1):
         self.metrics.incr(site, name, value)
+
+    def event(self, kind, site_id=None, **attrs):
+        """Feed one protocol event to the monitors (no-op when the
+        monitor layer is not attached)."""
+        if self.monitors is not None:
+            self.monitors.event(kind, site_id=site_id, **attrs)

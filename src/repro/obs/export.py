@@ -37,11 +37,17 @@ def _site_pid(site_id):
         return abs(hash(str(site_id))) % 10000 + 1000
 
 
-def to_chrome_trace(recorder, now=None) -> dict:
+def to_chrome_trace(recorder, now=None, metrics=None, timeline=None) -> dict:
     """Chrome trace-event JSON for every recorded span.
 
     Spans still open are rendered up to ``now`` (default: the
     recorder's engine clock) with ``status: open`` in their args.
+
+    ``timeline`` (a :class:`~repro.obs.timeline.Timeline`) adds counter
+    ('C') events for every gauge change point and cumulative count, and
+    ``metrics`` (a MetricsHub) adds one final counter event per named
+    counter -- Perfetto renders both as live graphs above the span
+    tracks.
     """
     if now is None:
         now = recorder._engine.now
@@ -121,6 +127,35 @@ def to_chrome_trace(recorder, now=None) -> dict:
             "tid": marker.tid,
             "args": args,
         })
+
+    def _counter(site_key, name, ts, value):
+        pid = 0 if site_key in (None, "-") else _site_pid(site_key)
+        _name_track(pid, None if site_key in (None, "-") else site_key)
+        events.append({
+            "name": name,
+            "cat": name.split(".", 1)[0],
+            "ph": "C",
+            "ts": ts * _US,
+            "pid": pid,
+            "tid": 0,
+            "args": {"value": value},
+        })
+
+    if timeline is not None:
+        for site_key, name, points in timeline.gauge_points():
+            for ts, value in points:
+                _counter(site_key, name, ts, value)
+        for site_key, name, cumulative in timeline.count_points():
+            for ts, total in cumulative:
+                _counter(site_key, name, ts, total)
+    if metrics is not None:
+        # Monotonic event counters have no recorded time axis; their
+        # final values still belong in the trace as a closing sample.
+        for site, counters in sorted(
+            metrics.counters_by_site().items(), key=lambda kv: str(kv[0])
+        ):
+            for name, value in sorted(counters.items()):
+                _counter(site, name, now, value)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
@@ -143,6 +178,9 @@ def build_report(cluster, scenario="") -> dict:
     if obs is None:
         raise ValueError("cluster has no observability attached; "
                          "call cluster.enable_observability() first")
+    # End-of-run liveness checks run before the span counts are taken:
+    # a violation found here still lands in the trace and the report.
+    obs.finish_monitors()
     doc = {
         "schema": SCHEMA_ID,
         "generator": "repro %s" % __version__,
@@ -162,6 +200,10 @@ def build_report(cluster, scenario="") -> dict:
             "recorded": len(cluster.tracer),
             "dropped": cluster.tracer.dropped,
         }
+    if obs.timeline is not None:
+        doc["timeline"] = obs.timeline.section(until=cluster.engine.now)
+    if obs.monitors is not None:
+        doc["monitors"] = obs.monitors.section()
     # Scenario-provided extra sections (e.g. the throughput scenario's
     # batching on/off comparison); validated by the v3 schema.
     for key, value in (getattr(cluster, "report_sections", None) or {}).items():

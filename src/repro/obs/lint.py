@@ -37,6 +37,14 @@ Run over the report scenarios (the CI configuration)::
 
     python -m repro.obs.lint            # all scenarios
     python -m repro.obs.lint commit wal # a subset
+
+With ``--monitors`` the positional arguments become saved Chrome-trace
+JSON files instead: each is replayed offline through the 2PC protocol
+monitors (:func:`repro.obs.monitor.replay_trace`), so a committed
+``BENCH_trace.json`` artifact can be audited without re-running its
+scenario::
+
+    python -m repro.obs.lint --monitors BENCH_trace.json
 """
 
 from __future__ import annotations
@@ -122,6 +130,44 @@ def lint_spans(recorder) -> list:
     return violations
 
 
+def lint_trace_file(path):
+    """Replay one saved Chrome-trace JSON through the offline protocol
+    monitors.  Returns ``(hub, markers)`` -- see
+    :func:`repro.obs.monitor.replay_trace`."""
+    import json
+
+    from .monitor import replay_trace
+
+    with open(path) as fh:
+        doc = json.load(fh)
+    return replay_trace(doc)
+
+
+def _main_monitors(paths):
+    failed = False
+    for path in paths:
+        hub, markers = lint_trace_file(path)
+        bad = hub.total_violations + markers
+        print("%-32s %6d events: %s" % (
+            path, hub.events_seen,
+            "OK" if not bad else "%d violation%s%s" % (
+                hub.total_violations,
+                "" if hub.total_violations == 1 else "s",
+                ", %d recorded marker%s" % (markers,
+                                            "" if markers == 1 else "s")
+                if markers else "",
+            ),
+        ))
+        for violation in hub.violations:
+            failed = True
+            print("  [%s] %s" % (violation["check"], violation["message"]))
+        if markers:
+            failed = True
+            print("  %d monitor.violation marker%s already present in trace"
+                  % (markers, "" if markers == 1 else "s"))
+    return 1 if failed else 0
+
+
 def main(argv=None):
     import argparse
 
@@ -133,9 +179,18 @@ def main(argv=None):
                     "for structural well-formedness.",
     )
     parser.add_argument("scenarios", nargs="*", metavar="scenario",
-                        help="scenarios to lint (default: all; have: %s)"
+                        help="scenarios to lint (default: all; have: %s); "
+                             "with --monitors: trace JSON files to replay"
                              % ", ".join(sorted(SCENARIOS)))
+    parser.add_argument("--monitors", action="store_true",
+                        help="replay saved Chrome-trace JSON files through "
+                             "the offline protocol monitors instead of "
+                             "running scenarios")
     args = parser.parse_args(argv)
+    if args.monitors:
+        if not args.scenarios:
+            parser.error("--monitors requires at least one trace JSON file")
+        return _main_monitors(args.scenarios)
     names = args.scenarios or sorted(SCENARIOS)
     unknown = [name for name in names if name not in SCENARIOS]
     if unknown:

@@ -17,23 +17,34 @@ from __future__ import annotations
 
 __all__ = ["SCHEMA_ID", "REQUIRED_METRICS", "validate_report", "SchemaError"]
 
-SCHEMA_ID = "repro.bench_report/4"
+SCHEMA_ID = "repro.bench_report/5"
 
 #: Schema versions this validator accepts.  v2 added the per-site
 #: ``counters`` section (monotonic event counts, e.g. lock-cache hits);
 #: v3 added the optional ``throughput`` section (batching on/off commit
 #: throughput comparison, docs/COMMIT_BATCHING.md); v4 added the
 #: optional ``critpath`` and ``contention`` analysis sections
-#: (docs/OBSERVABILITY.md).  Older documents remain valid with the
-#: newer sections treated as absent.
+#: (docs/OBSERVABILITY.md); v5 added the optional ``timeline`` and
+#: ``monitors`` sections (time-series telemetry and runtime protocol
+#: verification).  Older documents remain valid with the newer sections
+#: treated as absent.
 _ACCEPTED_SCHEMAS = ("repro.bench_report/1", "repro.bench_report/2",
-                     "repro.bench_report/3", SCHEMA_ID)
+                     "repro.bench_report/3", "repro.bench_report/4",
+                     SCHEMA_ID)
 
 #: Versions that carry the mandatory ``counters`` section.
-_COUNTER_SCHEMAS = ("repro.bench_report/2", "repro.bench_report/3", SCHEMA_ID)
+_COUNTER_SCHEMAS = ("repro.bench_report/2", "repro.bench_report/3",
+                    "repro.bench_report/4", SCHEMA_ID)
 
 #: Versions that may carry the optional ``throughput`` section.
-_THROUGHPUT_SCHEMAS = ("repro.bench_report/3", SCHEMA_ID)
+_THROUGHPUT_SCHEMAS = ("repro.bench_report/3", "repro.bench_report/4",
+                       SCHEMA_ID)
+
+#: Versions that may carry the v4 analysis sections.
+_ANALYSIS_SCHEMAS = ("repro.bench_report/4", SCHEMA_ID)
+
+#: Versions that may carry the v5 telemetry sections.
+_TELEMETRY_SCHEMAS = (SCHEMA_ID,)
 
 #: Metric families every report must carry in at least one site
 #: (the per-phase breakdown the analysis layer is built on).
@@ -102,14 +113,18 @@ def validate_report(doc) -> int:
             problems.append("throughput section requires schema %r or newer"
                             % _THROUGHPUT_SCHEMAS[0])
 
-    for section, checker in (("critpath", _check_critpath),
-                             ("contention", _check_contention)):
+    for section, checker, versions in (
+        ("critpath", _check_critpath, _ANALYSIS_SCHEMAS),
+        ("contention", _check_contention, _ANALYSIS_SCHEMAS),
+        ("timeline", _check_timeline, _TELEMETRY_SCHEMAS),
+        ("monitors", _check_monitors, _TELEMETRY_SCHEMAS),
+    ):
         if section in doc:
-            if doc["schema"] == SCHEMA_ID:
+            if doc["schema"] in versions:
                 problems.extend(checker(doc[section]))
             else:
-                problems.append("%s section requires schema %r"
-                                % (section, SCHEMA_ID))
+                problems.append("%s section requires schema %r or newer"
+                                % (section, versions[0]))
 
     checked = 0
     seen_metrics = set()
@@ -261,6 +276,107 @@ def _check_contention(section):
     cycle = section.get("aggregate_cycle", None)
     if cycle is not None and not isinstance(cycle, list):
         problems.append("contention.aggregate_cycle is not a list or null")
+    return problems
+
+
+def _check_timeline(section):
+    """Problems with a v5 ``timeline`` section (empty list = valid).
+
+    Beyond shape, enforces the grid invariant: every gauge series has
+    exactly ``ticks + 1`` samples (one per tick boundary, including
+    t=0) and every rate series exactly ``ticks`` buckets."""
+    problems = []
+    if not isinstance(section, dict):
+        return ["timeline is %s, expected object" % type(section).__name__]
+    tick = section.get("tick")
+    if not isinstance(tick, (int, float)) or isinstance(tick, bool) or tick <= 0:
+        problems.append("timeline.tick missing or not a positive number")
+    ticks = section.get("ticks")
+    if not isinstance(ticks, int) or isinstance(ticks, bool) or ticks < 1:
+        problems.append("timeline.ticks missing or not a positive integer")
+        ticks = None
+    for key in ("points", "dropped"):
+        if not isinstance(section.get(key), int):
+            problems.append("timeline.%s missing or not an integer" % key)
+    if not isinstance(section.get("until"), (int, float)):
+        problems.append("timeline.until missing or not numeric")
+    sites = section.get("sites")
+    if not isinstance(sites, dict):
+        return problems + ["timeline.sites missing or not an object"]
+    for site, series in sorted(sites.items()):
+        where = "timeline.sites[%r]" % site
+        if not isinstance(series, dict):
+            problems.append("%s is not an object" % where)
+            continue
+        for group, expected_len in (("gauges", None if ticks is None else ticks + 1),
+                                    ("rates", ticks)):
+            values = series.get(group)
+            if not isinstance(values, dict):
+                problems.append("%s.%s missing or not an object" % (where, group))
+                continue
+            for name, samples in sorted(values.items()):
+                if not isinstance(samples, list) or not all(
+                    isinstance(v, (int, float)) and not isinstance(v, bool)
+                    for v in samples
+                ):
+                    problems.append("%s.%s[%r] is not a numeric list"
+                                    % (where, group, name))
+                elif expected_len is not None and len(samples) != expected_len:
+                    problems.append(
+                        "%s.%s[%r] has %d samples, expected %d"
+                        % (where, group, name, len(samples), expected_len)
+                    )
+        for group in ("peaks", "totals"):
+            values = series.get(group)
+            if not isinstance(values, dict) or not all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in values.values()
+            ):
+                problems.append("%s.%s missing or not a numeric object"
+                                % (where, group))
+    return problems
+
+
+def _check_monitors(section):
+    """Problems with a v5 ``monitors`` section (empty list = valid)."""
+    problems = []
+    if not isinstance(section, dict):
+        return ["monitors is %s, expected object" % type(section).__name__]
+    if not isinstance(section.get("strict"), bool):
+        problems.append("monitors.strict missing or not a boolean")
+    for key in ("events", "total_violations"):
+        value = section.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            problems.append("monitors.%s missing or not an integer" % key)
+    checks = section.get("checks")
+    if not isinstance(checks, list) or not all(
+        isinstance(c, str) for c in checks
+    ):
+        problems.append("monitors.checks missing or not a list of strings")
+    counts = section.get("violation_counts")
+    if not isinstance(counts, dict) or not all(
+        isinstance(v, int) and not isinstance(v, bool) for v in counts.values()
+    ):
+        problems.append("monitors.violation_counts missing or not an "
+                        "integer-valued object")
+    elif isinstance(section.get("total_violations"), int) and sum(
+        counts.values()
+    ) != section["total_violations"]:
+        problems.append("monitors: violation_counts do not sum to "
+                        "total_violations")
+    violations = section.get("violations")
+    if not isinstance(violations, list):
+        problems.append("monitors.violations missing or not a list")
+    else:
+        for i, v in enumerate(violations):
+            where = "monitors.violations[%d]" % i
+            if not isinstance(v, dict):
+                problems.append("%s is not an object" % where)
+                continue
+            for key, kind in (("check", str), ("message", str),
+                              ("ts", (int, float))):
+                if not isinstance(v.get(key), kind):
+                    problems.append("%s.%s missing or wrong type" % (where, key))
     return problems
 
 

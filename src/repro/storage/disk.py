@@ -90,8 +90,12 @@ class Disk:
         # Queue depth per I/O category, sampled at request arrival: how
         # many requests (including this one) the arm has outstanding.
         # Under group commit this shows log-force convoys collapsing.
-        obs.observe(self.site, "disk.qdepth." + category,
-                    float(self._arm.in_use + self._arm.queue_length + 1))
+        depth = float(self._arm.in_use + self._arm.queue_length + 1)
+        obs.observe(self.site, "disk.qdepth." + category, depth)
+        timeline = obs.timeline
+        if timeline is not None:
+            timeline.gauge_set(self.site, "disk.qdepth", depth)
+            timeline.gauge_set(self.site, "disk.qdepth." + category, depth)
         return obs.span(name, site_id=self.site, disk=self.name,
                         block=block_no, category=category)
 
@@ -109,6 +113,12 @@ class Disk:
         obs.end(span, queued=queued)
         obs.observe(self.site, "disk.io", total)
         obs.observe(self.site, "disk.queue", queued)
+        timeline = obs.timeline
+        if timeline is not None:
+            timeline.gauge_set(
+                self.site, "disk.qdepth",
+                float(self._arm.in_use + self._arm.queue_length),
+            )
 
     def free_block(self, block_no):
         """Release a block (no I/O: the free map lives in core and is

@@ -54,6 +54,7 @@ class WalFile:
         self._committed_images = {}   # page_index -> bytearray
         self._size = volume.inode(ino).size
         self._extents = {}
+        self._pending_reported = 0  # last wal.pending.bytes gauge value
 
     @property
     def size(self):
@@ -155,15 +156,21 @@ class WalFile:
             obs.end(span, status="ok", log_pages=log_pages + 1)
             obs.observe(self._volume.disk.site, "wal.commit",
                         self._engine.now - started)
+            obs.event("wal.commit", site_id=self._volume.disk.site,
+                      wal=self, owner=str(owner), records=records,
+                      extent=extent)
+            self._pending_gauge(obs)
         return log_pages + 1
 
     def abort(self, owner):
         """Generator: restore the owner's ranges from the on-disk image
         and any already-committed pending ranges of other owners."""
+        restored = {}  # page_index -> [(lo, hi)] for the WAL monitor
         for page_index in sorted(self._owners):
             ranges = self._owners[page_index].pop(owner, None)
             if not ranges:
                 continue
+            restored[page_index] = list(ranges.runs)
             working = self._pages[page_index]
             base = yield from self._disk_image(page_index)
             committed = self._committed_pending.get(page_index)
@@ -182,6 +189,13 @@ class WalFile:
             e["extent"] for e in self.log.entries() if e.get("type") == "commit"
         ] + [0])
         self._size = max([committed_extent] + list(self._extents.values()))
+        obs = self._engine.obs
+        if obs is not None:
+            # ``restored`` names exactly the byte ranges this abort
+            # rolled back: the no-steal monitor checks that committed
+            # bytes inside them survived the rollback.
+            obs.event("wal.abort", site_id=self._volume.disk.site,
+                      wal=self, owner=str(owner), restored=restored)
 
     def checkpoint(self):
         """Generator: write committed ranges in place; returns pages written.
@@ -226,6 +240,11 @@ class WalFile:
         # The checkpoint is a truncation point: everything it wrote in
         # place no longer needs replaying.
         self.log.remove_where(lambda e: e.get("type") in ("redo", "commit"))
+        obs = self._engine.obs
+        if obs is not None:
+            obs.event("wal.checkpoint", site_id=self._volume.disk.site,
+                      wal=self, pages=written)
+            self._pending_gauge(obs)
         return written
 
     def recover(self):
@@ -241,6 +260,7 @@ class WalFile:
         psize = self._cost.page_size
         committed_size = inode.size
         images = {}  # page_index -> bytearray being rebuilt
+        replayed_records = []
         for entry in self.log.entries():
             if entry.get("type") != "commit":
                 continue
@@ -251,6 +271,7 @@ class WalFile:
                     base = yield from self._disk_image(page_index)
                     images[page_index] = bytearray(base)
                 images[page_index][rec["lo"]:rec["hi"]] = rec["after"]
+                replayed_records.append(rec)
                 replayed += 1
         npages = (committed_size + psize - 1) // psize
         old_npages = len(inode.pages)
@@ -271,11 +292,35 @@ class WalFile:
             inode.version += 1
             yield from self._volume.install_inode(inode, changed)
         self._size = max(self._size, committed_size)
+        obs = self._engine.obs
+        if obs is not None:
+            obs.event("wal.recover", site_id=self._volume.disk.site,
+                      wal=self, records=replayed_records)
+            self._pending_gauge(obs)
         return replayed
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+
+    def _pending_gauge(self, obs):
+        """Report committed-but-uncheckpointed bytes as a per-site
+        timeline gauge (adjusted by delta, so several WAL files at one
+        site aggregate correctly).  Pure observer."""
+        timeline = obs.timeline
+        if timeline is None:
+            return
+        pending = sum(
+            hi - lo
+            for ranges in self._committed_pending.values()
+            for lo, hi in ranges
+        )
+        delta = pending - self._pending_reported
+        if delta:
+            timeline.gauge_adjust(
+                self._volume.disk.site, "wal.pending.bytes", delta
+            )
+            self._pending_reported = pending
 
     def _image(self, page_index):
         working = self._pages.get(page_index)

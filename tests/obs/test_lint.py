@@ -144,3 +144,58 @@ def test_cli_rejects_unknown_scenario(capsys):
     with pytest.raises(SystemExit):
         main(["bogus"])
     assert "unknown scenario" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# --monitors: offline trace replay
+# ----------------------------------------------------------------------
+
+def test_cli_monitors_replays_committed_trace_clean(tmp_path, capsys):
+    import json
+
+    from repro.obs.export import to_chrome_trace
+
+    cluster = run_scenario("commit")
+    path = tmp_path / "BENCH_trace.json"
+    path.write_text(json.dumps(to_chrome_trace(
+        cluster.obs.spans, metrics=cluster.obs.metrics,
+        timeline=cluster.obs.timeline)))
+    assert main(["--monitors", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out and "violation" not in out
+
+
+def test_cli_monitors_flags_a_contradictory_trace(tmp_path, capsys):
+    import json
+
+    doc = {"traceEvents": [
+        {"ph": "X", "name": "2pc.prepare", "pid": 3, "tid": 0,
+         "ts": 0, "dur": 1000,
+         "args": {"tid": "t1", "vote": "no", "coordinator": 1}},
+        {"ph": "X", "name": "2pc.apply", "pid": 3, "tid": 0,
+         "ts": 2000, "dur": 100, "args": {"tid": "t1"}},
+    ]}
+    path = tmp_path / "bad_trace.json"
+    path.write_text(json.dumps(doc))
+    assert main(["--monitors", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "2pc.commit_after_no" in out
+
+
+def test_cli_monitors_flags_recorded_violation_markers(tmp_path, capsys):
+    import json
+
+    doc = {"traceEvents": [
+        {"ph": "i", "name": "monitor.violation", "pid": 1, "tid": 0,
+         "ts": 500, "args": {"check": "lock.conflicting_grant"}},
+    ]}
+    path = tmp_path / "marked_trace.json"
+    path.write_text(json.dumps(doc))
+    assert main(["--monitors", str(path)]) == 1
+    assert "marker" in capsys.readouterr().out
+
+
+def test_cli_monitors_requires_a_trace_path(capsys):
+    with pytest.raises(SystemExit):
+        main(["--monitors"])
+    assert "requires at least one" in capsys.readouterr().err

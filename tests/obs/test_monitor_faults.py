@@ -1,0 +1,186 @@
+"""Fault injection with the protocol monitors watching.
+
+The monitors model crash and partition *legality* -- site.crash,
+site.recover, net.partition and net.heal events reset per-site
+expectations and waive 2PC delivery liveness for separated pairs -- so
+every correct fault-handling path must complete with zero violations.
+These tests pin that: a coordinator crash mid-batch, a dropped lease
+recall, and a partition during phase two all stay green end to end.
+"""
+
+import pytest
+
+from repro import Cluster, SystemConfig, drive
+from repro.core.transaction import TxnState
+from repro.net import MessageKinds
+
+
+def build(config=None, files=(), strict=False):
+    cluster = Cluster(site_ids=(1, 2, 3), config=config)
+    cluster.enable_observability(monitors=True, strict=strict,
+                                 timeline_tick=0.25)
+    for path, site_id, contents in files:
+        drive(cluster.engine, cluster.create_file(path, site_id=site_id))
+        if contents:
+            drive(cluster.engine, cluster.populate(path, contents))
+    return cluster
+
+
+def transfer(sys, offset, marker, paths, delay=0.0):
+    if delay:
+        yield from sys.sleep(delay)
+    yield from sys.begin_trans()
+    for path in paths:
+        fd = yield from sys.open(path, write=True)
+        yield from sys.seek(fd, offset)
+        yield from sys.lock(fd, 16)
+        yield from sys.write(fd, marker)
+    yield from sys.end_trans()
+    return sys.now
+
+
+def green(cluster):
+    hub = cluster.obs.finish_monitors()
+    assert hub.events_seen > 0
+    assert hub.total_violations == 0, hub.section()["violations"]
+    return hub
+
+
+def test_coordinator_crash_mid_batch_stays_green():
+    """The group-commit crash scenario (tests/core/test_group_commit_faults)
+    under full monitoring: crash, reboot, recovery -- zero violations,
+    including the post-run liveness pass (crash legality waives the
+    in-flight deliveries; recovery finishes the rest)."""
+    n_txns = 4
+    size = 16 * n_txns
+    cluster = build(config=SystemConfig(commit_batching=True),
+                    files=[("/gc/f2", 2, b"." * size),
+                           ("/gc/f3", 3, b"." * size)])
+    for i in range(n_txns):
+        cluster.spawn(transfer, i * 16, b"T%d" % i + b"!" * 14,
+                      ("/gc/f2", "/gc/f3"), 0.002 * i,
+                      site_id=1, name="txn%d" % i)
+    cluster.engine.schedule(0.60, cluster.crash_site, 1)
+    cluster.run()
+    cluster.restart_site(1, recover=True)
+    cluster.run()
+
+    for txn in cluster.txn_registry.all():
+        assert txn.state in (TxnState.RESOLVED, TxnState.ABORTED)
+    hub = green(cluster)
+    # The crash itself was observed (it is what waives the liveness
+    # obligations for deliveries that were in flight).
+    assert 1 in hub.monitors[0].crashed
+
+
+def test_dropped_lease_recall_is_retried_and_stays_green():
+    """The first LEASE_RECALL is lost; the idempotent RPC retry resends
+    it, the lease is surrendered late, and every lease/lock check stays
+    green throughout."""
+    cluster = build(config=SystemConfig(lock_cache=True),
+                    files=[("/f", 1, b"." * 20000)])
+    dropped = []
+
+    def loss(message):
+        if message.kind == MessageKinds.LEASE_RECALL and not dropped:
+            dropped.append(message)
+            return True
+        return False
+
+    cluster.network.loss_filter = loss
+
+    def leaseholder(sys):
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50)
+        yield from sys.sleep(1.0)
+        yield from sys.write(fd, b"h" * 50)
+        yield from sys.end_trans()
+
+    def contender(sys):
+        yield from sys.sleep(0.2)
+        yield from sys.begin_trans()
+        fd = yield from sys.open("/f", write=True)
+        yield from sys.lock(fd, 50)
+        yield from sys.end_trans()
+
+    p1 = cluster.spawn(leaseholder, site_id=2)
+    p2 = cluster.spawn(contender, site_id=3)
+    cluster.run()
+    assert p1.exit_status == "done", p1.exit_value
+    assert p2.exit_status == "done", p2.exit_value
+    assert len(dropped) == 1
+    green(cluster)
+
+
+def test_partition_during_phase_two_heals_and_stays_green():
+    """The network splits right after the commit point, cutting the
+    coordinator off from both participants mid-phase-2.  The retry loop
+    re-delivers after the heal; every transaction resolves; and the
+    liveness pass finds nothing (deliveries happened) while the
+    partition legality model absorbed the separation."""
+    cluster = build(files=[("/db/a", 1, b"." * 256),
+                           ("/db/b", 3, b"." * 256)])
+
+    def writer(sys):
+        yield from sys.begin_trans()
+        fda = yield from sys.open("/db/a", write=True)
+        yield from sys.write(fda, b"x" * 48)
+        fdb = yield from sys.open("/db/b", write=True)
+        yield from sys.write(fdb, b"y" * 32)
+        yield from sys.end_trans()
+        return sys.now
+
+    p = cluster.spawn(writer, site_id=2)
+    # The commit point lands at ~0.505 s and the phase-2 applies at
+    # ~0.51-0.60 s (probed): split just after the decision, heal later.
+    cluster.engine.schedule(0.508, cluster.partition, (2,), (1, 3))
+    cluster.engine.schedule(2.0, cluster.heal_partition)
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value
+    assert p.exit_value == pytest.approx(0.5046808)  # commit point held
+    for txn in cluster.txn_registry.all():
+        assert txn.state == TxnState.RESOLVED  # phase 2 finished post-heal
+    hub = green(cluster)
+    assert frozenset((1, 2)) in hub.monitors[0].separated
+
+
+def test_unhealed_partition_waives_liveness():
+    """Same split, never healed: phase 2 exhausts its retry rounds and
+    the YES voters never hear the decision -- but the separation is
+    *legal*, so the liveness pass stays silent (the complement of
+    test_monitor.py's lost-decision mutation, which has no partition to
+    hide behind)."""
+    cluster = build(files=[("/db/a", 1, b"." * 256),
+                           ("/db/b", 3, b"." * 256)])
+
+    def writer(sys):
+        yield from sys.begin_trans()
+        fda = yield from sys.open("/db/a", write=True)
+        yield from sys.write(fda, b"x" * 48)
+        fdb = yield from sys.open("/db/b", write=True)
+        yield from sys.write(fdb, b"y" * 32)
+        yield from sys.end_trans()
+
+    p = cluster.spawn(writer, site_id=2)
+    cluster.engine.schedule(0.508, cluster.partition, (2,), (1, 3))
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value  # commit point was reached
+    hub = green(cluster)
+    assert hub.violation_counts.get("2pc.lost_decision", 0) == 0
+
+
+def test_stock_scenarios_run_clean_under_strict_monitors():
+    """Every report scenario completes with strict monitors raising at
+    the first violation -- the acceptance bar for the whole layer."""
+    from repro.analysis.report import SCENARIOS, run_scenario
+
+    assert set(SCENARIOS) == {"commit", "wal", "lockcache", "throughput"}
+    for name in sorted(SCENARIOS):
+        cluster = run_scenario(name)   # strict=True is the default
+        hub = cluster.obs.finish_monitors()
+        assert hub.strict
+        assert hub.events_seen > 0
+        assert hub.total_violations == 0
+        assert cluster.obs.timeline is not None
+        assert cluster.obs.timeline.points > 0

@@ -1,0 +1,239 @@
+"""Timeline telemetry: change-point recording, post-hoc tick sampling,
+and the Chrome-trace counter ('C') export Perfetto renders as graphs."""
+
+import pytest
+
+from repro import Cluster, SystemConfig, drive
+from repro.obs.export import to_chrome_trace
+from repro.obs.timeline import Timeline
+
+
+# ----------------------------------------------------------------------
+# recording
+# ----------------------------------------------------------------------
+
+def test_tick_must_be_positive(eng):
+    with pytest.raises(ValueError):
+        Timeline(eng, tick=0)
+    with pytest.raises(ValueError):
+        Timeline(eng, tick=-1.0)
+
+
+def test_unchanged_value_records_no_point(eng):
+    tl = Timeline(eng, tick=1.0)
+
+    def prog():
+        tl.gauge_set(1, "g", 2.0)
+        yield eng.timeout(0.5)
+        tl.gauge_set(1, "g", 2.0)   # no change: no point
+        yield eng.timeout(0.5)
+        tl.gauge_set(1, "g", 3.0)
+
+    drive(eng, prog())
+    (_, _, points), = tl.gauge_points()
+    assert points == [(0.0, 2.0), (1.0, 3.0)]
+    assert tl.points == 2
+
+
+def test_same_instant_updates_replace_in_place(eng):
+    tl = Timeline(eng, tick=1.0)
+    tl.gauge_set(1, "g", 1.0)
+    tl.gauge_set(1, "g", 5.0)   # same engine.now: replaced, not appended
+    (_, _, points), = tl.gauge_points()
+    assert points == [(0.0, 5.0)]
+    assert tl.points == 1
+
+
+def test_gauge_adjust_accumulates_from_zero(eng):
+    tl = Timeline(eng, tick=1.0)
+    tl.gauge_adjust(1, "inflight", 1)
+    tl.gauge_adjust(1, "inflight", 1)
+    tl.gauge_adjust(1, "inflight", -1)
+    assert tl.gauge_value(1, "inflight") == 1.0
+
+
+def test_capacity_drops_points_but_tracks_current(eng):
+    tl = Timeline(eng, tick=1.0, capacity=2)
+
+    def prog():
+        tl.gauge_set(1, "g", 1.0)
+        yield eng.timeout(1.0)
+        tl.gauge_set(1, "g", 2.0)
+        yield eng.timeout(1.0)
+        tl.gauge_set(1, "g", 7.0)   # over capacity: counted, not stored
+
+    drive(eng, prog())
+    assert tl.points == 2
+    assert tl.dropped == 1
+    assert tl.gauge_value(1, "g") == 7.0   # live value still tracks
+    section = tl.section(until=2.0)
+    assert section["dropped"] == 1
+
+
+def test_zero_site_zeroes_only_that_site(eng):
+    tl = Timeline(eng, tick=1.0)
+
+    def prog():
+        tl.gauge_set(1, "g", 4.0)
+        tl.gauge_set(2, "g", 9.0)
+        yield eng.timeout(1.0)
+        tl.zero_site(1)
+
+    drive(eng, prog())
+    assert tl.gauge_value(1, "g") == 0.0
+    assert tl.gauge_value(2, "g") == 9.0
+
+
+# ----------------------------------------------------------------------
+# the tick grid
+# ----------------------------------------------------------------------
+
+def test_section_samples_last_change_point_at_each_boundary(eng):
+    tl = Timeline(eng, tick=1.0)
+
+    def prog():
+        tl.gauge_set(1, "g", 1.0)        # t=0
+        yield eng.timeout(0.4)
+        tl.gauge_set(1, "g", 5.0)        # t=0.4
+        yield eng.timeout(0.2)
+        tl.gauge_set(1, "g", 2.0)        # t=0.6: the value at boundary 1
+        yield eng.timeout(1.4)
+        tl.gauge_set(1, "g", 3.0)        # t=2.0: lands ON boundary 2
+
+    drive(eng, prog())
+    section = tl.section(until=3.0)
+    assert section["ticks"] == 3
+    gauges = section["sites"]["1"]["gauges"]["g"]
+    assert len(gauges) == 4              # boundaries 0..3
+    assert gauges == [1.0, 2.0, 3.0, 3.0]
+    # Peaks are exact over change points, not just sampled boundaries:
+    # the 5.0 spike at t=0.4 never hits a boundary but must show up.
+    assert section["sites"]["1"]["peaks"]["g"] == 5.0
+
+
+def test_counts_bucket_into_tick_intervals(eng):
+    tl = Timeline(eng, tick=1.0)
+
+    def prog():
+        tl.count(1, "txn.commit")        # t=0 -> bucket 0
+        yield eng.timeout(1.5)
+        tl.count(1, "txn.commit", 2)     # t=1.5 -> bucket 1
+        yield eng.timeout(1.0)
+        tl.count(1, "txn.commit")        # t=2.5 -> bucket 2
+
+    drive(eng, prog())
+    section = tl.section(until=3.0)
+    entry = section["sites"]["1"]
+    assert entry["rates"]["txn.commit"] == [1, 2, 1]
+    assert len(entry["rates"]["txn.commit"]) == section["ticks"]
+    assert entry["totals"]["txn.commit"] == 4
+
+
+def test_events_past_until_clamp_to_the_last_bucket(eng):
+    tl = Timeline(eng, tick=1.0)
+
+    def prog():
+        yield eng.timeout(2.7)
+        tl.count(1, "n")
+
+    drive(eng, prog())
+    section = tl.section(until=2.0)      # truncated window
+    assert section["sites"]["1"]["rates"]["n"] == [0, 1]
+
+
+def test_count_points_are_cumulative(eng):
+    tl = Timeline(eng, tick=1.0)
+
+    def prog():
+        tl.count(1, "n", 2)
+        yield eng.timeout(1.0)
+        tl.count(1, "n", 3)
+
+    drive(eng, prog())
+    (_, _, cumulative), = tl.count_points()
+    assert cumulative == [(0.0, 2), (1.0, 5)]
+
+
+def test_empty_timeline_section_has_grid_but_no_sites(eng):
+    tl = Timeline(eng, tick=0.25)
+    section = tl.section(until=1.0)
+    assert section["ticks"] == 4
+    assert section["sites"] == {}
+    assert section["points"] == section["dropped"] == 0
+
+
+# ----------------------------------------------------------------------
+# Chrome-trace counter export (Perfetto counter tracks)
+# ----------------------------------------------------------------------
+
+def _instrumented_run():
+    cluster = Cluster(site_ids=(1, 2), config=SystemConfig(lock_cache=True))
+    cluster.enable_observability(monitors=True, timeline_tick=0.25)
+    drive(cluster.engine, cluster.create_file("/f", site_id=1))
+    drive(cluster.engine, cluster.populate("/f", b"." * 256))
+
+    def writer(sysc):
+        yield from sysc.begin_trans()
+        fd = yield from sysc.open("/f", write=True)
+        yield from sysc.lock(fd, 48)
+        yield from sysc.unlock(fd, 48)
+        yield from sysc.lock(fd, 48)     # leased re-lock: cache counters
+        yield from sysc.write(fd, b"x" * 48)
+        yield from sysc.end_trans()
+
+    cluster.spawn(writer, site_id=2)
+    cluster.run()
+    return cluster
+
+
+def test_counter_events_have_perfetto_counter_shape():
+    """Every 'C' event carries the exact shape Perfetto's counter-track
+    importer expects: name/cat/ph/ts/pid/tid plus a numeric args.value."""
+    cluster = _instrumented_run()
+    obs = cluster.obs
+    doc = to_chrome_trace(obs.spans, metrics=obs.metrics,
+                          timeline=obs.timeline)
+    counters = [e for e in doc["traceEvents"] if e.get("ph") == "C"]
+    assert counters, "timeline gauges must export as counter events"
+    for event in counters:
+        assert set(event) == {"name", "cat", "ph", "ts", "pid", "tid", "args"}
+        assert isinstance(event["name"], str) and event["name"]
+        assert event["cat"] == event["name"].split(".", 1)[0]
+        assert isinstance(event["ts"], float) and event["ts"] >= 0
+        assert isinstance(event["pid"], int)
+        assert event["tid"] == 0
+        assert set(event["args"]) == {"value"}
+        assert isinstance(event["args"]["value"], (int, float))
+    names = {e["name"] for e in counters}
+    # Gauge change points, interval counts, and final metric samples all
+    # land as counter tracks.
+    assert "disk.qdepth" in names
+    assert "txn.active" in names
+    assert "txn.commit" in names
+    # ...including the final-sample export of the monotonic counters.
+    assert any(name.startswith("lock.cache") for name in names)
+
+
+def test_counter_events_are_attributed_to_site_tracks():
+    cluster = _instrumented_run()
+    obs = cluster.obs
+    doc = to_chrome_trace(obs.spans, metrics=obs.metrics,
+                          timeline=obs.timeline)
+    qdepth = [e for e in doc["traceEvents"]
+              if e.get("ph") == "C" and e["name"] == "disk.qdepth"]
+    assert {e["pid"] for e in qdepth} <= {1, 2}
+    # Counter timestamps within one (pid, name) track never go backwards.
+    by_track = {}
+    for e in qdepth:
+        by_track.setdefault(e["pid"], []).append(e["ts"])
+    for ts_list in by_track.values():
+        assert ts_list == sorted(ts_list)
+
+
+def test_trace_without_timeline_has_no_gauge_counters():
+    cluster = Cluster(site_ids=(1,))
+    cluster.enable_observability()   # spans only: no timeline attached
+    drive(cluster.engine, cluster.create_file("/f", site_id=1))
+    cluster.run()
+    doc = to_chrome_trace(cluster.obs.spans)
+    assert not [e for e in doc["traceEvents"] if e.get("ph") == "C"]

@@ -5,13 +5,18 @@ event-for-event identical to an uninstrumented one -- same final
 virtual clock, same categorized I/O counts, same program results.
 """
 
+import pytest
+
 from repro import Cluster, SystemConfig, drive
 
 
-def run_workload(instrument, config=None):
+def run_workload(instrument, config=None, monitors=False, timeline_tick=0.0):
     cluster = Cluster(site_ids=(1, 2, 3), config=config)
     if instrument:
-        cluster.enable_observability()
+        cluster.enable_observability(
+            monitors=monitors, strict=monitors,
+            timeline_tick=timeline_tick,
+        )
     drive(cluster.engine, cluster.create_file("/db/a", site_id=1))
     drive(cluster.engine, cluster.populate("/db/a", b"." * 256))
     drive(cluster.engine, cluster.create_file("/db/b", site_id=3))
@@ -126,3 +131,63 @@ def test_zero_perturbation_holds_with_lock_cache():
     counters = inst_cluster.obs.metrics.counters_by_site()
     assert any("lock.cache" in name
                for values in counters.values() for name in values)
+
+
+# ----------------------------------------------------------------------
+# monitors + timeline (PR 5): still zero perturbation
+# ----------------------------------------------------------------------
+
+def _fingerprint(cluster, outcomes):
+    return {
+        "now": cluster.engine.now,
+        "io": dict(cluster.io_stats()),
+        "net_messages": cluster.network.stats.get("net.messages"),
+        "net_bytes": cluster.network.stats.get("net.bytes"),
+        "outcomes": outcomes,
+    }
+
+
+@pytest.mark.parametrize("lock_cache", [False, True])
+@pytest.mark.parametrize("commit_batching", [False, True])
+def test_monitors_and_timeline_are_pure_observers(lock_cache, commit_batching):
+    """Across the feature matrix, turning the protocol monitors and the
+    timeline on changes *nothing* the simulation can see."""
+    config = SystemConfig(lock_cache=lock_cache,
+                          commit_batching=commit_batching)
+    bare_cluster, bare_outcomes = run_workload(False, config=config)
+    inst_cluster, inst_outcomes = run_workload(
+        True, config=SystemConfig(lock_cache=lock_cache,
+                                  commit_batching=commit_batching),
+        monitors=True, timeline_tick=0.25,
+    )
+    assert _fingerprint(inst_cluster, inst_outcomes) \
+        == _fingerprint(bare_cluster, bare_outcomes)
+    # The monitored run actually monitored (and found nothing).
+    hub = inst_cluster.obs.monitors
+    assert hub is not None and hub.events_seen > 0
+    assert hub.total_violations == 0
+    # ...and the timeline actually sampled.
+    assert inst_cluster.obs.timeline is not None
+    assert inst_cluster.obs.timeline.points > 0
+
+
+def test_monitored_run_matches_pinned_seed_fingerprint():
+    """The pinned pre-feature fingerprint still holds with monitors and
+    timeline on: byte-identical clock, I/O, traffic and outcomes."""
+    cluster, outcomes = run_workload(True, monitors=True,
+                                     timeline_tick=0.25)
+    assert _fingerprint(cluster, outcomes) == SEED_FINGERPRINT
+    assert cluster.obs.monitors.total_violations == 0
+
+
+def test_monitor_env_vars_attach_monitors(monkeypatch):
+    """``REPRO_MONITOR=1`` / ``REPRO_TIMELINE=<tick>`` attach the layer
+    without a code change -- and still match the pinned fingerprint."""
+    monkeypatch.setenv("REPRO_MONITOR", "1")
+    monkeypatch.setenv("REPRO_TIMELINE", "0.25")
+    cluster, outcomes = run_workload(True, monitors=None,
+                                     timeline_tick=None)
+    assert cluster.obs.monitors is not None
+    assert cluster.obs.timeline is not None
+    assert cluster.obs.timeline.tick == 0.25
+    assert _fingerprint(cluster, outcomes) == SEED_FINGERPRINT
