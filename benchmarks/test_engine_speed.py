@@ -1,59 +1,21 @@
-"""Engine hot-path speed -- report-only, no pass/fail threshold.
+"""Engine hot-path speed -- the pytest-benchmark face of the gated
+engine-speed microbench.
 
-The discrete-event core (repro.sim.engine) is the floor under every
-benchmark in this directory, so its raw event rate is worth watching.
-This test drives the engine through a plain schedule/fire storm plus a
-cancellation-heavy storm (tombstoned events still pop and advance the
-clock), and reports wall-clock events per second.  Wall-clock numbers
-vary by host, so nothing here asserts a rate -- regressions show up in
-the pytest-benchmark comparison, not as a red build.
+The storm workloads live in :mod:`repro.analysis.enginespeed`, which is
+also the CLI (``python -m repro.analysis.enginespeed``) that emits the
+committed ``BENCH_enginespeed.json`` baseline; CI gates pull requests
+on ``delta.wallclock.events_per_sec >= -0.30`` against it.  This file
+drives the same functions under pytest-benchmark for the local
+comparison workflow, so the gated number and the benchmarked number can
+never drift apart.
 """
 
-import time
-
-from repro.sim import Engine
-
-N_EVENTS = 50_000
-
-
-def _storm():
-    engine = Engine()
-    fired = [0]
-
-    def tick(depth):
-        fired[0] += 1
-        if depth:
-            engine.schedule(0.001, tick, depth - 1)
-
-    for i in range(100):
-        engine.schedule(i * 0.01, tick, N_EVENTS // 100 - 1)
-    start = time.perf_counter()
-    engine.run()
-    seconds = time.perf_counter() - start
-    assert fired[0] == N_EVENTS
-    return N_EVENTS, seconds
-
-
-def _cancel_storm():
-    engine = Engine()
-    fired = [0]
-
-    def tick():
-        fired[0] += 1
-
-    entries = [engine.schedule(i * 0.001, tick) for i in range(N_EVENTS)]
-    for entry in entries[::2]:
-        engine.cancel(entry)
-    start = time.perf_counter()
-    engine.run()
-    seconds = time.perf_counter() - start
-    # Tombstones pop silently; only the surviving half fires.
-    assert fired[0] == N_EVENTS // 2
-    return N_EVENTS, seconds  # all N still pass through the heap
+from repro.analysis.enginespeed import (N_EVENTS, cancel_storm,
+                                        schedule_fire_storm)
 
 
 def _report_rate(report, title, result):
-    events, seconds = result
+    events, seconds, _virtual_time = result
     report(
         title,
         ("metric", "value"),
@@ -68,12 +30,12 @@ def _report_rate(report, title, result):
 
 def test_engine_event_rate(benchmark, report):
     _report_rate(report, "Engine: schedule/fire storm (%d events)" % N_EVENTS,
-                 benchmark(_storm))
+                 benchmark(schedule_fire_storm))
 
 
 def test_engine_cancel_rate(benchmark, report):
     _report_rate(
         report,
         "Engine: 50%% cancelled storm (%d events through the heap)" % N_EVENTS,
-        benchmark(_cancel_storm),
+        benchmark(cancel_storm),
     )

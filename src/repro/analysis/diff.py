@@ -7,10 +7,11 @@
         --fail-on 'delta.sites.1.commit.latency.p95<=0.25' \
         --json diff.json
 
-Compares two ``repro.bench_report`` documents (any schema version v1-v4
+Compares two ``repro.bench_report`` documents (any schema version v1-v6
 -- both sides are validated first) metric by metric: every per-site
-histogram summary field, every counter, and the throughput section when
-present, each with absolute and relative deltas.  New and vanished
+histogram summary field, every counter, and the throughput and
+wallclock sections when present, each with absolute and relative
+deltas.  New and vanished
 metrics are listed explicitly -- a disappearing metric is a regression
 of the observability layer itself.
 
@@ -185,6 +186,24 @@ def _flatten_throughput(doc):
     return out
 
 
+def _flatten_wallclock(doc):
+    out = {}
+    section = doc.get("wallclock")
+    if not isinstance(section, dict):
+        return out
+    for name, value in section.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[name] = value
+    for name, entry in (section.get("subsystems") or {}).items():
+        if not isinstance(entry, dict):
+            continue
+        for field in ("seconds", "share"):
+            value = entry.get(field)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                out["subsystems.%s.%s" % (name, field)] = value
+    return out
+
+
 def diff_reports(old_doc, new_doc, checks=()) -> dict:
     """The structured diff document (see module docstring)."""
     for label, doc in (("old", old_doc), ("new", new_doc)):
@@ -231,6 +250,17 @@ def diff_reports(old_doc, new_doc, checks=()) -> dict:
             "delta": new_v - old_v, "rel": _relative_delta(old_v, new_v),
         })
 
+    wallclock = []
+    old_wc, new_wc = _flatten_wallclock(old_doc), _flatten_wallclock(new_doc)
+    for name in sorted(set(old_wc) & set(new_wc)):
+        old_v, new_v = old_wc[name], new_wc[name]
+        if old_v == new_v:
+            continue
+        wallclock.append({
+            "wallclock": name, "old": old_v, "new": new_v,
+            "delta": new_v - old_v, "rel": _relative_delta(old_v, new_v),
+        })
+
     results = [evaluate_check(expr, old_doc, new_doc) for expr in checks]
     return {
         "old": {"schema": old_doc.get("schema"),
@@ -242,6 +272,7 @@ def diff_reports(old_doc, new_doc, checks=()) -> dict:
         "metrics": metrics,
         "counters": counters,
         "throughput": throughput,
+        "wallclock": wallclock,
         "added_metrics": ["%s/%s" % k
                           for k in sorted(set(new_sites) - set(old_sites))],
         "removed_metrics": ["%s/%s" % k
@@ -256,7 +287,8 @@ def render_diff(diff, limit=20) -> str:
     requirement's verdict."""
     lines = []
     moves = sorted(
-        diff["metrics"] + diff["counters"] + diff["throughput"],
+        diff["metrics"] + diff["counters"] + diff["throughput"]
+        + diff.get("wallclock", []),
         key=lambda m: -abs(m["rel"]),
     )
     if moves:
@@ -267,6 +299,8 @@ def render_diff(diff, limit=20) -> str:
                 label = "%s/%s.%s" % (move["site"], move["metric"], move["field"])
             elif "counter" in move:
                 label = "%s/%s" % (move["site"], move["counter"])
+            elif "wallclock" in move:
+                label = "wallclock.%s" % move["wallclock"]
             else:
                 label = "throughput.%s" % move["name"]
             lines.append("%-44s %12.6g %12.6g %+8.1f%%" % (

@@ -1,0 +1,181 @@
+"""Engine-speed microbenchmark: ``python -m repro.analysis.enginespeed``.
+
+The discrete-event core (:mod:`repro.sim.engine`) is the floor under
+every benchmark in this repository, so its raw event rate is a gated
+number, not a curiosity.  This module owns the two storm workloads
+(``benchmarks/test_engine_speed.py`` drives the same functions under
+pytest-benchmark) and emits a ``repro.bench_report/6`` *microbench*
+document -- empty ``sites`` (there is no simulated cluster, hence the
+schema's microbench allowance) plus a ``wallclock`` section carrying
+events/sec.
+
+CI commits the baseline as ``BENCH_enginespeed.json`` and gates pull
+requests with::
+
+    python -m repro.analysis.diff BENCH_enginespeed.json NEW.json \
+        --fail-on 'delta.wallclock.events_per_sec>=-0.30'
+
+The 30% allowance absorbs runner-to-runner noise; a real hot-path
+regression (an extra dict lookup per event shows up as ~10-20%) still
+trips it.  Each storm runs ``--repeats`` times and the *best* wall time
+counts, which filters scheduler hiccups the same way pytest-benchmark's
+min-of-rounds does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.sim import Engine
+
+__all__ = ["N_EVENTS", "STORMS", "schedule_fire_storm", "cancel_storm",
+           "storm_virtual_time", "enginespeed_report", "main"]
+
+#: Events per storm.  Small enough for a CI smoke, large enough that
+#: per-event cost dominates interpreter warm-up.
+N_EVENTS = 50_000
+
+
+def schedule_fire_storm(n_events=N_EVENTS):
+    """100 interleaved timer chains; every event fires.
+
+    Returns ``(events, wall_seconds, virtual_time)``.
+    """
+    engine = Engine()
+    fired = [0]
+
+    def tick(depth):
+        fired[0] += 1
+        if depth:
+            engine.schedule(0.001, tick, depth - 1)
+
+    for i in range(100):
+        engine.schedule(i * 0.01, tick, n_events // 100 - 1)
+    start = time.perf_counter()
+    engine.run()
+    seconds = time.perf_counter() - start
+    assert fired[0] == n_events
+    return n_events, seconds, engine.now
+
+
+def cancel_storm(n_events=N_EVENTS):
+    """Every event scheduled, half tombstoned before the run: the dead
+    entries still pop and advance the clock, exercising the cancel
+    fast path.  Returns ``(events, wall_seconds, virtual_time)`` --
+    ``events`` counts all heap traffic, fired or not."""
+    engine = Engine()
+    fired = [0]
+
+    def tick():
+        fired[0] += 1
+
+    entries = [engine.schedule(i * 0.001, tick) for i in range(n_events)]
+    for entry in entries[::2]:
+        engine.cancel(entry)
+    start = time.perf_counter()
+    engine.run()
+    seconds = time.perf_counter() - start
+    assert fired[0] == n_events // 2
+    return n_events, seconds, engine.now
+
+
+STORMS = {
+    "fire": schedule_fire_storm,
+    "cancel": cancel_storm,
+}
+
+
+def storm_virtual_time(n_events=N_EVENTS) -> float:
+    """The deterministic total virtual time both storms simulate --
+    usable as a report's ``virtual_time`` without running anything."""
+    fire = 99 * 0.01 + (n_events // 100 - 1) * 0.001
+    cancel = (n_events - 1) * 0.001
+    return fire + cancel
+
+
+def enginespeed_report(n_events=N_EVENTS, repeats=3) -> dict:
+    """The v6 microbench document: per-storm detail plus overall
+    events/sec in the ``wallclock`` section."""
+    from repro import __version__
+    from repro.obs.schema import SCHEMA_ID
+    from repro.obs.wallprof import wallclock_section
+
+    storms = {}
+    total_events = 0
+    total_wall = 0.0
+    virtual_time = 0.0
+    for name, storm in sorted(STORMS.items()):
+        best = None
+        for _ in range(max(repeats, 1)):
+            events, seconds, vtime = storm(n_events)
+            if best is None or seconds < best[1]:
+                best = (events, seconds, vtime)
+        events, seconds, vtime = best
+        storms[name] = {
+            "events": events,
+            "wall_seconds": seconds,
+            "events_per_sec": events / seconds if seconds > 0 else 0.0,
+        }
+        total_events += events
+        total_wall += seconds
+        virtual_time += vtime
+    section = wallclock_section(
+        wall_seconds=total_wall,
+        virtual_time=virtual_time,
+        events=total_events,
+        engine_wall_seconds=total_wall,
+        # A bare storm never leaves the run loop: all engine time.
+        subsystem_seconds={"engine": total_wall},
+    )
+    section["storms"] = storms
+    return {
+        "schema": SCHEMA_ID,
+        "generator": "repro %s" % __version__,
+        "scenario": "enginespeed",
+        "virtual_time": virtual_time,
+        "sites": {},      # microbench: no simulated cluster
+        "counters": {},
+        "spans": {"recorded": 0, "dropped": 0, "traces": 0, "instants": 0},
+        "wallclock": section,
+    }
+
+
+def main(argv=None):
+    from repro.obs import validate_report, write_json
+    from repro.obs.wallprof import render_wallclock_table
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.enginespeed",
+        description="Measure raw engine event throughput and emit the "
+                    "gateable microbench report.",
+    )
+    parser.add_argument("--events", type=int, default=N_EVENTS,
+                        help="events per storm (default: %(default)s)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per storm, best counts "
+                             "(default: %(default)s)")
+    parser.add_argument("--out", default="BENCH_enginespeed.json",
+                        help="report path (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    doc = enginespeed_report(n_events=args.events, repeats=args.repeats)
+    validate_report(doc)
+    print("== enginespeed (%d events/storm, best of %d) ==" % (
+        args.events, args.repeats,
+    ))
+    for name, storm in sorted(doc["wallclock"]["storms"].items()):
+        print("%-8s %8d events  %8.4fs  %10.0f events/sec" % (
+            name, storm["events"], storm["wall_seconds"],
+            storm["events_per_sec"],
+        ))
+    print("\n== wallclock ==")
+    print(render_wallclock_table(doc["wallclock"]))
+    write_json(args.out, doc)
+    print("\nwrote %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

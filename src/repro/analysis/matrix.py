@@ -1,0 +1,306 @@
+"""Scenario-matrix runner: ``python -m repro.analysis.matrix``.
+
+Fans the scenario x lock_cache x commit_batching grid across worker
+processes (one simulated cluster per cell, protocol monitors strict in
+every cell), then merges the per-cell ``repro.bench_report/6``
+documents into one matrix report:
+
+* histograms merge exactly -- each cell's summaries round-trip through
+  :meth:`~repro.obs.metrics.Histogram.from_summary`, so the merged
+  percentiles equal those of a single hub that saw every sample;
+* counters sum, span totals sum;
+* the ``matrix`` section records the grid and one row per cell
+  (scenario outcome, monitor verdict, per-cell wall-clock summary);
+* the ``wallclock`` section aggregates the per-subsystem attribution
+  across cells (sum of real seconds per subsystem).
+
+The simulation inside each cell is deterministic, so the merged report
+is *identical* regardless of worker count -- modulo the ``wallclock``
+numbers, which measure this host's real seconds
+(tests/analysis/test_matrix.py pins the identity).
+
+Run it::
+
+    PYTHONPATH=src python -m repro.analysis.matrix --workers 2
+
+writes ``BENCH_matrix.json`` and prints one row per cell plus the
+merged wall-clock attribution table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import multiprocessing
+import os
+import sys
+import time
+
+from repro.obs import build_report, validate_report, write_json
+from repro.obs.metrics import Histogram
+from repro.obs.wallprof import (profiler_section, render_wallclock_table,
+                                wallclock_section)
+
+__all__ = ["DEFAULT_SCENARIOS", "grid_cells", "run_cell", "run_grid",
+           "merge_reports", "render_matrix_table", "main"]
+
+#: Scenarios a full-grid run covers.  ``throughput`` is excluded from
+#: the default grid (it runs its own batching on/off cluster pair and
+#: would double-count the axis this matrix already sweeps); select it
+#: explicitly with ``--scenarios throughput``.
+DEFAULT_SCENARIOS = ("commit", "wal", "lockcache")
+
+_FLAGS = (False, True)
+
+
+def grid_cells(scenarios=DEFAULT_SCENARIOS, lock_cache=_FLAGS,
+               commit_batching=_FLAGS):
+    """The cross-product cell list, in deterministic order."""
+    return [
+        {"scenario": s, "lock_cache": bool(lc), "commit_batching": bool(cb)}
+        for s in scenarios
+        for lc in lock_cache
+        for cb in commit_batching
+    ]
+
+
+def run_cell(cell, wallprof=True):
+    """Run one grid cell in the current process.
+
+    Module-level with picklable arguments so a multiprocessing pool can
+    fan cells across cores; returns the cell dict plus its validated
+    per-cell v6 report under ``"report"``.
+    """
+    from repro import Cluster
+    from repro.analysis.report import SCENARIOS, SCENARIO_CONFIG
+    from repro.config import SystemConfig
+
+    overrides = dict(SCENARIO_CONFIG.get(cell["scenario"], {}))
+    # The grid axes override the scenario's own defaults: every
+    # scenario runs in all four feature combinations.
+    overrides["lock_cache"] = cell["lock_cache"]
+    overrides["commit_batching"] = cell["commit_batching"]
+    cluster = Cluster(site_ids=(1, 2, 3), config=SystemConfig(**overrides))
+    cluster.enable_observability(monitors=True, strict=True,
+                                 timeline_tick=0.0, wallprof=wallprof)
+    start = time.perf_counter()
+    SCENARIOS[cell["scenario"]](cluster)
+    wall = time.perf_counter() - start
+    report = build_report(cluster, scenario=cell["scenario"])
+    profiler = cluster.obs.wallprof
+    if profiler is not None:
+        report["wallclock"] = profiler_section(
+            profiler, wall_seconds=wall, virtual_time=cluster.engine.now,
+        )
+    validate_report(report)
+    out = dict(cell)
+    out["report"] = report
+    return out
+
+
+def run_grid(cells, workers=1, wallprof=True):
+    """Run every cell, across ``workers`` processes when > 1.
+
+    Results come back in cell order regardless of which worker finished
+    first, so downstream merging is order-stable."""
+    worker = functools.partial(run_cell, wallprof=wallprof)
+    if workers <= 1 or len(cells) <= 1:
+        return [worker(cell) for cell in cells]
+    # spawn, not fork: each worker imports the package fresh, so cells
+    # cannot observe interpreter state leaked from the parent run.
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(processes=min(workers, len(cells))) as pool:
+        return pool.map(worker, cells, chunksize=1)
+
+
+def merge_reports(results, scenarios=DEFAULT_SCENARIOS) -> dict:
+    """Fold per-cell reports into one ``repro.bench_report/6`` matrix
+    document (see the module docstring for the merge rules)."""
+    from repro import __version__
+    from repro.obs.schema import SCHEMA_ID
+
+    sites = {}        # site -> name -> Histogram
+    counters = {}     # site -> name -> int
+    span_totals = {"recorded": 0, "dropped": 0, "traces": 0, "instants": 0}
+    virtual_time = 0.0
+    cells = []
+    wall_events = 0
+    wall_seconds = 0.0
+    engine_wall = 0.0
+    subsystem_seconds = {}
+    have_wallclock = False
+
+    for result in results:
+        report = result["report"]
+        virtual_time += report["virtual_time"]
+        for site, metrics in report["sites"].items():
+            merged = sites.setdefault(site, {})
+            for name, summary in metrics.items():
+                hist = Histogram.from_summary(summary)
+                if name in merged:
+                    merged[name].merge(hist)
+                else:
+                    merged[name] = hist
+        for site, values in report.get("counters", {}).items():
+            merged = counters.setdefault(site, {})
+            for name, value in values.items():
+                merged[name] = merged.get(name, 0) + value
+        for key in span_totals:
+            span_totals[key] += report["spans"].get(key, 0)
+        monitors = report.get("monitors") or {}
+        cell = {
+            "scenario": result["scenario"],
+            "lock_cache": result["lock_cache"],
+            "commit_batching": result["commit_batching"],
+            "virtual_time": report["virtual_time"],
+            "monitors_total_violations": monitors.get("total_violations", 0),
+            "spans_recorded": report["spans"]["recorded"],
+        }
+        section = report.get("wallclock")
+        if section is not None:
+            have_wallclock = True
+            cell["wallclock"] = {
+                "events": section["events"],
+                "wall_seconds": section["wall_seconds"],
+                "engine_wall_seconds": section["engine_wall_seconds"],
+                "events_per_sec": section["events_per_sec"],
+                "wall_ms_per_sim_second": section["wall_ms_per_sim_second"],
+            }
+            wall_events += section["events"]
+            wall_seconds += section["wall_seconds"]
+            engine_wall += section["engine_wall_seconds"]
+            for name, entry in section["subsystems"].items():
+                if name == "outside":
+                    continue  # recomputed from the merged remainder
+                subsystem_seconds[name] = (
+                    subsystem_seconds.get(name, 0.0) + entry["seconds"]
+                )
+        cells.append(cell)
+
+    doc = {
+        "schema": SCHEMA_ID,
+        "generator": "repro %s" % __version__,
+        "scenario": "matrix",
+        "virtual_time": virtual_time,
+        "sites": {
+            site: {name: hist.summary()
+                   for name, hist in sorted(metrics.items())}
+            for site, metrics in sorted(sites.items())
+        },
+        "counters": {
+            site: dict(sorted(values.items()))
+            for site, values in sorted(counters.items())
+        },
+        "spans": span_totals,
+        "matrix": {
+            "grid": {
+                "scenario": list(scenarios),
+                "lock_cache": list(_FLAGS),
+                "commit_batching": list(_FLAGS),
+            },
+            "cells": cells,
+        },
+    }
+    if have_wallclock:
+        doc["wallclock"] = wallclock_section(
+            wall_seconds=wall_seconds,
+            virtual_time=virtual_time,
+            events=wall_events,
+            engine_wall_seconds=engine_wall,
+            subsystem_seconds=subsystem_seconds,
+        )
+    return doc
+
+
+def strip_wallclock(doc) -> dict:
+    """A deep copy of a matrix report with every host-dependent
+    wall-clock number removed -- the part of the document that is
+    deterministic across hosts and worker counts."""
+    import copy
+
+    out = copy.deepcopy(doc)
+    out.pop("wallclock", None)
+    for cell in out.get("matrix", {}).get("cells", ()):
+        cell.pop("wallclock", None)
+    return out
+
+
+def render_matrix_table(section) -> str:
+    """One row per grid cell: features, scenario outcome, wall clock."""
+    header = "%-10s %5s %5s %12s %8s %8s %10s %6s" % (
+        "scenario", "cache", "batch", "virtualtime", "spans", "events",
+        "events/sec", "viol",
+    )
+    lines = [header, "-" * len(header)]
+    for cell in section["cells"]:
+        wall = cell.get("wallclock") or {}
+        lines.append("%-10s %5s %5s %12.4f %8d %8s %10s %6d" % (
+            cell["scenario"],
+            "on" if cell["lock_cache"] else "off",
+            "on" if cell["commit_batching"] else "off",
+            cell["virtual_time"],
+            cell["spans_recorded"],
+            "%d" % wall["events"] if wall else "--",
+            "%.0f" % wall["events_per_sec"] if wall else "--",
+            cell["monitors_total_violations"],
+        ))
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.matrix",
+        description="Run the scenario x lock_cache x commit_batching "
+                    "grid across worker processes and merge the "
+                    "per-cell reports into one matrix report.",
+    )
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes (default: one per core, "
+                             "capped at the cell count; 1 = in-process "
+                             "sequential)")
+    parser.add_argument("--scenarios", default=",".join(DEFAULT_SCENARIOS),
+                        help="comma-separated scenario axis "
+                             "(default: %(default)s)")
+    parser.add_argument("--out", default="BENCH_matrix.json",
+                        help="merged report path (default: %(default)s)")
+    parser.add_argument("--no-wallprof", action="store_true",
+                        help="skip wall-clock profiling in the cells")
+    args = parser.parse_args(argv)
+
+    scenarios = tuple(s for s in args.scenarios.split(",") if s)
+    from repro.analysis.report import SCENARIOS
+
+    unknown = [s for s in scenarios if s not in SCENARIOS]
+    if unknown:
+        parser.error("unknown scenario(s): %s (have: %s)"
+                     % (", ".join(unknown), ", ".join(sorted(SCENARIOS))))
+    cells = grid_cells(scenarios=scenarios)
+    workers = args.workers or min(os.cpu_count() or 1, len(cells))
+
+    start = time.perf_counter()
+    results = run_grid(cells, workers=workers, wallprof=not args.no_wallprof)
+    elapsed = time.perf_counter() - start
+
+    doc = merge_reports(results, scenarios=scenarios)
+    validate_report(doc)
+
+    print("== matrix: %d cells x %d worker(s) in %.2fs ==" % (
+        len(cells), workers, elapsed,
+    ))
+    print(render_matrix_table(doc["matrix"]))
+    violations = sum(c["monitors_total_violations"]
+                     for c in doc["matrix"]["cells"])
+    print("\nmonitors: %s" % (
+        "clean in every cell" if violations == 0
+        else "%d violation(s) -- see per-cell reports" % violations,
+    ))
+    if "wallclock" in doc:
+        print("\n== wallclock (all cells) ==")
+        print(render_wallclock_table(doc["wallclock"]))
+    write_json(args.out, doc)
+    print("\nwrote %s" % args.out)
+    return 0 if violations == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

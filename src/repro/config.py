@@ -157,3 +157,10 @@ class SystemConfig:
     monitors: bool = False
     monitor_strict: bool = False
     timeline_tick: float = 0.0
+
+    # Wall-clock self-profiler (docs/OBSERVABILITY.md, "Wall-clock
+    # profiling"): attribute the *real* seconds a run burns to engine
+    # dispatch / lock / rpc / disk / wal / 2pc via span-boundary stamps.
+    # Purely a wall-clock observer -- virtual time, event order, and
+    # every simulated result are byte-identical with it on or off.
+    wallprof: bool = False

@@ -66,18 +66,20 @@ class Cluster:
         return self.tracer
 
     def enable_observability(self, span_capacity=200000, bounds=None,
-                             monitors=None, strict=None, timeline_tick=None):
+                             monitors=None, strict=None, timeline_tick=None,
+                             wallprof=None):
         """Attach causal-span tracing and latency histograms.
 
         Instrumentation is a pure observer: it charges no virtual time,
         so an instrumented run is event-for-event identical to an
         uninstrumented one (see docs/OBSERVABILITY.md).
 
-        ``monitors``/``strict``/``timeline_tick`` default from the
-        cluster config (``SystemConfig.monitors`` etc.), which in turn
-        can be overridden by the ``REPRO_MONITOR`` / ``REPRO_TIMELINE``
-        environment variables -- so an existing experiment script gains
-        runtime verification without a code change."""
+        ``monitors``/``strict``/``timeline_tick``/``wallprof`` default
+        from the cluster config (``SystemConfig.monitors`` etc.), which
+        in turn can be overridden by the ``REPRO_MONITOR`` /
+        ``REPRO_TIMELINE`` / ``REPRO_WALLPROF`` environment variables --
+        so an existing experiment script gains runtime verification (or
+        a wall-clock profile) without a code change."""
         import os
 
         from repro.obs import Observability
@@ -93,10 +95,14 @@ class Cluster:
             timeline_tick = self.config.timeline_tick
             if not timeline_tick and os.environ.get("REPRO_TIMELINE"):
                 timeline_tick = float(os.environ["REPRO_TIMELINE"])
+        if wallprof is None:
+            wallprof = self.config.wallprof or bool(os.environ.get("REPRO_WALLPROF"))
         if monitors:
             self.obs.attach_monitors(strict=strict)
         if timeline_tick:
             self.obs.attach_timeline(tick=timeline_tick)
+        if wallprof:
+            self.obs.attach_wallprof()
         return self.obs
 
     # ------------------------------------------------------------------

@@ -15,8 +15,8 @@ upgraded to modern practice:
 * exporters -- Chrome trace-event JSON (loadable in Perfetto), with
   :class:`Instant` markers for point-in-time observations such as
   deadlock-detector wait-for snapshots, and the stable
-  ``repro.bench_report/5`` metrics schema consumed by
-  ``python -m repro.analysis.report`` (v1-v3 documents still
+  ``repro.bench_report/6`` metrics schema consumed by
+  ``python -m repro.analysis.report`` (v1-v5 documents still
   validate);
 * analysis readers -- :mod:`repro.obs.critpath` (per-transaction
   critical-path blame) and :mod:`repro.obs.lint` (span-tree
@@ -27,7 +27,10 @@ upgraded to modern practice:
   markers + ``monitor.violations.<check>`` counters, ``strict=True``
   raises :class:`MonitorViolation`);
 * time series -- :mod:`repro.obs.timeline` (gauge/rate series over
-  virtual time, post-hoc tick sampling, Chrome-trace counter events).
+  virtual time, post-hoc tick sampling, Chrome-trace counter events);
+* wall-clock self-profiling -- :mod:`repro.obs.wallprof` (where the
+  *real* seconds go, attributed per subsystem off the same span
+  boundaries; the report's ``wallclock`` section).
 
 Everything here is a pure observer of the simulation: recording a span
 or a sample never charges CPU and never advances the virtual clock, so
@@ -46,6 +49,7 @@ from .monitor import MonitorHub, MonitorViolation
 from .schema import REQUIRED_METRICS, SCHEMA_ID, SchemaError, validate_report
 from .span import Instant, Span, SpanRecorder
 from .timeline import Timeline
+from .wallprof import WallProfiler
 
 __all__ = [
     "Histogram",
@@ -60,6 +64,7 @@ __all__ = [
     "Span",
     "SpanRecorder",
     "Timeline",
+    "WallProfiler",
     "build_report",
     "default_bounds",
     "metrics_to_json",
@@ -83,6 +88,7 @@ class Observability:
         self.metrics = MetricsHub(bounds=bounds)
         self.monitors = None   # MonitorHub when attach_monitors() ran
         self.timeline = None   # Timeline when attach_timeline() ran
+        self.wallprof = None   # WallProfiler when attach_wallprof() ran
 
     def install(self):
         """Attach to the engine so layer hooks start recording."""
@@ -103,6 +109,17 @@ class Observability:
         if self.timeline is None:
             self.timeline = Timeline(self.engine, tick=tick)
         return self.timeline
+
+    def attach_wallprof(self):
+        """Enable the wall-clock self-profiler (idempotent).  A pure
+        wall-clock observer: virtual time and event order are untouched
+        (docs/OBSERVABILITY.md, "Wall-clock profiling")."""
+        if self.wallprof is None:
+            from .wallprof import WallProfiler
+
+            self.wallprof = WallProfiler(obs=self)
+            self.spans.wallprof = self.wallprof
+        return self.wallprof
 
     def finish_monitors(self):
         """Run end-of-run liveness checks; safe to call repeatedly."""

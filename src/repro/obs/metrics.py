@@ -104,6 +104,24 @@ class Histogram:
         if other.max is not None and (self.max is None or other.max > self.max):
             self.max = other.max
 
+    @classmethod
+    def from_summary(cls, summary) -> "Histogram":
+        """Reconstruct a histogram from its :meth:`summary` JSON form.
+
+        Exact fields (count/sum/min/max and the bucket counts) round-trip
+        losslessly, so ``from_summary(a).merge(from_summary(b))`` merges
+        two *reports* exactly as merging the live histograms would --
+        the scenario-matrix runner's cross-process merge path."""
+        buckets = summary["buckets"]
+        hist = cls(bounds=buckets["bounds"])
+        hist.counts = list(buckets["counts"])
+        hist.count = summary["count"]
+        hist.sum = summary["sum"]
+        if hist.count:
+            hist.min = summary["min"]
+            hist.max = summary["max"]
+        return hist
+
     def summary(self) -> dict:
         """The stable JSON form: exact stats + interpolated percentiles."""
         return {

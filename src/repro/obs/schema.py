@@ -17,7 +17,7 @@ from __future__ import annotations
 
 __all__ = ["SCHEMA_ID", "REQUIRED_METRICS", "validate_report", "SchemaError"]
 
-SCHEMA_ID = "repro.bench_report/5"
+SCHEMA_ID = "repro.bench_report/6"
 
 #: Schema versions this validator accepts.  v2 added the per-site
 #: ``counters`` section (monotonic event counts, e.g. lock-cache hits);
@@ -26,25 +26,34 @@ SCHEMA_ID = "repro.bench_report/5"
 #: optional ``critpath`` and ``contention`` analysis sections
 #: (docs/OBSERVABILITY.md); v5 added the optional ``timeline`` and
 #: ``monitors`` sections (time-series telemetry and runtime protocol
-#: verification).  Older documents remain valid with the newer sections
-#: treated as absent.
+#: verification); v6 added the optional ``wallclock`` and ``matrix``
+#: sections (wall-clock self-profiling and the scenario-matrix runner)
+#: plus the microbench allowance (a v6 document with an empty ``sites``
+#: object -- e.g. an engine-speed storm with no simulated cluster -- is
+#: exempt from the REQUIRED_METRICS rule).  Older documents remain
+#: valid with the newer sections treated as absent.
 _ACCEPTED_SCHEMAS = ("repro.bench_report/1", "repro.bench_report/2",
                      "repro.bench_report/3", "repro.bench_report/4",
-                     SCHEMA_ID)
+                     "repro.bench_report/5", SCHEMA_ID)
 
 #: Versions that carry the mandatory ``counters`` section.
 _COUNTER_SCHEMAS = ("repro.bench_report/2", "repro.bench_report/3",
-                    "repro.bench_report/4", SCHEMA_ID)
+                    "repro.bench_report/4", "repro.bench_report/5",
+                    SCHEMA_ID)
 
 #: Versions that may carry the optional ``throughput`` section.
 _THROUGHPUT_SCHEMAS = ("repro.bench_report/3", "repro.bench_report/4",
-                       SCHEMA_ID)
+                       "repro.bench_report/5", SCHEMA_ID)
 
 #: Versions that may carry the v4 analysis sections.
-_ANALYSIS_SCHEMAS = ("repro.bench_report/4", SCHEMA_ID)
+_ANALYSIS_SCHEMAS = ("repro.bench_report/4", "repro.bench_report/5",
+                     SCHEMA_ID)
 
 #: Versions that may carry the v5 telemetry sections.
-_TELEMETRY_SCHEMAS = (SCHEMA_ID,)
+_TELEMETRY_SCHEMAS = ("repro.bench_report/5", SCHEMA_ID)
+
+#: Versions that may carry the v6 wallclock / matrix sections.
+_WALLCLOCK_SCHEMAS = (SCHEMA_ID,)
 
 #: Metric families every report must carry in at least one site
 #: (the per-phase breakdown the analysis layer is built on).
@@ -118,6 +127,8 @@ def validate_report(doc) -> int:
         ("contention", _check_contention, _ANALYSIS_SCHEMAS),
         ("timeline", _check_timeline, _TELEMETRY_SCHEMAS),
         ("monitors", _check_monitors, _TELEMETRY_SCHEMAS),
+        ("wallclock", _check_wallclock, _WALLCLOCK_SCHEMAS),
+        ("matrix", _check_matrix, _WALLCLOCK_SCHEMAS),
     ):
         if section in doc:
             if doc["schema"] in versions:
@@ -163,9 +174,15 @@ def validate_report(doc) -> int:
                     problems.append(
                         "%s: percentiles not monotone within [min, max]" % where
                     )
-    for name in REQUIRED_METRICS:
-        if name not in seen_metrics:
-            problems.append("required metric %r missing from every site" % name)
+    # Microbench allowance (v6): a report with an *empty* sites object
+    # describes a pure engine microbenchmark (no simulated cluster, so
+    # no lock/rpc/disk/commit latencies exist to record).
+    microbench = doc["schema"] == SCHEMA_ID and doc["sites"] == {}
+    if not microbench:
+        for name in REQUIRED_METRICS:
+            if name not in seen_metrics:
+                problems.append("required metric %r missing from every site"
+                                % name)
     if problems:
         _fail(problems)
     return checked
@@ -377,6 +394,130 @@ def _check_monitors(section):
                               ("ts", (int, float))):
                 if not isinstance(v.get(key), kind):
                     problems.append("%s.%s missing or wrong type" % (where, key))
+    return problems
+
+
+#: Numeric fields every ``wallclock`` section must carry.
+_WALLCLOCK_NUMBERS = ("wall_seconds", "engine_wall_seconds",
+                      "events_per_sec", "virtual_time",
+                      "wall_ms_per_sim_second")
+
+
+def _check_wallclock(section):
+    """Problems with a v6 ``wallclock`` section (empty list = valid).
+
+    Beyond shape, enforces the attribution invariant: subsystem shares
+    (including ``outside``) sum to 1.0 within 5% -- the profiler charges
+    every elapsed interval to exactly one category, so a larger gap
+    means broken bookkeeping, not jitter."""
+    problems = []
+    if not isinstance(section, dict):
+        return ["wallclock is %s, expected object" % type(section).__name__]
+    events = section.get("events")
+    if not isinstance(events, int) or isinstance(events, bool):
+        problems.append("wallclock.events missing or not an integer")
+    for key in _WALLCLOCK_NUMBERS:
+        value = section.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append("wallclock.%s missing or not numeric" % key)
+    overhead = section.get("obs_overhead_pct", None)
+    if overhead is not None and (
+        not isinstance(overhead, (int, float)) or isinstance(overhead, bool)
+    ):
+        problems.append("wallclock.obs_overhead_pct is not numeric or null")
+    subsystems = section.get("subsystems")
+    if not isinstance(subsystems, dict):
+        return problems + ["wallclock.subsystems missing or not an object"]
+    share_sum = 0.0
+    for name, entry in sorted(subsystems.items()):
+        where = "wallclock.subsystems[%r]" % name
+        if not isinstance(entry, dict):
+            problems.append("%s is not an object" % where)
+            continue
+        for key in ("seconds", "share"):
+            value = entry.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append("%s.%s missing or not numeric" % (where, key))
+                break
+        else:
+            if entry["seconds"] < 0:
+                problems.append("%s.seconds is negative" % where)
+            share_sum += entry["share"]
+    if subsystems and not problems and abs(share_sum - 1.0) > 0.05:
+        problems.append(
+            "wallclock: subsystem shares sum to %.4f, expected 1.0 +/- 0.05"
+            % share_sum
+        )
+    hotspots = section.get("hotspots", None)
+    if hotspots is not None:
+        if not isinstance(hotspots, list):
+            problems.append("wallclock.hotspots is not a list or null")
+        else:
+            for i, row in enumerate(hotspots):
+                if not isinstance(row, dict) or not isinstance(
+                    row.get("func"), str
+                ):
+                    problems.append(
+                        "wallclock.hotspots[%d] malformed (needs func str)" % i
+                    )
+    return problems
+
+
+def _check_matrix(section):
+    """Problems with a v6 ``matrix`` section (empty list = valid).
+
+    Enforces the runner's contract: the cell list covers exactly the
+    cross product of the declared grid axes, each cell carries its
+    scenario outcome, and per-cell wallclock summaries (when present)
+    are numeric."""
+    problems = []
+    if not isinstance(section, dict):
+        return ["matrix is %s, expected object" % type(section).__name__]
+    grid = section.get("grid")
+    if not isinstance(grid, dict) or not all(
+        isinstance(v, list) for v in grid.values()
+    ):
+        problems.append("matrix.grid missing or not an object of lists")
+        grid = None
+    cells = section.get("cells")
+    if not isinstance(cells, list):
+        return problems + ["matrix.cells missing or not a list"]
+    if grid is not None:
+        expected = 1
+        for values in grid.values():
+            expected *= max(len(values), 1)
+        if len(cells) != expected:
+            problems.append(
+                "matrix: %d cells for a %d-cell grid" % (len(cells), expected)
+            )
+    for i, cell in enumerate(cells):
+        where = "matrix.cells[%d]" % i
+        if not isinstance(cell, dict):
+            problems.append("%s is not an object" % where)
+            continue
+        if not isinstance(cell.get("scenario"), str):
+            problems.append("%s.scenario missing or not a string" % where)
+        for key in ("lock_cache", "commit_batching"):
+            if not isinstance(cell.get(key), bool):
+                problems.append("%s.%s missing or not a boolean" % (where, key))
+        if not isinstance(cell.get("virtual_time"), (int, float)):
+            problems.append("%s.virtual_time missing or not numeric" % where)
+        violations = cell.get("monitors_total_violations")
+        if not isinstance(violations, int) or isinstance(violations, bool):
+            problems.append(
+                "%s.monitors_total_violations missing or not an integer" % where
+            )
+        wallclock = cell.get("wallclock", None)
+        if wallclock is not None:
+            if not isinstance(wallclock, dict):
+                problems.append("%s.wallclock is not an object or null" % where)
+            else:
+                for key, value in sorted(wallclock.items()):
+                    if not isinstance(value, (int, float)) or isinstance(
+                        value, bool
+                    ):
+                        problems.append("%s.wallclock[%r] is not numeric"
+                                        % (where, key))
     return problems
 
 

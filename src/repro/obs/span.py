@@ -100,6 +100,7 @@ class SpanRecorder:
     def __init__(self, engine, capacity=200000):
         self._engine = engine
         self.capacity = capacity
+        self.wallprof = None      # WallProfiler when attach_wallprof() ran
         self.spans = []           # in start order (deterministic)
         self.dropped = 0
         self._ids = itertools.count(1)
@@ -176,6 +177,9 @@ class SpanRecorder:
         )
         span._stack = stack
         stack.append(span)
+        if self.wallprof is not None:
+            # Wall-profiler stamp: this span's subsystem executes now.
+            self.wallprof.enter_span(name)
         if self.capacity is not None and len(self.spans) >= self.capacity:
             self.dropped += 1
         else:
@@ -208,6 +212,11 @@ class SpanRecorder:
         stack = span._stack
         if stack is not None and span in stack:
             stack.remove(span)
+        if self.wallprof is not None:
+            # Wall-profiler stamp: fall back to the enclosing span.
+            self.wallprof.exit_span(
+                stack[-1].name if stack else None
+            )
 
     # ------------------------------------------------------------------
     # inspection

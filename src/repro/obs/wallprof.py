@@ -1,0 +1,343 @@
+"""Wall-clock self-profiler: where do the *real* seconds go?
+
+Everything else in :mod:`repro.obs` measures **virtual** time -- the
+simulated cluster's clock.  This module measures the other axis: the
+wall-clock cost of running the simulation itself, attributed per
+subsystem.  ROADMAP item 2 ("order-of-magnitude engine speed") lives or
+dies on this number, and an optimization claim without an attribution
+profile is a guess.
+
+How attribution works
+---------------------
+
+The profiler piggybacks on boundaries the instrumentation layer already
+marks:
+
+* the engine's run loop switches to a profiled variant (only when a
+  profiler is attached and enabled -- the stock loop is untouched
+  otherwise) that stamps each callback dispatch and attributes
+  inter-callback time (heap pops, tombstone drains) to ``engine``;
+* every :class:`~repro.obs.span.SpanRecorder` span open/close switches
+  the active attribution category to the span's subsystem (``lock.wait``
+  -> ``lock``, ``rpc.call`` -> ``rpc``, ``io.write.log`` -> ``disk``,
+  ...);
+* every simulation-process resume re-establishes the category of the
+  process's innermost open span, so a transaction worker's pure-Python
+  execution between spans is blamed on the phase it is actually in.
+
+Between any two consecutive stamps, elapsed wall time is charged to
+exactly one category, so the per-subsystem totals sum to the profiled
+run-loop wall time *by construction* -- there is no sampling error to
+reconcile.  The cost per stamp is one ``perf_counter()`` call and a
+dict update; runs without a profiler attached pay nothing at all.
+
+The profiler is **virtual-time invisible**: it never schedules an
+event, never charges CPU, and never reads anything the simulation can
+observe, so a run with ``REPRO_WALLPROF=1`` is event-for-event
+identical to one without (tests/obs/test_wallprof.py pins this across
+the lock_cache x commit_batching matrix).
+
+The observability layer's *own* wall cost cannot be seen from inside an
+instrumented run; it is measured as the obs-on vs obs-off wall-clock
+delta of the same seeded scenario (``obs_overhead_pct`` in the report's
+``wallclock`` section, computed by ``python -m repro.analysis.report``).
+
+For function-level detail beyond subsystem shares, the optional
+cProfile capture mode (:func:`hotspot_rows` /
+:func:`render_hotspot_table`, ``--profile`` on the report CLI) emits a
+top-N hotspot table.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = [
+    "CATEGORIES",
+    "WallProfiler",
+    "categorize",
+    "wallclock_section",
+    "profiler_section",
+    "hotspot_rows",
+    "render_hotspot_table",
+    "render_wallclock_table",
+]
+
+#: Attribution categories, in the order tables render them.  ``engine``
+#: is dispatch overhead (heap ops, callback glue, uninstrumented
+#: callbacks); ``outside`` (section-only) is scenario wall time spent
+#: outside the engine run loop (setup, report assembly between runs).
+CATEGORIES = ("engine", "txn", "lock", "rpc", "disk", "wal", "2pc",
+              "other", "outside")
+
+#: Span-name prefix -> category, first match wins.  Covers every span
+#: the stack opens today (docs/OBSERVABILITY.md span table); unknown
+#: names fall into ``other`` rather than erroring so new spans degrade
+#: gracefully.
+_PREFIX_CATEGORIES = (
+    ("syscall.", "txn"),
+    ("txn", "txn"),
+    ("lock", "lock"),
+    ("lease", "lock"),
+    ("deadlock", "lock"),
+    ("rpc.", "rpc"),
+    ("net.", "rpc"),
+    ("io.", "disk"),
+    ("disk", "disk"),
+    ("wal", "wal"),
+    ("groupcommit", "wal"),
+    ("2pc", "2pc"),
+)
+
+
+def categorize(name) -> str:
+    """The attribution category for a span name."""
+    for prefix, category in _PREFIX_CATEGORIES:
+        if name.startswith(prefix):
+            return category
+    return "other"
+
+
+class WallProfiler:
+    """Low-overhead wall-clock attribution over the span boundaries.
+
+    Attach via ``Observability.attach_wallprof()`` (or
+    ``cluster.enable_observability(wallprof=True)`` /
+    ``REPRO_WALLPROF=1``).  Active only while the engine's profiled run
+    loop is executing; stamps outside a run are ignored.
+    """
+
+    __slots__ = ("obs", "clock", "enabled", "running", "events", "stamps",
+                 "_totals", "_active", "_last", "_cats")
+
+    def __init__(self, obs=None, clock=None):
+        self.obs = obs
+        self.clock = clock if clock is not None else time.perf_counter
+        self.enabled = True
+        self.running = False
+        self.events = 0        # callbacks dispatched (tombstones included)
+        self.stamps = 0        # category switches recorded
+        self._totals = {}      # category -> wall seconds
+        self._active = "engine"
+        self._last = 0.0
+        self._cats = {}        # span name -> category (memoized)
+
+    # ------------------------------------------------------------------
+    # run-loop protocol (called by Engine._run_profiled)
+    # ------------------------------------------------------------------
+
+    def resume_run(self):
+        """The profiled run loop is starting: open the ``engine`` slice."""
+        self.running = True
+        self._active = "engine"
+        self._last = self.clock()
+
+    def pause_run(self):
+        """The run loop is returning: close the open slice."""
+        now = self.clock()
+        totals = self._totals
+        active = self._active
+        totals[active] = totals.get(active, 0.0) + (now - self._last)
+        self._last = now
+        self.running = False
+
+    def split(self, category):
+        """Charge the time since the last stamp to the active category,
+        then make ``category`` active."""
+        now = self.clock()
+        totals = self._totals
+        active = self._active
+        totals[active] = totals.get(active, 0.0) + (now - self._last)
+        self._last = now
+        self._active = category
+        self.stamps += 1
+
+    # ------------------------------------------------------------------
+    # boundary hooks
+    # ------------------------------------------------------------------
+
+    def _category(self, name):
+        cat = self._cats.get(name)
+        if cat is None:
+            cat = categorize(name)
+            self._cats[name] = cat
+        return cat
+
+    def enter_span(self, name):
+        """A span just opened: its subsystem is now executing."""
+        if self.running:
+            self.split(self._category(name))
+
+    def exit_span(self, parent_name):
+        """A span just closed: fall back to the enclosing span's
+        subsystem (``None`` = no enclosing span -> ``engine``)."""
+        if self.running:
+            self.split(self._category(parent_name)
+                       if parent_name is not None else "engine")
+
+    def resume_process(self, proc):
+        """A simulation process is resuming: re-establish the category
+        of its innermost open span."""
+        if self.running:
+            stack = None
+            if self.obs is not None:
+                stack = self.obs.spans._stacks.get(proc)
+            self.split(self._category(stack[-1].name) if stack else "engine")
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def totals(self) -> dict:
+        """{category: wall seconds} -- sums exactly to
+        :attr:`engine_wall_seconds`."""
+        return dict(self._totals)
+
+    @property
+    def engine_wall_seconds(self) -> float:
+        """Total wall seconds spent inside profiled run loops."""
+        return sum(self._totals.values())
+
+    def reset(self):
+        self.events = 0
+        self.stamps = 0
+        self._totals = {}
+        self._active = "engine"
+
+    def __repr__(self):
+        return "<WallProfiler events=%d wall=%.4fs %s>" % (
+            self.events, self.engine_wall_seconds,
+            "running" if self.running else "idle",
+        )
+
+
+# ----------------------------------------------------------------------
+# the report's ``wallclock`` section
+# ----------------------------------------------------------------------
+
+def wallclock_section(wall_seconds, virtual_time, events,
+                      engine_wall_seconds=None, subsystem_seconds=None,
+                      baseline_wall_seconds=None) -> dict:
+    """Build a ``repro.bench_report/6`` ``wallclock`` section.
+
+    ``wall_seconds`` is the externally measured scenario wall time;
+    per-subsystem seconds (plus a computed ``outside`` remainder) sum to
+    it exactly, so shares total 1.0 by construction.
+    ``baseline_wall_seconds`` is the obs-off wall time of the same
+    seeded run; when given, ``obs_overhead_pct`` reports the on/off
+    delta.
+    """
+    subsystems = dict(subsystem_seconds or {})
+    accounted = sum(subsystems.values())
+    if engine_wall_seconds is None:
+        engine_wall_seconds = accounted if subsystems else wall_seconds
+    # The external measurement wraps the run loop, so it can only be
+    # larger; guard against clock jitter making it nominally smaller.
+    wall_seconds = max(float(wall_seconds), accounted)
+    outside = wall_seconds - accounted
+    if subsystems or outside > 0.0:
+        subsystems["outside"] = outside
+    section = {
+        "events": int(events),
+        "wall_seconds": wall_seconds,
+        "engine_wall_seconds": float(engine_wall_seconds),
+        "events_per_sec": (events / engine_wall_seconds
+                           if engine_wall_seconds > 0 else 0.0),
+        "virtual_time": float(virtual_time),
+        "wall_ms_per_sim_second": (wall_seconds * 1e3 / virtual_time
+                                   if virtual_time > 0 else 0.0),
+        "subsystems": {
+            name: {
+                "seconds": seconds,
+                "share": seconds / wall_seconds if wall_seconds > 0 else 0.0,
+            }
+            for name, seconds in sorted(subsystems.items())
+        },
+    }
+    if baseline_wall_seconds is not None and baseline_wall_seconds > 0:
+        section["obs_overhead_pct"] = (
+            (wall_seconds - baseline_wall_seconds) / baseline_wall_seconds
+            * 100.0
+        )
+    return section
+
+
+def profiler_section(profiler, wall_seconds, virtual_time,
+                     baseline_wall_seconds=None) -> dict:
+    """The ``wallclock`` section for a profiled cluster run."""
+    return wallclock_section(
+        wall_seconds=wall_seconds,
+        virtual_time=virtual_time,
+        events=profiler.events,
+        engine_wall_seconds=profiler.engine_wall_seconds,
+        subsystem_seconds=profiler.totals(),
+        baseline_wall_seconds=baseline_wall_seconds,
+    )
+
+
+def render_wallclock_table(section) -> str:
+    """The ``== wallclock ==`` table printed by the report CLI."""
+    lines = [
+        "%-26s %12d" % ("events dispatched", section["events"]),
+        "%-26s %12.4f" % ("wall seconds", section["wall_seconds"]),
+        "%-26s %12.4f" % ("engine wall seconds",
+                          section["engine_wall_seconds"]),
+        "%-26s %12.0f" % ("events/sec", section["events_per_sec"]),
+        "%-26s %12.2f" % ("wall ms / sim second",
+                          section["wall_ms_per_sim_second"]),
+    ]
+    overhead = section.get("obs_overhead_pct")
+    if overhead is not None:
+        lines.append("%-26s %+11.1f%%" % ("obs overhead (on vs off)", overhead))
+    subsystems = section.get("subsystems") or {}
+    if subsystems:
+        header = "%-12s %12s %8s" % ("subsystem", "seconds", "share")
+        lines += ["", header, "-" * len(header)]
+        for name in sorted(subsystems,
+                           key=lambda n: (-subsystems[n]["seconds"], n)):
+            entry = subsystems[name]
+            lines.append("%-12s %12.4f %7.1f%%" % (
+                name, entry["seconds"], entry["share"] * 100.0,
+            ))
+        total = sum(e["seconds"] for e in subsystems.values())
+        share = sum(e["share"] for e in subsystems.values())
+        lines.append("%-12s %12.4f %7.1f%%" % ("total", total, share * 100.0))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# optional cProfile capture
+# ----------------------------------------------------------------------
+
+def hotspot_rows(profile, top=20):
+    """Top-N hotspots from a ``cProfile.Profile``, by internal time.
+
+    Each row: ``{"func", "calls", "tottime", "cumtime"}`` -- the stable
+    subset a report or artifact can carry.
+    """
+    profile.create_stats()
+    rows = []
+    for (filename, lineno, funcname), (cc, nc, tt, ct, _callers) in (
+        profile.stats.items()
+    ):
+        short = filename.rsplit("/", 1)[-1]
+        rows.append({
+            "func": "%s:%d(%s)" % (short, lineno, funcname),
+            "calls": int(nc),
+            "tottime": tt,
+            "cumtime": ct,
+        })
+    rows.sort(key=lambda r: (-r["tottime"], r["func"]))
+    return rows[:top]
+
+
+def render_hotspot_table(rows) -> str:
+    """The ``== hotspots ==`` table (cProfile top-N by internal time)."""
+    header = "%-44s %10s %10s %10s" % ("function", "calls", "tottime",
+                                       "cumtime")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append("%-44s %10d %10.4f %10.4f" % (
+            row["func"][:44], row["calls"], row["tottime"], row["cumtime"],
+        ))
+    return "\n".join(lines)

@@ -17,12 +17,18 @@ __all__ = ["Waitable", "Event", "Timeout", "AllOf", "AnyOf"]
 class Waitable:
     """Abstract base: something a process can wait for."""
 
+    # Slot-based (empty here so subclasses stay __dict__-free): waitables
+    # are allocated once per wait on the engine's hot path.
+    __slots__ = ()
+
     def _subscribe(self, callback):
         raise NotImplementedError
 
 
 class Timeout(Waitable):
     """Fires ``value`` after ``delay`` seconds of virtual time."""
+
+    __slots__ = ("_engine", "_delay", "_value", "_entry")
 
     def __init__(self, engine, delay, value=None):
         self._engine = engine
@@ -53,6 +59,8 @@ class Event(Waitable):
     completes (asynchronously) with the stored outcome, so there is no
     lost-wakeup hazard.
     """
+
+    __slots__ = ("_engine", "_callbacks", "_triggered", "_ok", "_value")
 
     def __init__(self, engine):
         self._engine = engine
@@ -112,6 +120,8 @@ class AllOf(Waitable):
     complete unobserved.
     """
 
+    __slots__ = ("_engine", "_waitables")
+
     def __init__(self, engine, waitables):
         self._engine = engine
         self._waitables = list(waitables)
@@ -142,6 +152,8 @@ class AllOf(Waitable):
 
 class AnyOf(Waitable):
     """Completes with ``(index, value)`` of the first child to complete."""
+
+    __slots__ = ("_engine", "_waitables")
 
     def __init__(self, engine, waitables):
         self._engine = engine

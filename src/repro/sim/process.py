@@ -27,6 +27,11 @@ _KILLED = "killed"
 class Process(Waitable):
     """Drives a generator through the engine.  Create via ``engine.process``."""
 
+    # Slot-based: thousands of short-lived processes make up a heavy
+    # workload, and resume is the engine's hottest callback.
+    __slots__ = ("_engine", "_gen", "name", "state", "value", "cpu_time",
+                 "_joiners", "_epoch")
+
     def __init__(self, engine, generator, name=None):
         self._engine = engine
         self._gen = generator
@@ -66,8 +71,16 @@ class Process(Waitable):
     def _resume(self, epoch, ok, value):
         if self.state != _PENDING or epoch != self._epoch:
             return  # stale wakeup from a superseded wait
-        prev = self._engine._current
-        self._engine._current = self
+        engine = self._engine
+        prev = engine._current
+        engine._current = self
+        obs = engine.obs
+        if obs is not None:
+            # Wall-profiler stamp: blame this resume's wall time on the
+            # process's innermost open span (pure wall-clock observer).
+            profiler = getattr(obs, "wallprof", None)
+            if profiler is not None and profiler.running:
+                profiler.resume_process(self)
         try:
             if ok:
                 waitable = self._gen.send(value)

@@ -1,0 +1,132 @@
+"""Scenario-matrix runner: cross-process merge correctness.
+
+The acceptance bar: a merged matrix report produced by a worker pool is
+*identical* -- modulo the host-dependent wallclock numbers -- to the
+one produced by running the same grid sequentially in-process, and the
+merged histograms equal what a single metrics hub would have recorded.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.matrix import (DEFAULT_SCENARIOS, grid_cells,
+                                   merge_reports, render_matrix_table,
+                                   run_cell, run_grid, strip_wallclock)
+from repro.obs import validate_report
+from repro.obs.metrics import Histogram
+
+#: The small grid the tests sweep: one scenario, both feature axes.
+SMALL_GRID = grid_cells(scenarios=("commit",))
+
+
+def test_grid_cells_cover_the_cross_product():
+    cells = grid_cells()
+    assert len(cells) == len(DEFAULT_SCENARIOS) * 2 * 2
+    assert len({(c["scenario"], c["lock_cache"], c["commit_batching"])
+                for c in cells}) == len(cells)
+
+
+def test_histogram_from_summary_round_trips():
+    hist = Histogram()
+    for value in (0.001, 0.004, 0.1, 2.5):
+        hist.observe(value)
+    clone = Histogram.from_summary(hist.summary())
+    assert clone.summary() == hist.summary()
+
+
+def test_histogram_from_summary_merge_equals_live_merge():
+    a, b, live = Histogram(), Histogram(), Histogram()
+    for i, value in enumerate((0.002, 0.03, 0.4, 1.0, 0.07)):
+        (a if i % 2 else b).observe(value)
+        live.observe(value)
+    merged = Histogram.from_summary(a.summary())
+    merged.merge(Histogram.from_summary(b.summary()))
+    assert merged.summary() == live.summary()
+
+
+def test_empty_histogram_round_trips():
+    clone = Histogram.from_summary(Histogram().summary())
+    assert clone.count == 0 and clone.min is None and clone.max is None
+
+
+@pytest.fixture(scope="module")
+def sequential_results():
+    return run_grid(SMALL_GRID, workers=1)
+
+
+def test_cell_reports_validate_and_are_monitor_clean(sequential_results):
+    for result in sequential_results:
+        report = result["report"]
+        validate_report(report)
+        assert report["monitors"]["total_violations"] == 0
+        assert report["wallclock"]["events"] > 0
+
+
+def test_merged_report_validates(sequential_results):
+    doc = merge_reports(sequential_results, scenarios=("commit",))
+    validate_report(doc)
+    assert doc["scenario"] == "matrix"
+    assert len(doc["matrix"]["cells"]) == len(SMALL_GRID)
+    assert all(c["monitors_total_violations"] == 0
+               for c in doc["matrix"]["cells"])
+    # Merged wallclock aggregates every cell's events.
+    assert doc["wallclock"]["events"] == sum(
+        c["wallclock"]["events"] for c in doc["matrix"]["cells"])
+
+
+def test_merged_histograms_equal_cellwise_merge(sequential_results):
+    """The merged sites section is exactly what folding each cell's
+    histograms into one hub yields -- count, sum and percentiles."""
+    doc = merge_reports(sequential_results, scenarios=("commit",))
+    expected = {}
+    for result in sequential_results:
+        for site, metrics in result["report"]["sites"].items():
+            bucket = expected.setdefault(site, {})
+            for name, summary in metrics.items():
+                hist = Histogram.from_summary(summary)
+                if name in bucket:
+                    bucket[name].merge(hist)
+                else:
+                    bucket[name] = hist
+    assert set(doc["sites"]) == set(expected)
+    for site, metrics in expected.items():
+        for name, hist in metrics.items():
+            assert doc["sites"][site][name] == hist.summary(), (site, name)
+
+
+def test_parallel_merge_identical_to_sequential(sequential_results):
+    """Two worker processes, same grid: the merged report is identical
+    modulo wallclock -- histograms, counters, span totals, cell rows."""
+    parallel_results = run_grid(SMALL_GRID, workers=2)
+    seq_doc = merge_reports(sequential_results, scenarios=("commit",))
+    par_doc = merge_reports(parallel_results, scenarios=("commit",))
+    assert strip_wallclock(par_doc) == strip_wallclock(seq_doc)
+    # ...and the stripped docs really dropped the host-dependent part.
+    assert "wallclock" not in strip_wallclock(par_doc)
+    # JSON round-trip stability (what the CLI writes is what merges).
+    assert json.loads(json.dumps(strip_wallclock(par_doc))) \
+        == strip_wallclock(seq_doc)
+
+
+def test_cells_honour_their_feature_axes():
+    on = run_cell({"scenario": "commit", "lock_cache": True,
+                   "commit_batching": False}, wallprof=False)
+    off = run_cell({"scenario": "commit", "lock_cache": False,
+                    "commit_batching": False}, wallprof=False)
+    counters_on = on["report"]["counters"]
+    counters_off = off["report"]["counters"]
+    assert any("lock.cache" in name
+               for values in counters_on.values() for name in values)
+    assert not any("lock.cache" in name
+                   for values in counters_off.values() for name in values)
+    # wallprof=False cells carry no wallclock section.
+    assert "wallclock" not in on["report"]
+
+
+def test_render_matrix_table_has_a_row_per_cell(sequential_results):
+    doc = merge_reports(sequential_results, scenarios=("commit",))
+    table = render_matrix_table(doc["matrix"])
+    # header + rule + one row per cell
+    assert len(table.splitlines()) == 2 + len(SMALL_GRID)
+    assert "commit" in table

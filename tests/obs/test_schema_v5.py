@@ -37,11 +37,11 @@ def report():
     return build_report(run_scenario("commit"), scenario="commit")
 
 
-def test_current_schema_is_v5():
-    assert SCHEMA_ID == "repro.bench_report/5"
+def test_current_schema_is_v6():
+    assert SCHEMA_ID == "repro.bench_report/6"
 
 
-@pytest.mark.parametrize("version", [1, 2, 3, 4, 5])
+@pytest.mark.parametrize("version", [1, 2, 3, 4, 5, 6])
 def test_every_schema_version_still_validates(version):
     validate_report(minimal(version))
 

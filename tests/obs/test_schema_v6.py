@@ -1,0 +1,199 @@
+"""Schema v6: the wallclock/matrix sections validate, their invariants
+are enforced, the microbench allowance works, and older documents
+(including v5 with telemetry sections) still pass."""
+
+import json
+
+import pytest
+
+from repro.obs import validate_report
+from repro.obs.schema import REQUIRED_METRICS, SCHEMA_ID, SchemaError
+from repro.obs.wallprof import wallclock_section
+
+
+def summary(value=0.5):
+    return {
+        "count": 1, "sum": value, "min": value, "max": value,
+        "mean": value, "p50": value, "p95": value, "p99": value,
+        "buckets": {"bounds": [], "counts": [1]},
+    }
+
+
+def minimal(version=6, sites=True):
+    doc = {
+        "schema": "repro.bench_report/%d" % version,
+        "generator": "repro test",
+        "scenario": "synthetic",
+        "virtual_time": 1.0,
+        "sites": ({"1": {name: summary() for name in REQUIRED_METRICS}}
+                  if sites else {}),
+        "spans": {"recorded": 0, "dropped": 0, "traces": 0},
+    }
+    if version >= 2:
+        doc["counters"] = {}
+    return doc
+
+
+def good_wallclock():
+    return wallclock_section(
+        wall_seconds=1.0, virtual_time=2.0, events=100,
+        engine_wall_seconds=0.8,
+        subsystem_seconds={"engine": 0.3, "lock": 0.5},
+        baseline_wall_seconds=0.9,
+    )
+
+
+def good_matrix():
+    return {
+        "grid": {"scenario": ["commit"], "lock_cache": [False, True],
+                 "commit_batching": [False, True]},
+        "cells": [
+            {"scenario": "commit", "lock_cache": lc, "commit_batching": cb,
+             "virtual_time": 3.5, "monitors_total_violations": 0,
+             "spans_recorded": 10,
+             "wallclock": {"events": 100, "wall_seconds": 0.5,
+                           "engine_wall_seconds": 0.4,
+                           "events_per_sec": 250.0,
+                           "wall_ms_per_sim_second": 140.0}}
+            for lc in (False, True) for cb in (False, True)
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# acceptance
+# ----------------------------------------------------------------------
+
+def test_v6_with_wallclock_and_matrix_validates():
+    doc = minimal()
+    doc["wallclock"] = good_wallclock()
+    doc["matrix"] = good_matrix()
+    validate_report(doc)
+
+
+def test_v6_sections_rejected_on_v5():
+    doc = minimal(5)
+    doc["wallclock"] = good_wallclock()
+    with pytest.raises(SchemaError, match="wallclock section requires"):
+        validate_report(doc)
+    doc = minimal(5)
+    doc["matrix"] = good_matrix()
+    with pytest.raises(SchemaError, match="matrix section requires"):
+        validate_report(doc)
+
+
+def test_microbench_allowance_is_v6_only():
+    """Empty ``sites`` skips REQUIRED_METRICS on v6 -- and only v6: a
+    v5 microbench document stays invalid."""
+    doc = minimal(sites=False)
+    doc["wallclock"] = good_wallclock()
+    validate_report(doc)
+    with pytest.raises(SchemaError, match="required metric"):
+        validate_report(minimal(5, sites=False))
+
+
+def test_v6_with_sites_still_requires_the_metrics():
+    doc = minimal()
+    del doc["sites"]["1"]["lock.wait"]
+    with pytest.raises(SchemaError, match="required metric"):
+        validate_report(doc)
+
+
+# ----------------------------------------------------------------------
+# wallclock invariants
+# ----------------------------------------------------------------------
+
+def test_wallclock_share_sum_is_enforced():
+    doc = minimal()
+    section = good_wallclock()
+    section["subsystems"]["lock"]["share"] += 0.2
+    doc["wallclock"] = section
+    with pytest.raises(SchemaError, match="shares sum"):
+        validate_report(doc)
+
+
+def test_wallclock_missing_numbers_are_rejected():
+    doc = minimal()
+    section = good_wallclock()
+    del section["events_per_sec"]
+    doc["wallclock"] = section
+    with pytest.raises(SchemaError, match="events_per_sec"):
+        validate_report(doc)
+
+
+def test_wallclock_negative_seconds_are_rejected():
+    doc = minimal()
+    section = good_wallclock()
+    section["subsystems"]["lock"]["seconds"] = -0.1
+    doc["wallclock"] = section
+    with pytest.raises(SchemaError, match="negative"):
+        validate_report(doc)
+
+
+def test_wallclock_null_overhead_is_allowed():
+    doc = minimal()
+    section = good_wallclock()
+    section["obs_overhead_pct"] = None
+    doc["wallclock"] = section
+    validate_report(doc)
+
+
+def test_wallclock_hotspots_need_func_strings():
+    doc = minimal()
+    section = good_wallclock()
+    section["hotspots"] = [{"calls": 3}]
+    doc["wallclock"] = section
+    with pytest.raises(SchemaError, match="hotspots"):
+        validate_report(doc)
+
+
+# ----------------------------------------------------------------------
+# matrix invariants
+# ----------------------------------------------------------------------
+
+def test_matrix_cell_count_must_match_the_grid():
+    doc = minimal()
+    section = good_matrix()
+    section["cells"] = section["cells"][:-1]
+    doc["matrix"] = section
+    with pytest.raises(SchemaError, match="cells for a"):
+        validate_report(doc)
+
+
+def test_matrix_cells_need_their_axes_and_verdicts():
+    for key, message in (
+        ("scenario", "scenario"),
+        ("lock_cache", "lock_cache"),
+        ("virtual_time", "virtual_time"),
+        ("monitors_total_violations", "monitors_total_violations"),
+    ):
+        doc = minimal()
+        section = good_matrix()
+        del section["cells"][0][key]
+        doc["matrix"] = section
+        with pytest.raises(SchemaError, match=message):
+            validate_report(doc)
+
+
+def test_matrix_cell_wallclock_must_be_numeric():
+    doc = minimal()
+    section = good_matrix()
+    section["cells"][0]["wallclock"]["events"] = "fast"
+    doc["matrix"] = section
+    with pytest.raises(SchemaError, match="not numeric"):
+        validate_report(doc)
+
+
+# ----------------------------------------------------------------------
+# real documents
+# ----------------------------------------------------------------------
+
+def test_generated_enginespeed_microbench_validates():
+    from repro.analysis.enginespeed import enginespeed_report
+
+    doc = enginespeed_report(n_events=2_000, repeats=1)
+    validate_report(doc)
+    assert doc["sites"] == {}
+    assert doc["wallclock"]["events"] == 4_000
+    # JSON round-trip keeps it valid (what the CLI writes).
+    validate_report(json.loads(json.dumps(doc)))

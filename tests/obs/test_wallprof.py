@@ -1,0 +1,247 @@
+"""Wall-clock self-profiler: attribution correctness and the
+zero-perturbation guarantee.
+
+Two families of tests:
+
+* mechanics -- with a fake clock, the per-category totals follow the
+  stamp protocol exactly and sum to the run-loop wall time by
+  construction; the report section and its renderer agree with the
+  schema checker;
+* purity -- ``REPRO_WALLPROF=1`` (or ``SystemConfig(wallprof=True)``)
+  leaves the simulation byte-identical: the pinned seed fingerprint
+  holds across the lock_cache x commit_batching matrix, and the
+  Figure 5 I/O counts do not move.
+"""
+
+import pytest
+
+from repro import Cluster, SystemConfig, drive
+from repro.obs.wallprof import (WallProfiler, categorize, profiler_section,
+                                render_hotspot_table, render_wallclock_table,
+                                wallclock_section)
+from tests.obs.test_zero_perturbation import (SEED_FINGERPRINT, _fingerprint,
+                                              run_workload)
+
+
+# ----------------------------------------------------------------------
+# category mapping
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("name,category", [
+    ("syscall.write", "txn"),
+    ("txn.commit", "txn"),
+    ("lock.wait", "lock"),
+    ("lease.recall", "lock"),
+    ("deadlock.scan", "lock"),
+    ("rpc.call", "rpc"),
+    ("net.send", "rpc"),
+    ("io.write.log", "disk"),
+    ("disk.queue", "disk"),
+    ("wal.append", "wal"),
+    ("groupcommit.flush", "wal"),
+    ("2pc.prepare", "2pc"),
+    ("something.new", "other"),
+])
+def test_categorize(name, category):
+    assert categorize(name) == category
+
+
+# ----------------------------------------------------------------------
+# stamp mechanics (fake clock: 1 virtual tick per reading)
+# ----------------------------------------------------------------------
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+def test_totals_sum_to_run_wall_time_by_construction():
+    prof = WallProfiler(clock=FakeClock())
+    prof.resume_run()
+    prof.split("lock")
+    prof.split("rpc")
+    prof.split("engine")
+    prof.pause_run()
+    totals = prof.totals()
+    assert sum(totals.values()) == pytest.approx(prof.engine_wall_seconds)
+    # resume_run -> split(lock) charges "engine"; each later stamp
+    # charges the category active *before* it.
+    assert totals["engine"] == pytest.approx(2.0)  # open + after rpc
+    assert totals["lock"] == pytest.approx(1.0)
+    assert totals["rpc"] == pytest.approx(1.0)
+
+
+def test_stamps_outside_a_run_are_ignored():
+    prof = WallProfiler(clock=FakeClock())
+    prof.enter_span("lock.wait")
+    prof.exit_span(None)
+    prof.resume_process(object())
+    assert prof.totals() == {}
+    assert prof.stamps == 0
+
+
+def test_exit_span_falls_back_to_enclosing_category():
+    prof = WallProfiler(clock=FakeClock())
+    prof.resume_run()
+    prof.enter_span("rpc.call")
+    prof.exit_span("txn.commit")   # enclosing span's name
+    prof.exit_span(None)           # no enclosing span -> engine
+    prof.pause_run()
+    totals = prof.totals()
+    assert totals["rpc"] == pytest.approx(1.0)
+    assert totals["txn"] == pytest.approx(1.0)
+    assert prof._active == "engine"
+
+
+# ----------------------------------------------------------------------
+# the report section
+# ----------------------------------------------------------------------
+
+def test_wallclock_section_shares_sum_to_one():
+    section = wallclock_section(
+        wall_seconds=2.0, virtual_time=4.0, events=1000,
+        engine_wall_seconds=1.5,
+        subsystem_seconds={"engine": 0.5, "lock": 0.5, "rpc": 0.5},
+    )
+    assert section["subsystems"]["outside"]["seconds"] == pytest.approx(0.5)
+    total_share = sum(e["share"] for e in section["subsystems"].values())
+    assert total_share == pytest.approx(1.0)
+    assert section["events_per_sec"] == pytest.approx(1000 / 1.5)
+    assert section["wall_ms_per_sim_second"] == pytest.approx(500.0)
+    from repro.obs.schema import _check_wallclock
+
+    assert _check_wallclock(section) == []
+
+
+def test_wallclock_section_overhead_pair():
+    section = wallclock_section(
+        wall_seconds=1.2, virtual_time=1.0, events=10,
+        baseline_wall_seconds=1.0,
+    )
+    assert section["obs_overhead_pct"] == pytest.approx(20.0)
+
+
+def test_render_wallclock_table_lists_every_subsystem():
+    section = wallclock_section(
+        wall_seconds=1.0, virtual_time=1.0, events=42,
+        engine_wall_seconds=0.9,
+        subsystem_seconds={"engine": 0.4, "2pc": 0.5},
+        baseline_wall_seconds=0.8,
+    )
+    table = render_wallclock_table(section)
+    for expected in ("events dispatched", "events/sec", "obs overhead",
+                     "engine", "2pc", "outside", "total"):
+        assert expected in table
+
+
+def test_hotspot_capture_renders():
+    import cProfile
+
+    profile = cProfile.Profile()
+    profile.enable()
+    sum(range(1000))
+    profile.disable()
+    from repro.obs.wallprof import hotspot_rows
+
+    rows = hotspot_rows(profile, top=5)
+    assert rows and all({"func", "calls", "tottime", "cumtime"} <= set(r)
+                        for r in rows)
+    table = render_hotspot_table(rows)
+    assert "tottime" in table
+
+
+# ----------------------------------------------------------------------
+# profiled cluster runs: attribution is real and sums exactly
+# ----------------------------------------------------------------------
+
+def test_profiled_run_attributes_subsystems():
+    cluster, _outcomes = run_workload(
+        True, config=SystemConfig(wallprof=True))
+    prof = cluster.obs.wallprof
+    assert prof is not None
+    assert prof.events > 0
+    totals = prof.totals()
+    # The exact-sum invariant: categories account for every profiled
+    # second, no sampling gap.
+    assert sum(totals.values()) == pytest.approx(prof.engine_wall_seconds,
+                                                 rel=1e-9)
+    # The workload runs transactions over locks, RPC, disk and 2PC; all
+    # of those subsystems must show up with real time.
+    for category in ("engine", "txn", "rpc", "disk", "2pc"):
+        assert totals.get(category, 0.0) > 0.0, category
+    section = profiler_section(prof, wall_seconds=prof.engine_wall_seconds,
+                               virtual_time=cluster.engine.now)
+    from repro.obs.schema import _check_wallclock
+
+    assert _check_wallclock(section) == []
+
+
+def test_wallprof_off_keeps_stock_run_loop():
+    cluster, _outcomes = run_workload(True)
+    assert cluster.obs.wallprof is None
+
+
+# ----------------------------------------------------------------------
+# purity: REPRO_WALLPROF=1 changes nothing the simulation can see
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("lock_cache", [False, True])
+@pytest.mark.parametrize("commit_batching", [False, True])
+def test_wallprof_is_a_pure_observer(lock_cache, commit_batching):
+    """Across the feature matrix, profiling the run changes *nothing*
+    the simulation can see -- clock, I/O, traffic, outcomes."""
+    config = SystemConfig(lock_cache=lock_cache,
+                          commit_batching=commit_batching)
+    bare_cluster, bare_outcomes = run_workload(False, config=config)
+    prof_cluster, prof_outcomes = run_workload(
+        True, config=SystemConfig(lock_cache=lock_cache,
+                                  commit_batching=commit_batching,
+                                  wallprof=True),
+        monitors=True, timeline_tick=0.25,
+    )
+    assert _fingerprint(prof_cluster, prof_outcomes) \
+        == _fingerprint(bare_cluster, bare_outcomes)
+    assert prof_cluster.obs.wallprof.events > 0
+
+
+def test_wallprof_env_var_matches_pinned_seed_fingerprint(monkeypatch):
+    """``REPRO_WALLPROF=1`` attaches the profiler without a code change
+    and still reproduces the pinned pre-feature fingerprint exactly."""
+    monkeypatch.setenv("REPRO_WALLPROF", "1")
+    cluster, outcomes = run_workload(True)
+    assert cluster.obs.wallprof is not None
+    assert cluster.obs.wallprof.events > 0
+    assert _fingerprint(cluster, outcomes) == SEED_FINGERPRINT
+
+
+def _figure5_io_delta(wallprof):
+    cluster = Cluster(site_ids=(1,), config=SystemConfig(
+        optimized_log_writes=True, wallprof=wallprof))
+    if wallprof:
+        cluster.enable_observability()
+    drive(cluster.engine, cluster.create_file("/f", site_id=1))
+    drive(cluster.engine, cluster.populate("/f", b"." * 1024))
+    snap = cluster.io_snapshot()
+
+    def prog(sysc):
+        yield from sysc.begin_trans()
+        fd = yield from sysc.open("/f", write=True)
+        yield from sysc.lock(fd, 100)
+        yield from sysc.write(fd, b"x" * 100)
+        yield from sysc.end_trans()
+
+    p = cluster.spawn(prog, site_id=1)
+    cluster.run()
+    assert p.exit_status == "done", p.exit_value
+    return cluster.io_delta(snap)
+
+
+def test_wallprof_leaves_figure5_io_counts_identical():
+    """The headline paper reproduction (Figure 5's five I/Os) does not
+    move when the profiler is attached."""
+    assert _figure5_io_delta(wallprof=False) == _figure5_io_delta(wallprof=True)
+    assert _figure5_io_delta(wallprof=True)["io.total"] == 5
