@@ -4,14 +4,20 @@ engine-speed microbench.
 The storm workloads live in :mod:`repro.analysis.enginespeed`, which is
 also the CLI (``python -m repro.analysis.enginespeed``) that emits the
 committed ``BENCH_enginespeed.json`` baseline; CI gates pull requests
-on ``delta.wallclock.events_per_sec >= -0.30`` against it.  This file
+on ``delta.wallclock.events_per_sec >= -0.15`` against it.  This file
 drives the same functions under pytest-benchmark for the local
 comparison workflow, so the gated number and the benchmarked number can
-never drift apart.
+never drift apart.  Each storm runs at the same weighted size the CLI
+report uses (:func:`repro.analysis.enginespeed.storm_size`).
 """
 
-from repro.analysis.enginespeed import (N_EVENTS, cancel_storm,
-                                        schedule_fire_storm)
+import functools
+
+from repro.analysis.enginespeed import (STORMS, cancel_storm,
+                                        lock_convoy_storm,
+                                        rpc_pingpong_storm,
+                                        schedule_fire_storm, storm_size,
+                                        zero_delay_cascade_storm)
 
 
 def _report_rate(report, title, result):
@@ -28,14 +34,51 @@ def _report_rate(report, title, result):
     )
 
 
+def _sized(name, storm):
+    return functools.partial(storm, storm_size(name))
+
+
 def test_engine_event_rate(benchmark, report):
-    _report_rate(report, "Engine: schedule/fire storm (%d events)" % N_EVENTS,
-                 benchmark(schedule_fire_storm))
+    _report_rate(
+        report,
+        "Engine: schedule/fire storm (%d events)" % storm_size("fire"),
+        benchmark(_sized("fire", schedule_fire_storm)),
+    )
 
 
 def test_engine_cancel_rate(benchmark, report):
     _report_rate(
         report,
-        "Engine: 50%% cancelled storm (%d events through the heap)" % N_EVENTS,
-        benchmark(cancel_storm),
+        "Engine: deadline-shaped cancel storm (%d events through the heap, "
+        "7/8 tombstoned)" % storm_size("cancel"),
+        benchmark(_sized("cancel", cancel_storm)),
     )
+
+
+def test_engine_cascade_rate(benchmark, report):
+    _report_rate(
+        report,
+        "Engine: zero-delay spawn/join cascade (ready ring)",
+        benchmark(_sized("cascade", zero_delay_cascade_storm)),
+    )
+
+
+def test_engine_rpc_rate(benchmark, report):
+    _report_rate(
+        report,
+        "Engine: RPC ping-pong (pooled reply waitable)",
+        benchmark(_sized("rpc", rpc_pingpong_storm)),
+    )
+
+
+def test_engine_lock_rate(benchmark, report):
+    _report_rate(
+        report,
+        "Engine: lock convoy (%d lanes of exclusive lockers)" % 16,
+        benchmark(_sized("lock", lock_convoy_storm)),
+    )
+
+
+def test_all_storms_have_benchmarks():
+    """Every storm in the gated report is driven here too."""
+    assert set(STORMS) == {"fire", "cancel", "cascade", "rpc", "lock"}

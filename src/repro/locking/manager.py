@@ -34,6 +34,7 @@ instance then carries a :class:`~repro.locking.lease.LeaseRegistry` in
 
 from __future__ import annotations
 
+import operator
 from collections import deque
 
 from repro.sim import SimError
@@ -68,6 +69,12 @@ class LockCancelled(LockError):
     deadlock victim)."""
 
 
+#: Sort key for FIFO candidate ordering -- a C-level attrgetter: the
+#: wake scan sorts a candidate list on every pass, and the key
+#: extraction is the dominant cost of a near-sorted Timsort.
+_waiter_seq = operator.attrgetter("seq")
+
+
 class _Waiter:
     __slots__ = ("event", "holder", "mode", "start", "end", "nontrans",
                  "seq", "buckets")
@@ -95,8 +102,13 @@ class LockManager:
         #                         timeline gauge names
         self._tables = {}       # file_id -> LockTable
         self._queues = {}       # file_id -> deque[_Waiter] (FIFO)
-        self._buckets = {}      # file_id -> {bucket -> set[_Waiter]}
-        self._wide = {}         # file_id -> set[_Waiter]
+        # Bucket members are dicts used as insertion-ordered sets:
+        # waiters join in queue (seq) order, so the wake scan's merge of
+        # bucket runs is nearly sorted and the final seq sort is cheap.
+        self._buckets = {}      # file_id -> {bucket -> {_Waiter: None}}
+        self._wide = {}         # file_id -> {_Waiter: None}
+        self._nwaiting = 0      # total queued waiters (gauge feed)
+        self._holder_waits = {}  # holder -> queued-request count
         self._file_states = {}  # file_id -> OpenFileState (rule-2 hook)
         self._edge_cache = {}   # file_id -> sorted wait-for edges
         self._seq = 0
@@ -119,7 +131,11 @@ class LockManager:
     def forget_file(self, file_id):
         """Drop all state for a file (last close)."""
         self._tables.pop(file_id, None)
-        self._queues.pop(file_id, None)
+        dropped = self._queues.pop(file_id, None)
+        if dropped:
+            self._nwaiting -= len(dropped)
+            for waiter in dropped:
+                self._drop_holder_wait(waiter.holder)
         self._buckets.pop(file_id, None)
         self._wide.pop(file_id, None)
         self._file_states.pop(file_id, None)
@@ -128,9 +144,10 @@ class LockManager:
 
     def table(self, file_id) -> LockTable:
         """The (lazily created) lock table for a file."""
-        if file_id not in self._tables:
-            self._tables[file_id] = LockTable()
-        return self._tables[file_id]
+        table = self._tables.get(file_id)
+        if table is None:
+            table = self._tables[file_id] = LockTable()
+        return table
 
     def _touch(self, file_id):
         """Invalidate derived state after a table or queue change."""
@@ -221,10 +238,11 @@ class LockManager:
         if timeline is None:
             return
         prefix = "lock.table." if self.role == "storage" else "lease.table."
-        entries = sum(len(t.records()) for t in self._tables.values())
-        waiting = sum(len(q) for q in self._queues.values())
+        entries = 0
+        for t in self._tables.values():
+            entries += t.live_count()
         timeline.gauge_set(self.site_id, prefix + "entries", entries)
-        timeline.gauge_set(self.site_id, prefix + "waiters", waiting)
+        timeline.gauge_set(self.site_id, prefix + "waiters", self._nwaiting)
 
     def _adopt_dirty_records(self, file_id, txn_holder, start, end):
         """Rule 2: dirty-uncommitted bytes under a fresh transaction lock
@@ -317,10 +335,36 @@ class LockManager:
         if freed:
             self._wake_waiters(file_id, list(freed))
 
+    def _drop_holder_wait(self, holder):
+        hw = self._holder_waits
+        n = hw.get(holder, 0)
+        if n <= 1:
+            hw.pop(holder, None)
+        else:
+            hw[holder] = n - 1
+
     def cancel_waits(self, holder, exc):
-        """Fail a holder's queued requests with ``exc``."""
+        """Fail a holder's queued requests with ``exc``.
+
+        The per-holder queued-request count makes the common case --
+        the finishing holder has nothing queued anywhere, true for
+        every commit that was never blocked -- a single dict probe
+        instead of a scan of every file's queue."""
+        if holder not in self._holder_waits:
+            return
         for file_id, queue in self._queues.items():
-            for waiter in [w for w in queue if w.holder == holder]:
+            if not queue:
+                continue
+            matched = None
+            for w in queue:
+                if w.holder == holder:
+                    if matched is None:
+                        matched = [w]
+                    else:
+                        matched.append(w)
+            if matched is None:
+                continue
+            for waiter in matched:
                 self._remove_waiter(file_id, waiter)
                 if not waiter.event.triggered:
                     waiter.event.fail(exc)
@@ -341,62 +385,109 @@ class LockManager:
 
     def _add_waiter(self, file_id, waiter):
         self._queues.setdefault(file_id, deque()).append(waiter)
+        self._nwaiting += 1
+        hw = self._holder_waits
+        hw[waiter.holder] = hw.get(waiter.holder, 0) + 1
         lo = waiter.start // _WAITER_BUCKET
         hi = max(waiter.end - 1, waiter.start) // _WAITER_BUCKET
         if hi - lo >= _WIDE_BUCKETS:
-            self._wide.setdefault(file_id, set()).add(waiter)
+            self._wide.setdefault(file_id, {})[waiter] = None
         else:
             waiter.buckets = range(lo, hi + 1)
             buckets = self._buckets.setdefault(file_id, {})
             for b in waiter.buckets:
-                buckets.setdefault(b, set()).add(waiter)
+                members = buckets.get(b)
+                if members is None:
+                    buckets[b] = {waiter: None}
+                else:
+                    members[waiter] = None
         self._touch(file_id)
         self._notify_gauges()
 
     def _remove_waiter(self, file_id, waiter):
         queue = self._queues.get(file_id)
-        if queue is not None:
-            try:
-                queue.remove(waiter)
-            except ValueError:
-                pass
+        if queue:
+            # Wake-ups grant in FIFO order, so the leaving waiter is
+            # almost always at (or near) the head -- popleft beats a
+            # linear deque.remove on the convoy path.
+            if queue[0] is waiter:
+                queue.popleft()
+                self._nwaiting -= 1
+                self._drop_holder_wait(waiter.holder)
+            else:
+                try:
+                    queue.remove(waiter)
+                except ValueError:
+                    pass
+                else:
+                    self._nwaiting -= 1
+                    self._drop_holder_wait(waiter.holder)
         if waiter.buckets is None:
-            self._wide.get(file_id, set()).discard(waiter)
+            wide = self._wide.get(file_id)
+            if wide is not None:
+                wide.pop(waiter, None)
         else:
             buckets = self._buckets.get(file_id, {})
             for b in waiter.buckets:
                 members = buckets.get(b)
                 if members is not None:
-                    members.discard(waiter)
+                    members.pop(waiter, None)
                     if not members:
                         del buckets[b]
         self._touch(file_id)
         self._notify_gauges()
 
-    def _candidates(self, file_id, changed):
+    def _candidates(self, file_id, changed, excl=None):
         """Queued waiters whose blocked-status may have flipped, FIFO.
 
         ``changed`` is a list of (start, end) byte ranges the lock table
         mutated under; None means "anything may have changed" (full
-        FIFO scan, used by the recovery paths)."""
+        FIFO scan, used by the recovery paths).  ``excl`` is the wake
+        call's standing exclusive-grant list: a candidate overlapping a
+        *different* holder's entry is blocked by definition, so it is
+        dropped here, before the sort -- on the convoy path this leaves
+        the follow-up pass empty without scanning anything."""
         queue = self._queues.get(file_id)
         if not queue:
             return []
         if changed is None:
             return list(queue)
-        found = set(self._wide.get(file_id, ()))
+        wide = self._wide.get(file_id)
+        found = dict.fromkeys(wide) if wide else {}
         buckets = self._buckets.get(file_id)
         if buckets:
             for start, end in changed:
                 lo = start // _WAITER_BUCKET
                 hi = max(end - 1, start) // _WAITER_BUCKET
                 for b in range(lo, hi + 1):
-                    found.update(buckets.get(b, ()))
-        out = [
-            w for w in found
-            if any(w.start < end and start < w.end for start, end in changed)
-        ]
-        out.sort(key=lambda w: w.seq)
+                    members = buckets.get(b)
+                    if members:
+                        found.update(members)
+        if not found:
+            return []
+        out = []
+        for w in found:
+            w_start = w.start
+            w_end = w.end
+            for start, end in changed:
+                if w_start < end and start < w_end:
+                    out.append(w)
+                    break
+        if excl and out:
+            live = []
+            for w in out:
+                w_start = w.start
+                w_end = w.end
+                holder = w.holder
+                for h, s, e in excl:
+                    if s < w_end and w_start < e and h != holder:
+                        break
+                else:
+                    live.append(w)
+            out = live
+        # Bucket runs are insertion-(seq-)ordered, so this is a Timsort
+        # over a concatenation of sorted runs: nearly O(n).
+        out.sort(key=_waiter_seq)
         return out
 
     def waiters(self, file_id):
@@ -411,32 +502,92 @@ class LockManager:
         waiter queued because of a conflict stays blocked until some
         record in *its* range is released or converted, so untouched
         waiters are provably still blocked.  Ranges granted in one pass
-        feed the next pass (a grant can downgrade-convert the holder's
-        other-mode locks and unblock readers), which reproduces the
-        naive full-rescan fixpoint's FIFO grant order exactly.
+        feed the next pass -- and *only* those ranges: a waiter checked
+        in pass k saw the table as of pass k's grants, so pass k+1 needs
+        to revisit it only if a pass-k grant touched its range (table
+        mutations are confined to the granted range).  This reproduces
+        the naive full-rescan fixpoint's FIFO grant order exactly
+        (tests/locking/test_wake_order_invariance.py).
+
+        Convoy fast path: once a pass grants an EXCLUSIVE lock, every
+        later candidate whose range overlaps it (and whose holder
+        differs) is blocked by definition -- Figure 1 admits nothing
+        next to EXCLUSIVE, in either mode, on any overlapping byte --
+        so the per-candidate conflict scan is skipped.  A later
+        same-pass grant *to the same holder* can
+        downgrade-convert that exclusive range, so such grants evict the
+        overlapping entries from the skip list.
         """
-        if not self._queues.get(file_id):
+        queue = self._queues.get(file_id)
+        if not queue:
             return
         table = self.table(file_id)
-        if changed is not None:
-            changed = list(changed)
-        progressed = True
-        while progressed:
-            progressed = False
-            for waiter in self._candidates(file_id, changed):
-                if table.conflicts(waiter.holder, waiter.mode,
-                                   waiter.start, waiter.end):
+        conflicts = table.conflicts
+        pending = self._candidates(file_id, changed)
+        # (holder, start, end) exclusive grants made during this wake
+        # call.  Valid across passes: nothing is released inside the
+        # call, so a grant recorded here stays in the table until the
+        # call returns (same-holder conversions evict below), and every
+        # later candidate overlapping one is blocked without a scan.
+        excl = []
+        while pending:
+            granted = []   # ranges granted this pass -> next pass's changed
+            granted_holders = []
+            all_excl = True
+            for waiter in pending:
+                holder = waiter.holder
+                w_start = waiter.start
+                w_end = waiter.end
+                if excl:
+                    blocked = False
+                    for h, s, e in excl:
+                        if s < w_end and w_start < e and h != holder:
+                            blocked = True
+                            break
+                    if blocked:
+                        continue
+                if conflicts(holder, waiter.mode, w_start, w_end):
                     continue
                 self._remove_waiter(file_id, waiter)
                 self._do_grant(
-                    file_id, waiter.holder, waiter.mode,
-                    waiter.start, waiter.end, waiter.nontrans,
+                    file_id, holder, waiter.mode, w_start, w_end,
+                    waiter.nontrans,
                 )
                 if not waiter.event.triggered:
                     waiter.event.succeed(True)
-                if changed is not None:
-                    changed.append((waiter.start, waiter.end))
-                progressed = True
+                granted.append((w_start, w_end))
+                granted_holders.append(holder)
+                if excl:
+                    # A grant converts the *holder's* overlapping
+                    # other-mode records, so the holder's own exclusive
+                    # skip entries intersecting this range are stale.
+                    excl = [
+                        (h, s, e) for h, s, e in excl
+                        if h != holder or not (s < w_end and w_start < e)
+                    ]
+                if waiter.mode is LockMode.EXCLUSIVE:
+                    excl.append((holder, w_start, w_end))
+                else:
+                    all_excl = False
+            if not granted:
+                break
+            # An EXCLUSIVE grant can only *add* blocking: any conversion
+            # it performs upgrades the holder's own records, so no other
+            # holder's waiter can have been unblocked, and a same-holder
+            # waiter exists only if the holder has requests queued.  A
+            # pass of purely exclusive grants to holders with nothing
+            # queued is therefore already the fixpoint -- the convoy
+            # common case, one pass per release.
+            if all_excl:
+                hw = self._holder_waits
+                if not any(h in hw for h in granted_holders):
+                    break
+            # Recovery paths pass changed=None ("anything may have
+            # changed"); keep rescanning the full FIFO queue until a
+            # pass grants nothing.
+            pending = self._candidates(
+                file_id, None if changed is None else granted, excl
+            )
 
     # ------------------------------------------------------------------
     # lease support (lock caching, docs/LOCK_CACHE.md)

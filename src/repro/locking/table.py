@@ -50,6 +50,15 @@ class LockTable:
         """All live lock records."""
         return [r for r in self._records.values() if r.ranges]
 
+    def live_count(self) -> int:
+        """Number of live records, without building the list (the
+        timeline gauges ask on every grant)."""
+        n = 0
+        for rec in self._records.values():
+            if rec.ranges:
+                n += 1
+        return n
+
     def holders(self):
         """Every holder with live locks on this file."""
         return sorted({r.holder for r in self.records()})
@@ -71,14 +80,24 @@ class LockTable:
         return out
 
     def conflicts(self, holder, mode, start, end):
-        """Holders whose existing locks block this request (Figure 1)."""
-        blockers = []
-        for rec in self.records():
-            if rec.holder == holder:
+        """Holders whose existing locks block this request (Figure 1).
+
+        This is the lock manager's innermost loop (every lock request
+        plus every wake re-examination lands here), so it iterates the
+        record dict directly instead of materializing :meth:`records`.
+        """
+        blockers = None
+        for rec in self._records.values():
+            if rec.holder == holder or not rec.ranges:
                 continue
             if rec.ranges.overlaps(start, end) and not compatible(mode, rec.mode):
-                blockers.append(rec.holder)
-        return sorted(set(blockers))
+                if blockers is None:
+                    blockers = {rec.holder}
+                else:
+                    blockers.add(rec.holder)
+        if blockers is None:
+            return []
+        return sorted(blockers)
 
     def conflicting_pairs(self, start, end):
         """Every pair of live records from *different* holders whose

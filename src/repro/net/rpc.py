@@ -13,7 +13,7 @@ back and re-raised at the caller as :class:`RemoteError`.
 
 from __future__ import annotations
 
-from repro.sim import AnyOf, SimError
+from repro.sim import SimError, Waitable
 
 from .messages import HEADER_BYTES, Message, MessageKinds
 
@@ -32,6 +32,73 @@ IDEMPOTENT_KINDS = frozenset({
     MessageKinds.LEASE_RECALL,
     MessageKinds.COMMIT_BATCH,
 })
+
+
+#: Sentinel resumed into the caller when the deadline beats the reply.
+_TIMEOUT = object()
+
+
+class _ReplyWait(Waitable):
+    """Pooled reply waitable with an embedded deadline (the RPC fast path).
+
+    One ``_ReplyWait`` replaces the Event + Timeout + AnyOf trio the
+    client side used to allocate per call, while consuming engine
+    sequence numbers at exactly the same points: one for the deadline
+    entry at subscribe time, one for the resume when the reply (or the
+    deadline, or a crash-failure) wins -- so event order is untouched.
+    When the reply wins, the losing deadline entry is *cancelled* via the
+    engine's seq-guarded cancel instead of left to pop at its far-future
+    deadline, which is what keeps long-timeout configs from accumulating
+    dead heap entries (see tests/net/test_rpc_heap.py).
+    """
+
+    __slots__ = ("_engine", "_proc", "_epoch", "_limit", "_entry",
+                 "_entry_seq", "_in_pending")
+
+    def __init__(self, engine):
+        self._engine = engine
+        self._proc = None
+        self._epoch = -1
+        self._limit = None      # None = wait forever (no deadline entry)
+        self._entry = None
+        self._entry_seq = -1
+        self._in_pending = False
+
+    def _subscribe_process(self, proc, epoch):
+        self._proc = proc
+        self._epoch = epoch
+        limit = self._limit
+        if limit is not None:
+            entry = self._engine._schedule_pooled(
+                limit, proc._resume, (epoch, True, _TIMEOUT)
+            )
+            self._entry = entry
+            self._entry_seq = entry[1]
+
+    def _subscribe(self, callback):
+        raise SimError("_ReplyWait must be yielded by the calling process")
+
+    def _cancel_deadline(self):
+        entry = self._entry
+        if entry is not None:
+            self._entry = None
+            self._engine.cancel_guarded(entry, self._entry_seq)
+
+    def _deliver(self, msg):
+        """The reply won: cancel the deadline, resume the caller."""
+        self._in_pending = False
+        self._cancel_deadline()
+        proc = self._proc
+        if proc is not None:
+            self._engine._post(proc._resume, (self._epoch, True, msg))
+
+    def _fail(self, exc):
+        """Local crash: the caller raises ``exc`` at its yield point."""
+        self._in_pending = False
+        self._cancel_deadline()
+        proc = self._proc
+        if proc is not None:
+            self._engine._post(proc._resume, (self._epoch, False, exc))
 
 
 class RpcError(SimError):
@@ -57,7 +124,8 @@ class RpcEndpoint:
         self.retries = retries  # extra sends for IDEMPOTENT_KINDS only
         self._mailbox = network.attach(site_id)
         self._handlers = {}
-        self._pending = {}  # msg_id -> Event awaiting the reply
+        self._pending = {}  # msg_id -> _ReplyWait awaiting the reply
+        self._rw_pool = []  # recycled _ReplyWait objects
         self._dispatcher = engine.process(self._dispatch_loop(), name="rpc@%s" % site_id)
         self._stopped = False
 
@@ -78,9 +146,9 @@ class RpcEndpoint:
             except SimError:
                 return  # mailbox closed: site crashed
             if msg.is_reply:
-                ev = self._pending.pop(msg.reply_to, None)
-                if ev is not None:
-                    ev.succeed(msg)
+                rw = self._pending.pop(msg.reply_to, None)
+                if rw is not None:
+                    rw._deliver(msg)
             else:
                 self._engine.process(
                     self._serve(msg), name="serve:%s@%s" % (msg.kind, self.site_id)
@@ -168,34 +236,43 @@ class RpcEndpoint:
         started = self._engine.now
         msg = Message(src=self.site_id, dst=dst, kind=kind, body=body or {},
                       nbytes=nbytes, trace=trace_ctx)
-        reply_ev = self._engine.event()
-        self._pending[msg.msg_id] = reply_ev
+        pool = self._rw_pool
+        rw = pool.pop() if pool else _ReplyWait(self._engine)
+        # limit=None means no deadline entry (queued lock requests wait
+        # forever; cancellation arrives via abort/interrupt paths).
+        rw._limit = None if limit == float("inf") else limit
+        rw._in_pending = True
+        self._pending[msg.msg_id] = rw
         self._network.send(msg)
         timeline = obs.timeline if obs is not None else None
         if timeline is not None:
             timeline.gauge_adjust(self.site_id, "rpc.inflight", 1)
         try:
-            if limit == float("inf"):
-                # No timer: the caller waits as long as it takes (queued lock
-                # requests); cancellation arrives via abort/interrupt paths.
-                reply = yield reply_ev
-            else:
-                index, value = yield AnyOf(
-                    self._engine, [reply_ev, self._engine.timeout(limit)]
+            reply = yield rw
+            if reply is _TIMEOUT:
+                self._pending.pop(msg.msg_id, None)
+                rw._in_pending = False
+                if obs is not None:
+                    obs.end(span, status="timeout")
+                raise SiteUnreachable(
+                    "no reply from site %r for %s" % (dst, kind)
                 )
-                if index == 1:
-                    self._pending.pop(msg.msg_id, None)
-                    if obs is not None:
-                        obs.end(span, status="timeout")
-                    raise SiteUnreachable(
-                        "no reply from site %r for %s" % (dst, kind)
-                    )
-                reply = value
         finally:
             if timeline is not None:
                 timeline.gauge_adjust(self.site_id, "rpc.inflight", -1)
             if obs is not None:
                 obs.end(span, status="ok")  # idempotent; timeout path won
+            # Recycle only when the wait actually resolved (reply,
+            # deadline, or crash-failure).  An interrupted caller leaves
+            # its _ReplyWait registered in _pending, where a late reply
+            # must find the *original* proc/epoch and bounce off the
+            # stale-epoch guard -- never a recycled object.
+            if not rw._in_pending:
+                rw._proc = None
+                rw._epoch = -1
+                rw._entry = None
+                if len(pool) < 64:
+                    pool.append(rw)
         if obs is not None:
             # The paper measures "at the requesting site": the round trip
             # includes network transit and the remote handler's work.
@@ -225,9 +302,8 @@ class RpcEndpoint:
         self._stopped = True
         self._dispatcher.kill()
         pending, self._pending = self._pending, {}
-        for ev in pending.values():
-            if not ev.triggered:
-                ev.fail(SiteUnreachable("local site crashed"))
+        for rw in pending.values():
+            rw._fail(SiteUnreachable("local site crashed"))
 
     def restart(self):
         """Reboot: a fresh dispatcher on the reopened mailbox."""

@@ -1,16 +1,54 @@
 """Deterministic discrete-event simulation engine.
 
-The engine owns a virtual clock and an event heap.  Everything that
-happens in the simulated system -- a disk transfer completing, a network
-message arriving, a process resuming after a timeout -- is a callback
-scheduled at a point in virtual time.  Ties are broken by a monotonically
-increasing sequence number, so a given program produces the identical
-event order on every run.
+The engine owns a virtual clock and two scheduling structures: an event
+heap for delayed callbacks and a *ready ring* -- a FIFO deque -- for
+zero-delay callbacks (process kickoffs, event triggers, joiner wakes,
+interrupt delivery), which dominate real workloads and need no heap
+discipline.  Everything that happens in the simulated system -- a disk
+transfer completing, a network message arriving, a process resuming
+after a timeout -- is a callback scheduled at a point in virtual time.
+Ties are broken by a monotonically increasing sequence number shared by
+both structures, so a given program produces the identical event order
+on every run, and the ring is *provably* order-equivalent to routing
+everything through the heap: ring entries are appended with the current
+clock value in sequence order, so the ring is always sorted by
+``(time, seq)`` and the run loop just takes the smaller of the two
+heads (tests/sim/test_fastpath_equivalence.py checks this against a
+stock heap-only engine over randomized programs).
 
 Simulated concurrency is expressed with *processes*: plain Python
 generators that ``yield`` waitables (:class:`~repro.sim.events.Timeout`,
 :class:`~repro.sim.events.Event`, another process, ...).  See
 :mod:`repro.sim.process`.
+
+Allocation discipline (docs/ENGINE_PERF.md)
+-------------------------------------------
+
+The engine recycles its hottest allocations through free-lists:
+
+* **heap/ring entries** scheduled internally (``_post``,
+  ``_schedule_pooled``) are returned to a free-list after they fire.
+  Entries handed out by the public :meth:`schedule` are *never* pooled,
+  so a caller-retained handle stays valid forever and a late
+  :meth:`cancel` can never hit a recycled slot.  Internal holders
+  (``Timeout``, the RPC reply waitable) cancel through
+  :meth:`cancel_guarded`, which verifies the entry's sequence number
+  before tombstoning -- a recycled entry carries a fresh seq, so a
+  stale cancel is a no-op.
+* **Timeout objects** created by :meth:`timeout` (and therefore
+  :meth:`charge`) come from a pool refilled by the process machinery
+  when the wait completes.
+* **Event objects** are pooled only for owners that provably drop every
+  reference once the event fires (the mailbox fast path); the public
+  :meth:`event` never pools.
+
+Cancelled entries are tombstones: ``cancel`` nulls the callback and the
+entry is skipped when popped.  When tombstones pile up past half the
+heap, the heap is *compacted* -- live entries are re-heapified and dead
+ones dropped in one O(n) sweep instead of popping them one by one.  The
+latest-scheduled tombstone is kept so a run that would have ended on a
+cancelled entry still leaves the clock exactly where the stock engine
+would have.
 """
 
 from __future__ import annotations
@@ -18,9 +56,20 @@ from __future__ import annotations
 import heapq
 import itertools
 
+from collections import deque
+
 from .errors import SimError
+from .events import Event, Timeout
+from .process import Process
 
 __all__ = ["Engine"]
+
+#: Compaction is only worth an O(n) sweep once the heap is substantial;
+#: below this size dead entries just pop.
+_COMPACT_MIN = 64
+
+#: Free-lists are bounded so a one-off storm cannot pin memory forever.
+_POOL_MAX = 8192
 
 
 class Engine:
@@ -42,10 +91,15 @@ class Engine:
     def __init__(self):
         self._now = 0.0
         self._heap = []
+        self._ready = deque()  # zero-delay entries, sorted by construction
         self._seq = itertools.count()
         self._seq_next = self._seq.__next__
         self._current = None  # process being resumed right now, if any
         self._running = False
+        self._dead = 0        # tombstoned entries not yet popped/compacted
+        self._entry_pool = []    # recycled internal entries
+        self._timeout_pool = []  # recycled Timeout waitables
+        self._event_pool = []    # recycled mailbox Events
         # Optional observability context (repro.obs.Observability).
         # Instrumentation hooks throughout the stack read this attribute
         # and stay inert while it is None; the hooks are pure observers,
@@ -70,38 +124,150 @@ class Engine:
         """Run ``fn(*args)`` after ``delay`` seconds of virtual time.
 
         Returns an opaque entry handle accepted by :meth:`cancel`.
+        Entries returned here are never recycled, so the handle stays
+        valid (and a late cancel stays harmless) for the engine's
+        lifetime.
         """
         if delay < 0:
             raise SimError("cannot schedule into the past (delay=%r)" % delay)
-        entry = [self._now + delay, self._seq_next(), fn, args]
-        heapq.heappush(self._heap, entry)
+        if delay == 0:
+            entry = [self._now, self._seq_next(), fn, args, False]
+            self._ready.append(entry)
+        else:
+            entry = [self._now + delay, self._seq_next(), fn, args, False]
+            heapq.heappush(self._heap, entry)
+        return entry
+
+    def _post(self, fn, args):
+        """Internal zero-delay scheduling: no handle escapes, so the
+        entry is recycled after it fires."""
+        pool = self._entry_pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = self._now
+            entry[1] = self._seq_next()
+            entry[2] = fn
+            entry[3] = args
+        else:
+            entry = [self._now, self._seq_next(), fn, args, True]
+        self._ready.append(entry)
+
+    def _schedule_pooled(self, delay, fn, args):
+        """Internal scheduling for holders that cancel only through
+        :meth:`cancel_guarded` (Timeout, the RPC deadline): the entry is
+        recycled after it fires or is compacted away, and the returned
+        entry's seq guards against stale cancels."""
+        if delay < 0:
+            raise SimError("cannot schedule into the past (delay=%r)" % delay)
+        pool = self._entry_pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = self._now + delay
+            entry[1] = self._seq_next()
+            entry[2] = fn
+            entry[3] = args
+        else:
+            entry = [self._now + delay, self._seq_next(), fn, args, True]
+        if delay == 0:
+            self._ready.append(entry)
+        else:
+            heapq.heappush(self._heap, entry)
         return entry
 
     def cancel(self, entry):
         """Tombstone a scheduled callback.
 
-        The entry still pops at its scheduled time and advances the
-        clock -- exactly what the no-op resume it replaces would have
-        done -- but the callback is never invoked, so dead timeouts
-        (e.g. the loser of an RPC-vs-timeout race) cost a heap pop
-        instead of a full Python resume.  Virtual time and event order
-        are unchanged by cancellation.
+        The dead entry is skipped when its turn comes -- virtual time
+        and the firing order of live callbacks are unchanged by
+        cancellation.  When tombstones outnumber live heap entries the
+        heap is compacted in one sweep (keeping the latest tombstone so
+        a run that ends on cancelled work still parks the clock where
+        the uncompacted engine would).
         """
+        if entry[2] is None:
+            return
         entry[2] = None
-        entry[3] = ()
+        entry[3] = None
+        dead = self._dead = self._dead + 1
+        heap = self._heap
+        if dead * 2 >= len(heap) and len(heap) >= _COMPACT_MIN:
+            self._compact()
+
+    def cancel_guarded(self, entry, seq):
+        """Cancel ``entry`` only if it still carries ``seq``.
+
+        Internal pooled entries are recycled with a fresh sequence
+        number, so a holder that remembered ``(entry, seq)`` at schedule
+        time can never tombstone a recycled slot by mistake.
+        """
+        if entry[1] == seq:
+            self.cancel(entry)
+
+    def _compact(self):
+        """Drop dead heap entries in one sweep (amortized O(1)/cancel).
+
+        The latest tombstone (by event order) survives so the clock
+        still advances to it if the run would have ended there.  The
+        heap list is compacted *in place*: the run loop holds it in a
+        local, so rebinding ``self._heap`` would silently fork the
+        scheduler's state.
+        """
+        heap = self._heap
+        live = []
+        dead_max = None
+        pool = self._entry_pool
+        pool_room = _POOL_MAX - len(pool)
+        for entry in heap:
+            if entry[2] is not None:
+                live.append(entry)
+            elif dead_max is None or entry > dead_max:
+                dead_max = entry
+        if dead_max is not None:
+            if pool_room > 0:
+                for entry in heap:
+                    if entry[2] is None and entry is not dead_max and entry[4]:
+                        entry[4] = False  # recycled here, not again at pop
+                        pool.append(entry)
+                        pool_room -= 1
+                        if pool_room == 0:
+                            break
+            live.append(dead_max)
+        heap[:] = live
+        heapq.heapify(heap)
+        self._dead = 0 if dead_max is None else 1
 
     def step(self) -> bool:
         """Execute the next scheduled callback.  Returns False if idle."""
-        if not self._heap:
+        ready = self._ready
+        heap = self._heap
+        if ready:
+            if heap and heap[0] < ready[0]:
+                entry = heapq.heappop(heap)
+            else:
+                entry = ready.popleft()
+        elif heap:
+            entry = heapq.heappop(heap)
+        else:
             return False
-        time, _seq, fn, args = heapq.heappop(self._heap)
-        self._now = time
+        self._now = entry[0]
+        fn = entry[2]
         if fn is not None:
-            fn(*args)
+            fn(*entry[3])
+            if entry[4]:
+                entry[2] = None
+                entry[3] = None
+                if len(self._entry_pool) < _POOL_MAX:
+                    self._entry_pool.append(entry)
+        else:
+            if self._dead:
+                self._dead -= 1
+            if entry[4] and len(self._entry_pool) < _POOL_MAX:
+                self._entry_pool.append(entry)
         return True
 
     def run(self, until=None):
-        """Run callbacks until the heap drains or the clock passes ``until``.
+        """Run callbacks until both queues drain or the clock passes
+        ``until``.
 
         When ``until`` is given the clock is left exactly at ``until``
         (events scheduled later stay queued), mirroring the behaviour of
@@ -125,26 +291,71 @@ class Engine:
                     self._running = False
                 return
         heap = self._heap
+        ready = self._ready
         pop = heapq.heappop
+        popleft = ready.popleft
+        entry_pool = self._entry_pool
         try:
             if until is None:
-                while heap:
-                    entry = pop(heap)
+                while True:
+                    if ready:
+                        if heap and heap[0] < ready[0]:
+                            entry = pop(heap)
+                        else:
+                            entry = popleft()
+                    elif heap:
+                        entry = pop(heap)
+                    else:
+                        return
                     self._now = entry[0]
                     fn = entry[2]
                     if fn is not None:
                         fn(*entry[3])
-                return
-            while heap:
-                time = heap[0][0]
+                        if entry[4]:
+                            entry[2] = None
+                            entry[3] = None
+                            if len(entry_pool) < _POOL_MAX:
+                                entry_pool.append(entry)
+                    else:
+                        if self._dead:
+                            self._dead -= 1
+                        if entry[4] and len(entry_pool) < _POOL_MAX:
+                            entry_pool.append(entry)
+            while True:
+                if ready:
+                    if heap and heap[0] < ready[0]:
+                        entry = heap[0]
+                        from_heap = True
+                    else:
+                        entry = ready[0]
+                        from_heap = False
+                elif heap:
+                    entry = heap[0]
+                    from_heap = True
+                else:
+                    break
+                time = entry[0]
                 if time > until:
                     self._now = until
                     return
-                entry = pop(heap)
+                if from_heap:
+                    pop(heap)
+                else:
+                    popleft()
                 self._now = time
                 fn = entry[2]
                 if fn is not None:
                     fn(*entry[3])
+                    if entry[4]:
+                        entry[2] = None
+                        entry[3] = None
+                        if len(entry_pool) < _POOL_MAX:
+                            entry_pool.append(entry)
+                else:
+                    if self._dead:
+                        self._dead -= 1
+                    if entry[4] and len(entry_pool) < _POOL_MAX:
+                        entry_pool.append(entry)
             if until > self._now:
                 self._now = until
         finally:
@@ -161,21 +372,49 @@ class Engine:
         byte-identical to the unprofiled loop.
         """
         heap = self._heap
+        ready = self._ready
         pop = heapq.heappop
+        popleft = ready.popleft
+        entry_pool = self._entry_pool
         profiler.resume_run()
         try:
-            while heap:
-                time = heap[0][0]
+            while True:
+                if ready:
+                    if heap and heap[0] < ready[0]:
+                        entry = heap[0]
+                        from_heap = True
+                    else:
+                        entry = ready[0]
+                        from_heap = False
+                elif heap:
+                    entry = heap[0]
+                    from_heap = True
+                else:
+                    break
+                time = entry[0]
                 if until is not None and time > until:
                     self._now = until
                     return
-                entry = pop(heap)
+                if from_heap:
+                    pop(heap)
+                else:
+                    popleft()
                 self._now = time
                 profiler.events += 1
                 fn = entry[2]
                 if fn is not None:
                     fn(*entry[3])
                     profiler.split("engine")
+                    if entry[4]:
+                        entry[2] = None
+                        entry[3] = None
+                        if len(entry_pool) < _POOL_MAX:
+                            entry_pool.append(entry)
+                else:
+                    if self._dead:
+                        self._dead -= 1
+                    if entry[4] and len(entry_pool) < _POOL_MAX:
+                        entry_pool.append(entry)
             if until is not None and until > self._now:
                 self._now = until
         finally:
@@ -186,21 +425,56 @@ class Engine:
     # ------------------------------------------------------------------
 
     def timeout(self, delay, value=None):
-        """A waitable that fires after ``delay`` seconds."""
-        from .events import Timeout
+        """A waitable that fires after ``delay`` seconds.
 
+        Timeout objects are pooled: once the wait completes the process
+        machinery hands the object back, so steady-state waiting (every
+        ``charge``, every disk transfer) allocates nothing.
+        """
+        pool = self._timeout_pool
+        if pool:
+            t = pool.pop()
+            t._delay = delay
+            t._value = value
+            return t
         return Timeout(self, delay, value)
 
-    def event(self):
-        """A manually triggered one-shot event."""
-        from .events import Event
+    def _release_timeout(self, timeout):
+        """Return a completed Timeout to the pool (see Process._resume)."""
+        timeout._entry = None
+        timeout._value = None
+        pool = self._timeout_pool
+        if len(pool) < _POOL_MAX:
+            pool.append(timeout)
 
+    def event(self):
+        """A manually triggered one-shot event (never pooled: arbitrary
+        callers may retain references indefinitely)."""
         return Event(self)
+
+    def _pooled_event(self):
+        """An Event for owners that drop every reference once it fires
+        (the mailbox fast path): recycled by the process machinery."""
+        pool = self._event_pool
+        if pool:
+            ev = pool.pop()
+            ev._triggered = False
+            ev._ok = None
+            ev._value = None
+            return ev
+        ev = Event(self)
+        ev._pooled = True
+        return ev
+
+    def _release_event(self, event):
+        """Return a fired pooled Event (see Process._resume)."""
+        event._value = None
+        pool = self._event_pool
+        if len(pool) < _POOL_MAX:
+            pool.append(event)
 
     def process(self, generator, name=None):
         """Spawn a simulation process driving ``generator``."""
-        from .process import Process
-
         proc = Process(self, generator, name=name)
         if self.obs is not None:
             # Causal-context inheritance: a process spawned while a span

@@ -5,6 +5,17 @@ invoked exactly once as ``callback(ok, value)`` -- ``ok`` False meaning
 the wait failed and ``value`` is then an exception to raise inside the
 waiting process.  Callbacks always run via the engine's scheduler, never
 synchronously, which keeps event ordering deterministic.
+
+Process waits -- by far the hottest subscription path -- go through
+``_subscribe_process(proc, epoch)`` instead: the waitable schedules
+``proc._resume`` with the epoch threaded through the entry's args, so a
+steady-state wait allocates no closure and burns no extra call frame.
+The base-class default falls back to a closure over ``_subscribe``, so
+composite waitables (:class:`AllOf`, :class:`AnyOf`) and user-defined
+ones keep working unchanged.  Both paths consume exactly one engine
+sequence number per waiter at the same points, so switching a waitable
+to the fast path never perturbs event order (see
+tests/sim/test_fastpath_equivalence.py).
 """
 
 from __future__ import annotations
@@ -24,20 +35,42 @@ class Waitable:
     def _subscribe(self, callback):
         raise NotImplementedError
 
+    def _subscribe_process(self, proc, epoch):
+        # Fallback for waitables without a dedicated fast path: identical
+        # semantics to the historical per-yield closure.
+        self._subscribe(lambda ok, value: proc._resume(epoch, ok, value))
+
 
 class Timeout(Waitable):
-    """Fires ``value`` after ``delay`` seconds of virtual time."""
+    """Fires ``value`` after ``delay`` seconds of virtual time.
 
-    __slots__ = ("_engine", "_delay", "_value", "_entry")
+    Timeouts obtained from :meth:`Engine.timeout` are pooled -- the
+    process machinery returns them once the wait completes -- so the
+    stored ``(_entry, _entry_seq)`` pair uses the engine's guarded
+    cancel: a recycled heap entry carries a fresh seq, making a stale
+    :meth:`cancel` from a previous life a provable no-op.
+    """
+
+    __slots__ = ("_engine", "_delay", "_value", "_entry", "_entry_seq")
 
     def __init__(self, engine, delay, value=None):
         self._engine = engine
         self._delay = delay
         self._value = value
         self._entry = None
+        self._entry_seq = -1
 
     def _subscribe(self, callback):
-        self._entry = self._engine.schedule(self._delay, callback, True, self._value)
+        entry = self._engine.schedule(self._delay, callback, True, self._value)
+        self._entry = entry
+        self._entry_seq = entry[1]
+
+    def _subscribe_process(self, proc, epoch):
+        entry = self._engine._schedule_pooled(
+            self._delay, proc._resume, (epoch, True, self._value)
+        )
+        self._entry = entry
+        self._entry_seq = entry[1]
 
     def cancel(self):
         """Tombstone the pending callback (no-op before subscription).
@@ -47,8 +80,9 @@ class Timeout(Waitable):
         time and event order are untouched -- only the wasted Python
         call is skipped (see :meth:`Engine.cancel`).
         """
-        if self._entry is not None:
-            self._engine.cancel(self._entry)
+        entry = self._entry
+        if entry is not None:
+            self._engine.cancel_guarded(entry, self._entry_seq)
 
 
 class Event(Waitable):
@@ -58,9 +92,15 @@ class Event(Waitable):
     raises ``exc`` inside them.  Waiting on an already-triggered event
     completes (asynchronously) with the stored outcome, so there is no
     lost-wakeup hazard.
+
+    The waiter list holds two shapes: legacy ``callback(ok, value)``
+    callables and ``(process, epoch)`` tuples from the process fast
+    path.  A single list preserves subscription order across both kinds,
+    which is what fixes the wake order.
     """
 
-    __slots__ = ("_engine", "_callbacks", "_triggered", "_ok", "_value")
+    __slots__ = ("_engine", "_callbacks", "_triggered", "_ok", "_value",
+                 "_pooled")
 
     def __init__(self, engine):
         self._engine = engine
@@ -68,6 +108,9 @@ class Event(Waitable):
         self._triggered = False
         self._ok = None
         self._value = None
+        # True only for engine._pooled_event() instances, whose owners
+        # (the mailbox fast path) drop every reference once fired.
+        self._pooled = False
 
     @property
     def triggered(self) -> bool:
@@ -101,15 +144,27 @@ class Event(Waitable):
         self._triggered = True
         self._ok = ok
         self._value = value
-        callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
-            self._engine.schedule(0, cb, ok, value)
+        callbacks = self._callbacks
+        if callbacks:
+            post = self._engine._post
+            for cb in callbacks:
+                if cb.__class__ is tuple:
+                    post(cb[0]._resume, (cb[1], ok, value))
+                else:
+                    post(cb, (ok, value))
+            callbacks.clear()
 
     def _subscribe(self, callback):
         if self._triggered:
-            self._engine.schedule(0, callback, self._ok, self._value)
+            self._engine._post(callback, (self._ok, self._value))
         else:
             self._callbacks.append(callback)
+
+    def _subscribe_process(self, proc, epoch):
+        if self._triggered:
+            self._engine._post(proc._resume, (epoch, self._ok, self._value))
+        else:
+            self._callbacks.append((proc, epoch))
 
 
 class AllOf(Waitable):
@@ -151,7 +206,19 @@ class AllOf(Waitable):
 
 
 class AnyOf(Waitable):
-    """Completes with ``(index, value)`` of the first child to complete."""
+    """Completes with ``(index, value)`` of the first child to complete.
+
+    Losing :class:`Timeout` children are cancelled as soon as the race
+    is decided: their dead heap entries would otherwise sit until their
+    (possibly far-future) deadlines pop, which is heap bloat under load
+    (see tests/net/test_rpc_heap.py).  Cancellation is invisible to
+    virtual time -- a tombstoned pop runs no callback, and compaction
+    retains the max-(time, seq) dead entry so the run's final clock
+    parks exactly where it used to.  (The RPC client goes one step
+    further and embeds its deadline in a single pooled waitable:
+    :mod:`repro.net.rpc`.)  Other losing children stay subscribed;
+    their completions are ignored.
+    """
 
     __slots__ = ("_engine", "_waitables")
 
@@ -163,15 +230,19 @@ class AnyOf(Waitable):
 
     def _subscribe(self, callback):
         state = {"done": False}
+        waitables = self._waitables
 
         def child_cb(index, ok, value):
             if state["done"]:
                 return
             state["done"] = True
+            for j, w in enumerate(waitables):
+                if j != index and w.__class__ is Timeout:
+                    w.cancel()
             if ok:
                 callback(True, (index, value))
             else:
                 callback(False, value)
 
-        for i, w in enumerate(self._waitables):
+        for i, w in enumerate(waitables):
             w._subscribe(lambda ok, value, i=i: child_cb(i, ok, value))

@@ -9,12 +9,22 @@ process joins it, producing the generator's return value.
 Processes can be interrupted (an :class:`Interrupt` is raised at the
 current yield point and may be caught) or killed (the generator is closed
 unconditionally -- this models site crashes).
+
+Hot-path notes (docs/ENGINE_PERF.md): each wait subscribes through
+``waitable._subscribe_process(self, epoch)``, which threads the epoch
+through the scheduled entry's args instead of closing over it -- no
+per-yield lambda, one fewer call frame per resume.  The consumed
+waitable is remembered in ``_waiting`` so that, when the resume arrives,
+pooled Timeout/Event objects can be handed back to the engine's
+free-lists.  ``interrupt()`` clears ``_waiting`` first: a wait that was
+*superseded* rather than completed may still be referenced elsewhere
+(e.g. a mailbox getter queue) and must not be recycled.
 """
 
 from __future__ import annotations
 
 from .errors import Interrupt, ProcessKilled, SimError
-from .events import Waitable
+from .events import Event, Timeout, Waitable
 
 __all__ = ["Process"]
 
@@ -23,6 +33,10 @@ _DONE = "done"
 _FAILED = "failed"
 _KILLED = "killed"
 
+#: Kickoff args for the very first resume (epoch 0, ok, no value) --
+#: shared by every process so spawning allocates no args tuple.
+_KICKOFF = (0, True, None)
+
 
 class Process(Waitable):
     """Drives a generator through the engine.  Create via ``engine.process``."""
@@ -30,7 +44,7 @@ class Process(Waitable):
     # Slot-based: thousands of short-lived processes make up a heavy
     # workload, and resume is the engine's hottest callback.
     __slots__ = ("_engine", "_gen", "name", "state", "value", "cpu_time",
-                 "_joiners", "_epoch")
+                 "_joiners", "_epoch", "_waiting")
 
     def __init__(self, engine, generator, name=None):
         self._engine = engine
@@ -41,9 +55,10 @@ class Process(Waitable):
         self.cpu_time = 0.0        # CPU seconds booked via Engine.charge()
         self._joiners = []
         self._epoch = 0            # guards against stale waitable callbacks
+        self._waiting = None       # the waitable of the outstanding wait
         # Kick the generator off asynchronously so creation order, not
         # creation nesting, determines execution order.
-        engine.schedule(0, self._resume, self._epoch, True, None)
+        engine._post(self._resume, _KICKOFF)
 
     # ------------------------------------------------------------------
     # introspection
@@ -72,6 +87,18 @@ class Process(Waitable):
         if self.state != _PENDING or epoch != self._epoch:
             return  # stale wakeup from a superseded wait
         engine = self._engine
+        waiting = self._waiting
+        if waiting is not None:
+            # The wait completed (the epoch check proves this resume is
+            # its completion), so pooled waitables go back on their
+            # free-lists before the generator runs and possibly takes a
+            # fresh one out again.
+            self._waiting = None
+            cls = waiting.__class__
+            if cls is Timeout:
+                engine._release_timeout(waiting)
+            elif cls is Event and waiting._pooled:
+                engine._release_event(waiting)
         prev = engine._current
         engine._current = self
         obs = engine.obs
@@ -93,29 +120,38 @@ class Process(Waitable):
             self._finish(_FAILED, exc)
             return
         finally:
-            self._engine._current = prev
+            engine._current = prev
         if not isinstance(waitable, Waitable):
             self._finish(
                 _FAILED,
                 SimError("process %s yielded a non-waitable: %r" % (self.name, waitable)),
             )
             return
-        self._epoch += 1
-        waitable._subscribe(
-            lambda okk, val, epoch=self._epoch: self._resume(epoch, okk, val)
-        )
+        self._epoch = epoch = epoch + 1
+        self._waiting = waitable
+        waitable._subscribe_process(self, epoch)
 
     def _finish(self, state, value):
         self.state = state
         self.value = value
         self._epoch += 1
-        joiners, self._joiners = self._joiners, []
-        ok = state == _DONE
-        for cb in joiners:
-            if ok:
-                self._engine.schedule(0, cb, True, value)
+        self._waiting = None
+        joiners = self._joiners
+        if joiners:
+            self._joiners = []
+            post = self._engine._post
+            if state == _DONE:
+                for cb in joiners:
+                    if cb.__class__ is tuple:
+                        post(cb[0]._resume, (cb[1], True, value))
+                    else:
+                        post(cb, (True, value))
             else:
-                self._engine.schedule(0, cb, False, self._join_error())
+                for cb in joiners:
+                    if cb.__class__ is tuple:
+                        post(cb[0]._resume, (cb[1], False, self._join_error()))
+                    else:
+                        post(cb, (False, self._join_error()))
 
     def _join_error(self):
         if self.state == _FAILED:
@@ -131,7 +167,12 @@ class Process(Waitable):
         if self.state != _PENDING:
             return
         self._epoch += 1  # invalidate the outstanding wait
-        self._engine.schedule(0, self._deliver_interrupt, self._epoch, cause)
+        # The superseded waitable did NOT complete -- it may still be
+        # queued elsewhere (mailbox getters, event waiter lists), so it
+        # must never be recycled.  Dropping the reference here keeps the
+        # resume path's pool-release honest.
+        self._waiting = None
+        self._engine._post(self._deliver_interrupt, (self._epoch, cause))
 
     def _deliver_interrupt(self, epoch, cause):
         if self.state != _PENDING or epoch != self._epoch:
@@ -158,8 +199,16 @@ class Process(Waitable):
 
     def _subscribe(self, callback):
         if self.state == _DONE:
-            self._engine.schedule(0, callback, True, self.value)
+            self._engine._post(callback, (True, self.value))
         elif self.state == _PENDING:
             self._joiners.append(callback)
         else:
-            self._engine.schedule(0, callback, False, self._join_error())
+            self._engine._post(callback, (False, self._join_error()))
+
+    def _subscribe_process(self, proc, epoch):
+        if self.state == _PENDING:
+            self._joiners.append((proc, epoch))
+        elif self.state == _DONE:
+            self._engine._post(proc._resume, (epoch, True, self.value))
+        else:
+            self._engine._post(proc._resume, (epoch, False, self._join_error()))

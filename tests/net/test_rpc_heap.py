@@ -1,0 +1,94 @@
+"""Heap-size regression pins for the RPC timeout race.
+
+Every RPC call arms a deadline.  When the reply wins -- the common case
+-- the losing deadline entry must be *cancelled* (and eventually
+compacted away), not left to pop at its far-future deadline: a server
+doing thousands of calls with a long timeout would otherwise drag an
+ever-growing tail of dead heap entries through every subsequent pop.
+The same applies to ``AnyOf`` races built from a Timeout leg, which now
+cancel losing Timeout children automatically.
+"""
+
+import pytest
+
+from repro.config import CostModel
+from repro.net import Network, RpcEndpoint
+from repro.sim import AnyOf, Engine
+
+
+@pytest.fixture
+def rig():
+    engine = Engine()
+    net = Network(engine, CostModel())
+    client = RpcEndpoint(engine, net, 1, timeout=60.0)
+    server = RpcEndpoint(engine, net, 2, timeout=60.0)
+
+    def echo(body, src):
+        return body
+        yield  # pragma: no cover - marks the handler as a generator
+
+    server.register("ping", echo)
+    return engine, net, client
+
+
+def test_reply_wins_do_not_accumulate_dead_deadline_entries(rig):
+    engine, _net, client = rig
+    samples = []
+
+    def caller():
+        for i in range(300):
+            reply = yield from client.call(2, "ping", {"i": i})
+            assert reply == {"i": i}
+            samples.append(len(engine._heap))
+
+    engine.process(caller())
+    engine.run()
+    assert len(samples) == 300
+    # Uncancelled, every one of the 300 won races would leave its dead
+    # 60-second deadline entry in the heap (the tail would reach ~300).
+    # Cancellation plus compaction keeps the heap bounded by the
+    # compaction threshold, not by the call count.
+    assert max(samples) <= 80
+    assert samples[-1] <= 80
+
+
+def test_anyof_cancels_losing_timeout_children(rig):
+    engine, _net, client = rig
+    samples = []
+
+    def racer():
+        for i in range(300):
+            ev = engine.event()
+            engine.schedule(0.001, ev.succeed, i)
+            index, value = yield AnyOf(
+                engine, [ev, engine.timeout(3600.0, "deadline")]
+            )
+            assert (index, value) == (0, i)
+            samples.append(len(engine._heap))
+
+    engine.process(racer())
+    engine.run()
+    assert len(samples) == 300
+    assert max(samples) <= 80
+
+
+def test_timed_out_call_still_raises_and_cleans_up(rig):
+    engine, net, client = rig
+    from repro.net.rpc import SiteUnreachable
+
+    net.loss_filter = lambda msg: True  # black hole: every send is lost
+    outcomes = []
+
+    def caller():
+        try:
+            yield from client.call(2, "ping", {}, timeout=0.5)
+        except SiteUnreachable:
+            outcomes.append("timeout")
+        # The losing _ReplyWait was resolved by its deadline: it must
+        # have been unregistered so a (never-coming) late reply finds
+        # nothing, and the pool may reuse it for the next call.
+        assert client._pending == {}
+
+    engine.process(caller())
+    engine.run()
+    assert outcomes == ["timeout"]

@@ -194,6 +194,15 @@ def test_generated_enginespeed_microbench_validates():
     doc = enginespeed_report(n_events=2_000, repeats=1)
     validate_report(doc)
     assert doc["sites"] == {}
-    assert doc["wallclock"]["events"] == 4_000
+    storms = doc["wallclock"]["storms"]
+    assert set(storms) == {"fire", "cancel", "cascade", "rpc", "lock"}
+    # The heap storms run at exact weighted sizes; the workload storms'
+    # counts emerge from subsystem machinery but must be positive.
+    assert storms["fire"]["events"] == 2_000
+    assert storms["cancel"]["events"] == 32_000
+    assert all(s["events"] > 0 for s in storms.values())
+    assert doc["wallclock"]["events"] == sum(
+        s["events"] for s in storms.values()
+    )
     # JSON round-trip keeps it valid (what the CLI writes).
     validate_report(json.loads(json.dumps(doc)))

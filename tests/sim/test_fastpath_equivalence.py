@@ -1,0 +1,385 @@
+"""Differential proof that the engine's fast paths preserve event order.
+
+``StockEngine`` below disables every fast path the allocation-free
+rewrite added -- the zero-delay ready ring, entry/Timeout/Event pooling,
+and tombstone compaction -- leaving the historical heap-only scheduler.
+Randomized programs (timer trees with cancellation, and full process
+programs with spawn/join, events, interrupts, kills, mailboxes and
+AnyOf races) run on both engines; the observable traces and final
+clocks must match exactly, float for float.
+
+The pool-reuse safety tests at the bottom pin the recycling rules the
+fast paths depend on: public handles are never pooled, a superseded
+(interrupted) wait is never recycled, and a stale guarded cancel can
+never tombstone a recycled entry.
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.sim import AnyOf, Engine, SimError
+from repro.sim.errors import Interrupt
+from repro.sim.events import Event, Timeout
+from repro.sim.resources import Mailbox
+
+
+class StockEngine(Engine):
+    """The engine with every fast path disabled.
+
+    Everything is routed through the heap (no ready ring), nothing is
+    recycled (no entry/Timeout/Event pools), and cancelled entries are
+    left to pop as tombstones (no compaction).  This is the reference
+    scheduler the fast-path engine must be order-equivalent to.
+    """
+
+    def schedule(self, delay, fn, *args):
+        if delay < 0:
+            raise SimError("cannot schedule into the past (delay=%r)" % delay)
+        entry = [self._now + delay, self._seq_next(), fn, args, False]
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def _post(self, fn, args):
+        heapq.heappush(
+            self._heap, [self._now, self._seq_next(), fn, args, False]
+        )
+
+    def _schedule_pooled(self, delay, fn, args):
+        if delay < 0:
+            raise SimError("cannot schedule into the past (delay=%r)" % delay)
+        entry = [self._now + delay, self._seq_next(), fn, args, False]
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def cancel(self, entry):
+        if entry[2] is None:
+            return
+        entry[2] = None
+        entry[3] = None  # tombstone pops at its scheduled time
+
+    def timeout(self, delay, value=None):
+        return Timeout(self, delay, value)
+
+    def _release_timeout(self, timeout):
+        pass
+
+    def _pooled_event(self):
+        return Event(self)  # _pooled stays False: never recycled
+
+    def _release_event(self, event):
+        pass
+
+
+# ----------------------------------------------------------------------
+# low level: randomized timer trees with cancellation
+# ----------------------------------------------------------------------
+
+_DELAYS = (0.0, 0.0, 0.0, 0.001, 0.001, 0.0025, 0.01, 0.3)
+
+
+def _timer_tree_spec(rng, n_nodes):
+    """A list of (node_id, delay, children, cancels): children spawn
+    when the node fires, cancels name earlier node ids to tombstone."""
+    spec = []
+    ids = list(range(n_nodes))
+    for nid in ids:
+        delay = rng.choice(_DELAYS)
+        children = []
+        for _ in range(rng.randrange(3)):
+            children.append((n_nodes + nid * 4 + len(children),
+                             rng.choice(_DELAYS)))
+        cancels = [rng.choice(ids) for _ in range(rng.randrange(2))]
+        spec.append((nid, delay, children, cancels))
+    return spec
+
+
+def _run_timer_tree(engine_cls, spec):
+    engine = engine_cls()
+    trace = []
+    handles = {}
+
+    def fire(nid, children, cancels):
+        trace.append((engine.now, nid))
+        for cid, d in children:
+            handles[cid] = engine.schedule(d, fire, cid, (), ())
+        for tid in cancels:
+            h = handles.get(tid)
+            if h is not None:
+                engine.cancel(h)
+
+    for nid, delay, children, cancels in spec:
+        handles[nid] = engine.schedule(delay, fire, nid, children, cancels)
+    engine.run()
+    return trace, engine.now
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_timer_trees_fire_identically(seed):
+    rng = random.Random(0xE5400 + seed)
+    spec = _timer_tree_spec(rng, 120)
+    fast = _run_timer_tree(Engine, spec)
+    stock = _run_timer_tree(StockEngine, spec)
+    assert fast == stock
+
+
+def test_heavily_cancelled_tree_compacts_but_parks_identically():
+    """Cancel almost everything: compaction kicks in on the fast engine
+    (heap shrinks) yet the firing order and the parked clock match the
+    tombstone-popping stock engine exactly."""
+
+    def run(engine_cls):
+        engine = engine_cls()
+        trace = []
+        handles = [
+            engine.schedule(0.001 * i, trace.append, i) for i in range(3000)
+        ]
+        for i, h in enumerate(handles):
+            if i % 16:
+                engine.cancel(h)
+        peak = len(engine._heap)
+        engine.run()
+        return trace, engine.now, peak
+
+    fast_trace, fast_now, fast_peak = run(Engine)
+    stock_trace, stock_now, stock_peak = run(StockEngine)
+    assert fast_trace == stock_trace
+    assert fast_now == stock_now
+    assert fast_peak < stock_peak  # compaction really ran
+
+
+# ----------------------------------------------------------------------
+# process level: randomized programs over the full sim vocabulary
+# ----------------------------------------------------------------------
+
+_OPS = ("sleep", "sleep", "charge", "spawn", "join", "wait", "trigger",
+        "interrupt", "kill", "put", "mget", "anyof", "arm", "cancel")
+
+
+def _gen_ops(rng, idgen, depth):
+    ops = []
+    for _ in range(rng.randrange(2, 7)):
+        kind = rng.choice(_OPS)
+        if kind in ("sleep", "charge"):
+            ops.append((kind, rng.choice(_DELAYS)))
+        elif kind == "spawn" and depth < 3:
+            wid = next(idgen)
+            ops.append(("spawn", wid, _gen_ops(rng, idgen, depth + 1)))
+        elif kind in ("join", "interrupt", "kill"):
+            ops.append((kind, rng.randrange(12)))
+        elif kind in ("wait", "trigger"):
+            ops.append((kind, rng.randrange(6)))
+        elif kind in ("put", "mget"):
+            ops.append((kind, rng.randrange(3), rng.randrange(100)))
+        elif kind == "anyof":
+            ops.append(("anyof", rng.randrange(6), rng.choice(_DELAYS) + 0.002))
+        elif kind in ("arm", "cancel"):
+            ops.append((kind, rng.randrange(10), rng.choice(_DELAYS)))
+    return ops
+
+
+def _run_program(engine_cls, scripts):
+    engine = engine_cls()
+    trace = []
+    procs = {}
+    events = {}
+    mboxes = {}
+    timers = {}
+
+    def tick(tid):
+        trace.append((engine.now, "tick", tid))
+
+    def worker(wid, ops):
+        for i, op in enumerate(ops):
+            kind = op[0]
+            try:
+                if kind == "sleep":
+                    got = yield engine.timeout(op[1], ("t", wid, i))
+                    trace.append((engine.now, wid, i, "woke", got))
+                elif kind == "charge":
+                    yield engine.charge(op[1])
+                    trace.append((engine.now, wid, i, "charged"))
+                elif kind == "spawn":
+                    procs[op[1]] = engine.process(
+                        worker(op[1], op[2]), name="w%d" % op[1]
+                    )
+                    trace.append((engine.now, wid, i, "spawned", op[1]))
+                elif kind == "join":
+                    target = procs.get(op[1])
+                    if target is not None:
+                        value = yield target
+                        trace.append((engine.now, wid, i, "joined", value))
+                elif kind == "wait":
+                    ev = events.setdefault(op[1], engine.event())
+                    value = yield ev
+                    trace.append((engine.now, wid, i, "waited", value))
+                elif kind == "trigger":
+                    ev = events.setdefault(op[1], engine.event())
+                    if not ev.triggered:
+                        ev.succeed((wid, i))
+                    trace.append((engine.now, wid, i, "triggered"))
+                elif kind == "interrupt":
+                    target = procs.get(op[1])
+                    if target is not None and target.alive:
+                        target.interrupt((wid, i))
+                    trace.append((engine.now, wid, i, "sent-interrupt"))
+                elif kind == "kill":
+                    target = procs.get(op[1])
+                    if target is not None and target is not procs.get(wid):
+                        target.kill()
+                    trace.append((engine.now, wid, i, "sent-kill"))
+                elif kind == "put":
+                    mbox = mboxes.setdefault(op[1], Mailbox(engine))
+                    mbox.put((wid, i, op[2]))
+                elif kind == "mget":
+                    mbox = mboxes.setdefault(op[1], Mailbox(engine))
+                    if len(mbox):
+                        item = yield mbox.get()
+                        trace.append((engine.now, wid, i, "got", item))
+                elif kind == "anyof":
+                    ev = events.setdefault(op[1], engine.event())
+                    won = yield AnyOf(
+                        engine, [ev, engine.timeout(op[2], "deadline")]
+                    )
+                    trace.append((engine.now, wid, i, "anyof", won))
+                elif kind == "arm":
+                    timers[op[1]] = engine.schedule(op[2], tick, op[1])
+                elif kind == "cancel":
+                    h = timers.get(op[1])
+                    if h is not None:
+                        engine.cancel(h)
+            except Interrupt as exc:
+                trace.append((engine.now, wid, i, "interrupted", exc.cause))
+            except SimError:
+                trace.append((engine.now, wid, i, "wait-failed"))
+        return ("done", wid)
+
+    for wid, ops in scripts:
+        procs[wid] = engine.process(worker(wid, ops), name="w%d" % wid)
+    engine.run()
+    return trace, engine.now
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_random_process_programs_trace_identically(seed):
+    rng = random.Random(0xFA57 + seed)
+    idgen = iter(range(100, 10_000))
+    scripts = [(wid, _gen_ops(rng, idgen, 0)) for wid in range(12)]
+    fast = _run_program(Engine, scripts)
+    stock = _run_program(StockEngine, scripts)
+    assert fast == stock
+
+
+# ----------------------------------------------------------------------
+# pool-reuse safety
+# ----------------------------------------------------------------------
+
+def test_sequential_timeouts_reuse_the_pooled_object():
+    engine = Engine()
+    seen = []
+
+    def prog():
+        for i in range(5):
+            t = engine.timeout(0.1, i)
+            seen.append((id(t), (yield t)))
+
+    engine.process(prog())
+    engine.run()
+    assert [v for _, v in seen] == [0, 1, 2, 3, 4]
+    # Steady state: one object cycling through the pool.
+    assert len({tid for tid, _ in seen[1:]}) == 1
+
+
+def test_interrupted_wait_is_never_recycled():
+    engine = Engine()
+    out = []
+
+    def sleeper():
+        try:
+            yield engine.timeout(5.0, "slept")
+        except Interrupt:
+            out.append(("interrupted", engine.now))
+        yield engine.timeout(0.25, None)
+        out.append(("resumed", engine.now))
+
+    proc = engine.process(sleeper())
+
+    def poker():
+        yield engine.timeout(1.0)
+        stale = proc._waiting
+        proc.interrupt("wake up")
+        out.append(("stale-type", type(stale).__name__))
+        yield engine.timeout(0.05)
+        # The superseded Timeout must not be sitting in the pool where
+        # the next timeout() call would hand it out while its old heap
+        # entry is still due to fire.
+        assert all(t is not stale for t in engine._timeout_pool)
+
+    engine.process(poker())
+    engine.run()
+    assert ("interrupted", 1.0) in out
+    assert ("resumed", 1.25) in out
+
+
+def test_public_schedule_handles_are_never_pooled():
+    engine = Engine()
+    h = engine.schedule(0.1, lambda: None)
+    engine.run()
+    assert all(e is not h for e in engine._entry_pool)
+    # A very late cancel of a long-fired public handle is harmless.
+    engine.cancel(h)
+    engine.schedule(0.1, lambda: None)
+    engine.run()
+
+
+def test_stale_guarded_cancel_cannot_kill_a_recycled_entry():
+    engine = Engine()
+    fired = []
+    e1 = engine._schedule_pooled(0.5, fired.append, ("first",))
+    seq1 = e1[1]
+    engine.run()
+    assert fired == ["first"]
+    # The entry went back to the pool; the next internal schedule
+    # recycles the same list with a fresh seq.
+    e2 = engine._schedule_pooled(0.5, fired.append, ("second",))
+    assert e2 is e1 and e2[1] != seq1
+    engine.cancel_guarded(e1, seq1)  # stale: must be a no-op
+    engine.run()
+    assert fired == ["first", "second"]
+
+
+def test_mailbox_events_recycle_and_deliver_in_order():
+    engine = Engine()
+    mbox = Mailbox(engine)
+    got = []
+
+    def consumer():
+        for _ in range(200):
+            got.append((yield mbox.get()))
+
+    def producer():
+        for i in range(200):
+            mbox.put(i)
+            yield engine.timeout(0.001)
+
+    engine.process(consumer())
+    engine.process(producer())
+    engine.run()
+    assert got == list(range(200))
+    # Steady state reuses a handful of pooled events, not 200.
+    assert 0 < len(engine._event_pool) <= 4
+
+
+def test_public_events_are_never_pooled():
+    engine = Engine()
+    ev = engine.event()
+    assert not ev._pooled
+
+    def waiter():
+        yield ev
+
+    engine.process(waiter())
+    ev.succeed("x")
+    engine.run()
+    assert all(e is not ev for e in engine._event_pool)
