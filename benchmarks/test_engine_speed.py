@@ -14,7 +14,7 @@ report uses (:func:`repro.analysis.enginespeed.storm_size`).
 import functools
 
 from repro.analysis.enginespeed import (STORMS, cancel_storm,
-                                        lock_convoy_storm,
+                                        lock_convoy_storm, openloop_storm,
                                         rpc_pingpong_storm,
                                         schedule_fire_storm, storm_size,
                                         zero_delay_cascade_storm)
@@ -79,6 +79,16 @@ def test_engine_lock_rate(benchmark, report):
     )
 
 
+def test_engine_openloop_rate(benchmark, report):
+    _report_rate(
+        report,
+        "Engine: open-loop arrival bursts (%d events via schedule_many)"
+        % storm_size("openloop"),
+        benchmark(_sized("openloop", openloop_storm)),
+    )
+
+
 def test_all_storms_have_benchmarks():
     """Every storm in the gated report is driven here too."""
-    assert set(STORMS) == {"fire", "cancel", "cascade", "rpc", "lock"}
+    assert set(STORMS) == {"fire", "cancel", "cascade", "rpc", "lock",
+                           "openloop"}

@@ -7,11 +7,14 @@
         --fail-on 'delta.sites.1.commit.latency.p95<=0.25' \
         --json diff.json
 
-Compares two ``repro.bench_report`` documents (any schema version v1-v6
+Compares two ``repro.bench_report`` documents (any schema version v1-v7
 -- both sides are validated first) metric by metric: every per-site
-histogram summary field, every counter, and the throughput and
-wallclock sections when present, each with absolute and relative
-deltas.  New and vanished
+histogram summary field, every counter, and the throughput, wallclock
+and scaling sections when present, each with absolute and relative
+deltas.  The scaling section's reference knee curves are addressable
+both as ``scaling.reference.commits_per_sec.c1024`` and the shorter
+``scaling.commits_per_sec.c1024`` (the spelling the CI knee-point gate
+pins).  New and vanished
 metrics are listed explicitly -- a disappearing metric is a regression
 of the observability layer itself.
 
@@ -129,9 +132,30 @@ def parse_check(expr):
     return match.group("path"), match.group("op"), value
 
 
+def _gate_view(doc):
+    """The document as seen by ``--fail-on`` paths: identical, except
+    the scaling section's reference curves are lifted one level so the
+    knee-point gates read ``scaling.commits_per_sec.c1024`` (the full
+    ``scaling.reference.`` spelling resolves too)."""
+    scaling = doc.get("scaling")
+    if not isinstance(scaling, dict):
+        return doc
+    reference = scaling.get("reference")
+    if not isinstance(reference, dict):
+        return doc
+    merged = dict(scaling)
+    for key, curve in reference.items():
+        if isinstance(curve, dict):
+            merged.setdefault(key, curve)
+    view = dict(doc)
+    view["scaling"] = merged
+    return view
+
+
 def evaluate_check(expr, old_doc, new_doc):
     """Evaluate one requirement; returns its structured result."""
     path, op, threshold = parse_check(expr)
+    old_doc, new_doc = _gate_view(old_doc), _gate_view(new_doc)
     if path.startswith("old."):
         value = resolve_path(old_doc, path[len("old."):])
     elif path.startswith("delta."):
@@ -204,6 +228,36 @@ def _flatten_wallclock(doc):
     return out
 
 
+#: Per-cell numbers compared by :func:`_flatten_scaling` (the identity
+#: axes and the host-independent virtual metrics; wall time never
+#: enters a report).
+_SCALING_DIFF_NUMBERS = ("committed", "aborted", "retries", "abort_rate",
+                         "virtual_seconds", "commits_per_sec", "p99_ms")
+
+
+def _flatten_scaling(doc):
+    out = {}
+    section = doc.get("scaling")
+    if not isinstance(section, dict):
+        return out
+    for key, curve in (section.get("reference") or {}).items():
+        if not isinstance(curve, dict):
+            continue
+        for label, value in curve.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                out["reference.%s.%s" % (key, label)] = value
+    for cell in section.get("cells") or ():
+        if not isinstance(cell, dict):
+            continue
+        label = "s%s.c%s.t%g" % (cell.get("sites"), cell.get("clients"),
+                                 cell.get("theta", 0.0))
+        for name in _SCALING_DIFF_NUMBERS:
+            value = cell.get(name)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                out["cells.%s.%s" % (label, name)] = value
+    return out
+
+
 def diff_reports(old_doc, new_doc, checks=()) -> dict:
     """The structured diff document (see module docstring)."""
     for label, doc in (("old", old_doc), ("new", new_doc)):
@@ -261,6 +315,17 @@ def diff_reports(old_doc, new_doc, checks=()) -> dict:
             "delta": new_v - old_v, "rel": _relative_delta(old_v, new_v),
         })
 
+    scaling = []
+    old_sc, new_sc = _flatten_scaling(old_doc), _flatten_scaling(new_doc)
+    for name in sorted(set(old_sc) & set(new_sc)):
+        old_v, new_v = old_sc[name], new_sc[name]
+        if old_v == new_v:
+            continue
+        scaling.append({
+            "scaling": name, "old": old_v, "new": new_v,
+            "delta": new_v - old_v, "rel": _relative_delta(old_v, new_v),
+        })
+
     results = [evaluate_check(expr, old_doc, new_doc) for expr in checks]
     return {
         "old": {"schema": old_doc.get("schema"),
@@ -273,6 +338,7 @@ def diff_reports(old_doc, new_doc, checks=()) -> dict:
         "counters": counters,
         "throughput": throughput,
         "wallclock": wallclock,
+        "scaling": scaling,
         "added_metrics": ["%s/%s" % k
                           for k in sorted(set(new_sites) - set(old_sites))],
         "removed_metrics": ["%s/%s" % k
@@ -288,7 +354,7 @@ def render_diff(diff, limit=20) -> str:
     lines = []
     moves = sorted(
         diff["metrics"] + diff["counters"] + diff["throughput"]
-        + diff.get("wallclock", []),
+        + diff.get("wallclock", []) + diff.get("scaling", []),
         key=lambda m: -abs(m["rel"]),
     )
     if moves:
@@ -301,6 +367,8 @@ def render_diff(diff, limit=20) -> str:
                 label = "%s/%s" % (move["site"], move["counter"])
             elif "wallclock" in move:
                 label = "wallclock.%s" % move["wallclock"]
+            elif "scaling" in move:
+                label = "scaling.%s" % move["scaling"]
             else:
                 label = "throughput.%s" % move["name"]
             lines.append("%-44s %12.6g %12.6g %+8.1f%%" % (

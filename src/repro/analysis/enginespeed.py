@@ -2,17 +2,18 @@
 
 The discrete-event core (:mod:`repro.sim.engine`) is the floor under
 every benchmark in this repository, so its raw event rate is a gated
-number, not a curiosity.  This module owns the five storm workloads
+number, not a curiosity.  This module owns the six storm workloads
 (``benchmarks/test_engine_speed.py`` drives the same functions under
-pytest-benchmark) and emits a ``repro.bench_report/6`` *microbench*
+pytest-benchmark) and emits a ``repro.bench_report/7`` *microbench*
 document -- empty ``sites`` (there is no simulated cluster, hence the
 schema's microbench allowance) plus a ``wallclock`` section carrying
 events/sec.
 
 Each storm targets one engine fast path (docs/ENGINE_PERF.md): the
 heap schedule/fire loop, tombstone cancellation plus compaction, the
-zero-delay ready ring, the pooled RPC reply waitable, and the lock
-manager's wake scan.  Storm sizes are weighted (:data:`STORMS`) to
+zero-delay ready ring, the pooled RPC reply waitable, the lock
+manager's wake scan, and the batched open-loop arrival path
+(:meth:`~repro.sim.Engine.schedule_many`).  Storm sizes are weighted (:data:`STORMS`) to
 mirror the traffic mix the macro scenarios put through the engine --
 timer/deadline heap traffic dominates end-to-end runs by an order of
 magnitude over RPC calls and lock grants -- so the combined events/sec
@@ -42,7 +43,8 @@ from repro.sim import Engine
 
 __all__ = ["N_EVENTS", "STORMS", "schedule_fire_storm", "cancel_storm",
            "zero_delay_cascade_storm", "rpc_pingpong_storm",
-           "lock_convoy_storm", "storm_size", "storm_virtual_time",
+           "lock_convoy_storm", "openloop_storm",
+           "storm_size", "storm_virtual_time",
            "enginespeed_report", "main"]
 
 #: Events per storm.  Small enough for a CI smoke, large enough that
@@ -241,6 +243,41 @@ def lock_convoy_storm(n_events=N_EVENTS):
     return events, seconds, engine.now
 
 
+def openloop_storm(n_events=N_EVENTS):
+    """Open-loop Poisson arrival bursts through
+    :meth:`~repro.sim.Engine.schedule_many` -- the thousand-client
+    arrival path of :class:`~repro.workloads.ScalingDriver`.
+
+    Arrival times come from the workload generator's
+    :class:`~repro.workloads.PoissonArrivals` (pre-generated, untimed)
+    and land on the engine in fifty bursts against an ever-larger
+    heap, so the measured cost is the O(H + N) bulk-heapify arrival
+    fast path plus the ordinary fire loop.  Every event fires.
+    Returns ``(events, wall_seconds, virtual_time)``.
+    """
+    from repro.workloads.randgen import PoissonArrivals
+
+    bursts = 50
+    per_burst = max(n_events // bursts, 1)
+    times = PoissonArrivals(rate=1000.0, seed=7).times(bursts * per_burst)
+    fired = [0]
+
+    def tick():
+        fired[0] += 1
+
+    engine = Engine()
+    start = time.perf_counter()
+    base = 0
+    for _ in range(bursts):
+        chunk = times[base:base + per_burst]
+        engine.schedule_many((t, tick, ()) for t in chunk)
+        base += per_burst
+    engine.run()
+    seconds = time.perf_counter() - start
+    assert fired[0] == bursts * per_burst
+    return bursts * per_burst, seconds, engine.now
+
+
 #: name -> (storm, size weight).  A storm runs at ``n_events * weight``
 #: base events: the weights mirror the engine-traffic mix of the macro
 #: scenarios (timer/deadline heap traffic dominates; process spawns,
@@ -253,6 +290,7 @@ STORMS = {
     "cascade": (zero_delay_cascade_storm, 0.25),
     "rpc": (rpc_pingpong_storm, 0.25),
     "lock": (lock_convoy_storm, 0.125),
+    "openloop": (openloop_storm, 0.25),
 }
 
 

@@ -2,7 +2,7 @@
 
 Fans the scenario x lock_cache x commit_batching grid across worker
 processes (one simulated cluster per cell, protocol monitors strict in
-every cell), then merges the per-cell ``repro.bench_report/6``
+every cell), then merges the per-cell ``repro.bench_report/7``
 documents into one matrix report:
 
 * histograms merge exactly -- each cell's summaries round-trip through
@@ -114,7 +114,7 @@ def run_grid(cells, workers=1, wallprof=True):
 
 
 def merge_reports(results, scenarios=DEFAULT_SCENARIOS) -> dict:
-    """Fold per-cell reports into one ``repro.bench_report/6`` matrix
+    """Fold per-cell reports into one ``repro.bench_report/7`` matrix
     document (see the module docstring for the merge rules)."""
     from repro import __version__
     from repro.obs.schema import SCHEMA_ID

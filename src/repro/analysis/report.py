@@ -4,7 +4,7 @@ Runs a named scenario on an instrumented cluster, prints a per-site
 latency-breakdown table (count / p50 / p95 / p99 / max per metric), and
 writes two artifacts:
 
-* ``BENCH_report.json`` -- the stable ``repro.bench_report/6`` metrics
+* ``BENCH_report.json`` -- the stable ``repro.bench_report/7`` metrics
   document (validated against :mod:`repro.obs.schema` before writing),
   including the ``critpath`` (per-transaction blame decomposition),
   ``contention`` (resource / waits-for attribution), ``timeline``
@@ -41,6 +41,7 @@ import sys
 
 from repro import Cluster, drive
 from repro.analysis.contention import render_contention_table
+from repro.analysis.scaling import SCALING_RPC_TIMEOUT
 from repro.obs import build_report, to_chrome_trace, validate_report, write_json
 
 __all__ = ["SCENARIOS", "SCENARIO_CONFIG", "THROUGHPUT_TXNS_PER_SITE",
@@ -280,11 +281,40 @@ def scenario_throughput(cluster):
     }
 
 
+def scenario_scaling(cluster):
+    """The scaling reference column (docs/WORKLOADS.md): the client
+    axis at the reference corner of the scaling grid -- max sites, max
+    Zipf skew.  The largest cell (1,024 closed-loop clients) runs on
+    the passed instrumented cluster, so the usual report artifacts --
+    latency breakdown, critical path, causal trace, strict monitors --
+    cover a saturated thousand-client run; the smaller cells run
+    cell-locally so the client-axis knee curves are complete.  The full
+    sites x clients x skew sweep (and the committed
+    ``BENCH_scaling.json``) is ``python -m repro.analysis.scaling``."""
+    from repro.analysis import scaling as sc
+
+    ref_sites = max(sc.SCALING_SITES)
+    ref_theta = max(sc.SCALING_THETAS)
+    clients_axis = sc.SCALING_CLIENTS
+    small = [{"sites": ref_sites, "clients": int(c), "theta": ref_theta}
+             for c in clients_axis[:-1]]
+    results = sc.run_scaling_grid(small, workers=1)
+    ref_cell = {"sites": ref_sites, "clients": int(max(clients_axis)),
+                "theta": ref_theta}
+    results.append(sc.run_scaling_cell(ref_cell, cluster=cluster))
+    cluster.report_sections = {
+        "scaling": sc.scaling_section(results, sites=(ref_sites,),
+                                      clients=clients_axis,
+                                      thetas=(ref_theta,)),
+    }
+
+
 SCENARIOS = {
     "commit": scenario_commit,
     "wal": scenario_wal,
     "lockcache": scenario_lockcache,
     "throughput": scenario_throughput,
+    "scaling": scenario_scaling,
 }
 
 #: Per-scenario SystemConfig field overrides applied by run_scenario.
@@ -292,6 +322,11 @@ SCENARIO_CONFIG = {
     "lockcache": {"lock_cache": True},
     "throughput": {"commit_batching": True,
                    "rpc_timeout": THROUGHPUT_RPC_TIMEOUT},
+    # Same shape as the cell-local scaling clusters (see
+    # repro.analysis.scaling._cell_config) so the instrumented
+    # reference cell reproduces the grid cell's numbers exactly.
+    "scaling": {"commit_batching": True,
+                "rpc_timeout": SCALING_RPC_TIMEOUT},
 }
 
 
@@ -344,10 +379,12 @@ def baseline_wall_seconds(name, site_ids=(1, 2, 3)):
     run (the profiler cannot stamp itself), so it is measured as the
     delta against this bare run of the identical seeded workload.
     Returns None for scenarios that require observability internally
-    (``throughput`` reads its own metrics hub)."""
+    (``throughput`` reads its own metrics hub; ``scaling`` runs its
+    strict per-cell monitors, and its thousand-client reference cell
+    is too expensive to run twice for one overhead number)."""
     import time
 
-    if name == "throughput":
+    if name in ("throughput", "scaling"):
         return None
     config = None
     overrides = SCENARIO_CONFIG.get(name)
@@ -527,12 +564,17 @@ def main(argv=None):
     scenario = args.scenario_opt or args.scenario or "commit"
     out = args.out
     if out is None:
-        out = ("BENCH_throughput.json" if scenario == "throughput"
-               else "BENCH_report.json")
+        # The scaling default deliberately differs from the committed
+        # BENCH_scaling.json (owned by ``python -m repro.analysis.scaling``,
+        # full grid): this is the instrumented reference-column variant.
+        out = {"throughput": "BENCH_throughput.json",
+               "scaling": "BENCH_scaling_report.json"}.get(
+                   scenario, "BENCH_report.json")
     trace_out = args.trace_out
     if trace_out is None:
-        trace_out = ("BENCH_throughput_trace.json" if scenario == "throughput"
-                     else "BENCH_trace.json")
+        trace_out = {"throughput": "BENCH_throughput_trace.json",
+                     "scaling": "BENCH_scaling_trace.json"}.get(
+                         scenario, "BENCH_trace.json")
 
     profile = None
     if args.profile:

@@ -1,0 +1,306 @@
+"""Scaling sweep: ``python -m repro.analysis.scaling``.
+
+Sweeps the sites x clients x skew grid with the
+:class:`~repro.workloads.ScalingDriver` (ROADMAP item 1: thousands of
+Zipf-skewed closed-loop clients, batched arrival scheduling), one
+simulated cluster per cell, protocol monitors strict in every cell.
+Emits the ``scaling`` report section:
+
+* ``reference`` -- throughput / abort-rate / p99 curves over the
+  client axis at the reference corner (max sites, max skew), keyed
+  ``c64 / c256 / c1024``.  These are the knee-point numbers the
+  bench-regression gates pin (``delta.scaling.commits_per_sec.c1024``);
+* ``cells`` -- one row per grid cell with the full
+  :meth:`~repro.workloads.ScalingResult.stats` payload.
+
+Every number is **virtual-time only** (commits per simulated second,
+latency quantiles in simulated milliseconds), so the document is byte-
+reproducible across hosts and worker counts.  Wall-clock seconds per
+cell are printed to the console but never enter the JSON.
+
+The cell configuration matches what a saturated-but-live cluster
+needs: ``commit_batching`` on (without it, commits serialize on the
+per-site log and lock convoys collapse the run) and a long
+``rpc_timeout`` (a slow-but-alive site must not fail prepares
+spuriously at high concurrency).
+
+Run it::
+
+    PYTHONPATH=src python -m repro.analysis.scaling --workers 4
+
+writes ``BENCH_scaling.json`` (a ``repro.bench_report/7`` microbench
+document -- empty ``sites``, the ``scaling`` section carries the
+payload) and prints one row per cell.  The full-report variant --
+reference cell on an instrumented cluster, latency breakdown, causal
+trace -- is ``python -m repro.analysis.report --scenario scaling``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import multiprocessing
+import os
+import sys
+import time
+
+from repro.obs import validate_report, write_json
+
+__all__ = [
+    "SCALING_SITES", "SCALING_CLIENTS", "SCALING_THETAS",
+    "SCALING_RECORDS", "SCALING_THINK", "SCALING_TXNS_PER_CLIENT",
+    "SCALING_RPC_TIMEOUT", "SCALING_MIX", "SCALING_SEED",
+    "scaling_cells", "run_scaling_cell", "run_scaling_grid",
+    "scaling_section", "scaling_report", "render_scaling_table", "main",
+]
+
+#: Default grid axes.  The reference corner (max sites, max skew)
+#: carries the gated client-axis curves.
+SCALING_SITES = (1, 3)
+SCALING_CLIENTS = (64, 256, 1024)
+SCALING_THETAS = (0.0, 0.9)
+
+#: Per-cell workload shape (see module docstring for the why).
+SCALING_RECORDS = 16384
+SCALING_THINK = 0.1
+SCALING_TXNS_PER_CLIENT = 2
+SCALING_RPC_TIMEOUT = 30.0
+SCALING_MIX = "banking"
+SCALING_SEED = 0
+
+
+def scaling_cells(sites=SCALING_SITES, clients=SCALING_CLIENTS,
+                  thetas=SCALING_THETAS):
+    """The cross-product cell list, in deterministic order."""
+    return [
+        {"sites": int(s), "clients": int(c), "theta": float(t)}
+        for s in sites
+        for c in clients
+        for t in thetas
+    ]
+
+
+def _cell_config():
+    from repro.config import SystemConfig
+
+    return SystemConfig(rpc_timeout=SCALING_RPC_TIMEOUT,
+                        commit_batching=True)
+
+
+def run_scaling_cell(cell, timeline_tick=0.0, cluster=None):
+    """Run one grid cell; returns the cell dict plus its stats.
+
+    Module-level with picklable arguments so a multiprocessing pool can
+    fan cells across cores.  Monitors run strict: a protocol violation
+    in any cell raises instead of producing numbers.  Pass ``cluster``
+    to run the cell's workload on an existing instrumented cluster (the
+    ``--scenario scaling`` reference cell) instead of building one.
+    """
+    from repro import Cluster
+    from repro.workloads import ScalingDriver
+
+    if cluster is None:
+        site_ids = tuple(range(1, cell["sites"] + 1))
+        cluster = Cluster(site_ids=site_ids, config=_cell_config())
+        cluster.enable_observability(monitors=True, strict=True,
+                                     timeline_tick=timeline_tick)
+    driver = ScalingDriver(
+        cluster,
+        record_count=SCALING_RECORDS,
+        mix=SCALING_MIX,
+        keys="zipf",
+        theta=cell["theta"],
+        clients=cell["clients"],
+        txns_per_client=SCALING_TXNS_PER_CLIENT,
+        arrival="closed",
+        think_mean=SCALING_THINK,
+        seed=SCALING_SEED,
+    )
+    driver.setup()
+    start = time.perf_counter()
+    result = driver.run()
+    wall = time.perf_counter() - start
+    out = dict(cell)
+    out.update(result.stats())
+    monitors = getattr(cluster.obs, "monitors", None)
+    out["monitors_total_violations"] = (
+        monitors.total_violations if monitors is not None else 0
+    )
+    # Host-dependent; printed by the runner, stripped before the JSON.
+    out["wall_seconds"] = wall
+    return out
+
+
+def run_scaling_grid(cells, workers=1):
+    """Run every cell, across ``workers`` spawn processes when > 1.
+
+    Results come back in cell order regardless of which worker finished
+    first.  Falls back to in-process sequential when this process is
+    itself a pool worker (daemonic processes cannot nest pools)."""
+    if workers > 1 and multiprocessing.current_process().daemon:
+        workers = 1
+    if workers <= 1 or len(cells) <= 1:
+        return [run_scaling_cell(cell) for cell in cells]
+    worker = functools.partial(run_scaling_cell)
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(processes=min(workers, len(cells))) as pool:
+        return pool.map(worker, cells, chunksize=1)
+
+
+#: Per-cell stats keys that enter the report (wall_seconds stays out).
+_CELL_KEYS = (
+    "sites", "clients", "theta",
+    "committed", "aborted", "retries", "abort_rate",
+    "virtual_seconds", "commits_per_sec",
+    "p50_ms", "p95_ms", "p99_ms",
+    "monitors_total_violations",
+)
+
+#: Curve metrics exported at the reference corner, keyed ``c<N>``.
+_CURVE_KEYS = ("commits_per_sec", "abort_rate", "p99_ms")
+
+
+def scaling_section(results, sites=SCALING_SITES, clients=SCALING_CLIENTS,
+                    thetas=SCALING_THETAS) -> dict:
+    """Fold per-cell results into the report's ``scaling`` section."""
+    ref_sites = max(sites)
+    ref_theta = max(thetas)
+    reference = {"sites": ref_sites, "theta": ref_theta}
+    for key in _CURVE_KEYS:
+        reference[key] = {}
+    for row in results:
+        if row["sites"] == ref_sites and row["theta"] == ref_theta:
+            label = "c%d" % row["clients"]
+            for key in _CURVE_KEYS:
+                reference[key][label] = row[key]
+    return {
+        "grid": {
+            "sites": [int(s) for s in sites],
+            "clients": [int(c) for c in clients],
+            "theta": [float(t) for t in thetas],
+        },
+        "workload": {
+            "mix": SCALING_MIX,
+            "records": SCALING_RECORDS,
+            "think_mean": SCALING_THINK,
+            "txns_per_client": SCALING_TXNS_PER_CLIENT,
+            "arrival": "closed",
+            "seed": SCALING_SEED,
+        },
+        "reference": reference,
+        "cells": [{key: row[key] for key in _CELL_KEYS} for row in results],
+    }
+
+
+def scaling_report(section) -> dict:
+    """Wrap a ``scaling`` section as a standalone
+    ``repro.bench_report/7`` microbench document (empty ``sites``: the
+    grid runs its clusters cell-locally, and their latency breakdowns
+    are deliberately not merged across unequal grid corners)."""
+    from repro import __version__
+    from repro.obs.schema import SCHEMA_ID
+
+    return {
+        "schema": SCHEMA_ID,
+        "generator": "repro %s" % __version__,
+        "scenario": "scaling",
+        "virtual_time": sum(c["virtual_seconds"] for c in section["cells"]),
+        "sites": {},
+        "counters": {},
+        "spans": {"recorded": 0, "dropped": 0, "traces": 0, "instants": 0},
+        "scaling": section,
+    }
+
+
+def render_scaling_table(section, walls=None) -> str:
+    """One row per grid cell (virtual-time numbers; optional wall
+    seconds column from the live run)."""
+    header = "%5s %7s %5s %9s %7s %7s %9s %9s %8s %8s" % (
+        "sites", "clients", "theta", "committed", "aborts", "abort%",
+        "virt-sec", "cmt/sec", "p99ms", "wall-s",
+    )
+    lines = [header, "-" * len(header)]
+    for i, cell in enumerate(section["cells"]):
+        wall = "--"
+        if walls is not None and i < len(walls) and walls[i] is not None:
+            wall = "%.2f" % walls[i]
+        lines.append("%5d %7d %5.2f %9d %7d %6.1f%% %9.2f %9.2f %8.2f %8s" % (
+            cell["sites"], cell["clients"], cell["theta"],
+            cell["committed"], cell["aborted"], 100.0 * cell["abort_rate"],
+            cell["virtual_seconds"], cell["commits_per_sec"],
+            cell["p99_ms"], wall,
+        ))
+    ref = section["reference"]
+    lines.append("")
+    lines.append("reference (sites=%d theta=%.2f): %s" % (
+        ref["sites"], ref["theta"],
+        "  ".join(
+            "%s[%s]=%.2f" % (key, label, ref[key][label])
+            for key in _CURVE_KEYS
+            for label in sorted(ref[key], key=lambda s: int(s[1:]))
+        ),
+    ))
+    return "\n".join(lines)
+
+
+def _axis(text, cast):
+    return tuple(cast(v) for v in text.split(",") if v)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.scaling",
+        description="Sweep the sites x clients x skew scaling grid and "
+                    "write the repro.bench_report/7 scaling document.",
+    )
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes (default: one per core, "
+                             "capped at the cell count; 1 = in-process "
+                             "sequential)")
+    parser.add_argument("--sites", default=",".join(map(str, SCALING_SITES)),
+                        help="comma-separated site-count axis "
+                             "(default: %(default)s)")
+    parser.add_argument("--clients",
+                        default=",".join(map(str, SCALING_CLIENTS)),
+                        help="comma-separated client-count axis "
+                             "(default: %(default)s)")
+    parser.add_argument("--thetas", default=",".join(map(str, SCALING_THETAS)),
+                        help="comma-separated Zipf skew axis "
+                             "(default: %(default)s)")
+    parser.add_argument("--out", default="BENCH_scaling.json",
+                        help="report path (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    sites = _axis(args.sites, int)
+    clients = _axis(args.clients, int)
+    thetas = _axis(args.thetas, float)
+    cells = scaling_cells(sites=sites, clients=clients, thetas=thetas)
+    workers = args.workers or min(os.cpu_count() or 1, len(cells))
+
+    start = time.perf_counter()
+    results = run_scaling_grid(cells, workers=workers)
+    elapsed = time.perf_counter() - start
+
+    section = scaling_section(results, sites=sites, clients=clients,
+                              thetas=thetas)
+    doc = scaling_report(section)
+    validate_report(doc)
+
+    print("== scaling: %d cells x %d worker(s) in %.2fs ==" % (
+        len(cells), workers, elapsed,
+    ))
+    print(render_scaling_table(
+        section, walls=[row.get("wall_seconds") for row in results],
+    ))
+    violations = sum(c["monitors_total_violations"] for c in section["cells"])
+    print("\nmonitors: %s" % (
+        "clean in every cell" if violations == 0
+        else "%d violation(s)" % violations,
+    ))
+    write_json(args.out, doc)
+    print("\nwrote %s" % args.out)
+    return 0 if violations == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

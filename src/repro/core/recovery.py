@@ -41,7 +41,7 @@ def run_recovery(site):
 
 def _recover_as_coordinator(site):
     by_tid = {}
-    for entry in site.coordinator_log.entries():
+    for entry in site.coordinator_log.scan():
         tid = entry.get("tid")
         if tid is None:
             continue
@@ -91,7 +91,7 @@ def _finish_phase_two_raw(site, tid, participants):
 def _recover_as_participant(site):
     in_doubt = {}
     for vol_id in sorted(site.volumes, key=str):
-        for entry in site.prepare_log(vol_id).entries():
+        for entry in site.prepare_log(vol_id).scan():
             if entry.get("type") == "prepare":
                 in_doubt[entry["tid"]] = entry["coordinator"]
     for tid in sorted(in_doubt):

@@ -207,13 +207,21 @@ class TransactionService:
             yield from self.abort(txn, reason="member process %d failed" % failed[0].pid)
             self._leave(proc)
             raise TransactionAborted(txn.tid, txn.abort_reason or "")
-        if self._site.config.commit_protocol == "tree":
-            from .treecommit import run_tree_commit
+        # The process leaves the transaction whether the protocol
+        # commits or aborts: a prepare failure raises TransactionAborted
+        # out of the commit call, and without the finally the top-level
+        # process would keep its dead tid -- a retrying caller's next
+        # BeginTrans would then *nest* into the aborted transaction and
+        # write under a tid participants may still hold prepared.
+        try:
+            if self._site.config.commit_protocol == "tree":
+                from .treecommit import run_tree_commit
 
-            yield from run_tree_commit(self._site, txn)
-        else:
-            yield from run_two_phase_commit(self._site, txn)
-        self._leave(proc)
+                yield from run_tree_commit(self._site, txn)
+            else:
+                yield from run_two_phase_commit(self._site, txn)
+        finally:
+            self._leave(proc)
         return True
 
     def abort_call(self, proc):

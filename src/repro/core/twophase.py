@@ -514,7 +514,7 @@ def coordinator_status(site, tid):
     log entries at all is presumed aborted (its log was garbage
     collected only after full resolution, or it never committed)."""
     status = None
-    for entry in site.coordinator_log.entries():
+    for entry in site.coordinator_log.scan():
         if entry.get("tid") != tid:
             continue
         if entry["type"] == "txn":
@@ -534,7 +534,7 @@ def _intents_from_prepare_logs(site, tid):
     out = []
     for vol_id in sorted(site.volumes, key=str):
         log = site.prepare_log(vol_id)
-        for entry in log.entries():
+        for entry in log.scan():
             if entry.get("type") == "prepare" and entry.get("tid") == tid:
                 out.extend(IntentionsList.from_record(r) for r in entry["intents"])
     return out

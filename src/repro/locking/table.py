@@ -83,18 +83,33 @@ class LockTable:
         """Holders whose existing locks block this request (Figure 1).
 
         This is the lock manager's innermost loop (every lock request
-        plus every wake re-examination lands here), so it iterates the
-        record dict directly instead of materializing :meth:`records`.
+        plus every wake re-examination lands here, and the deadlock
+        detector's edge export calls it once per waiter), so it
+        iterates the record dict directly instead of materializing
+        :meth:`records`, ordered cheapest-reject first: mode
+        compatibility (two identity checks), then range overlap, and
+        only for actually-overlapping records the holder comparison
+        (a transaction-id equality most records fail anyway -- under a
+        skewed thousand-client load the table holds hundreds of
+        records, few covering any given record's range).  The blocker
+        set is unchanged by the reordering: all three tests are pure
+        filters, and ``overlaps`` on an empty range set is False, so
+        dead records drop out without a separate liveness test.
         """
         blockers = None
+        shared = LockMode.SHARED
+        req_shared = mode is shared
         for rec in self._records.values():
-            if rec.holder == holder or not rec.ranges:
+            if req_shared and rec.mode is shared:
                 continue
-            if rec.ranges.overlaps(start, end) and not compatible(mode, rec.mode):
-                if blockers is None:
-                    blockers = {rec.holder}
-                else:
-                    blockers.add(rec.holder)
+            if not rec.ranges.overlaps(start, end):
+                continue
+            if rec.holder == holder:
+                continue
+            if blockers is None:
+                blockers = {rec.holder}
+            else:
+                blockers.add(rec.holder)
         if blockers is None:
             return []
         return sorted(blockers)

@@ -15,7 +15,7 @@ upgraded to modern practice:
 * exporters -- Chrome trace-event JSON (loadable in Perfetto), with
   :class:`Instant` markers for point-in-time observations such as
   deadlock-detector wait-for snapshots, and the stable
-  ``repro.bench_report/6`` metrics schema consumed by
+  ``repro.bench_report/7`` metrics schema consumed by
   ``python -m repro.analysis.report`` (v1-v5 documents still
   validate);
 * analysis readers -- :mod:`repro.obs.critpath` (per-transaction

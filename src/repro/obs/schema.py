@@ -17,7 +17,9 @@ from __future__ import annotations
 
 __all__ = ["SCHEMA_ID", "REQUIRED_METRICS", "validate_report", "SchemaError"]
 
-SCHEMA_ID = "repro.bench_report/6"
+SCHEMA_ID = "repro.bench_report/7"
+
+_V6 = "repro.bench_report/6"
 
 #: Schema versions this validator accepts.  v2 added the per-site
 #: ``counters`` section (monotonic event counts, e.g. lock-cache hits);
@@ -28,32 +30,38 @@ SCHEMA_ID = "repro.bench_report/6"
 #: ``monitors`` sections (time-series telemetry and runtime protocol
 #: verification); v6 added the optional ``wallclock`` and ``matrix``
 #: sections (wall-clock self-profiling and the scenario-matrix runner)
-#: plus the microbench allowance (a v6 document with an empty ``sites``
-#: object -- e.g. an engine-speed storm with no simulated cluster -- is
-#: exempt from the REQUIRED_METRICS rule).  Older documents remain
-#: valid with the newer sections treated as absent.
+#: plus the microbench allowance (a v6+ document with an empty
+#: ``sites`` object -- e.g. an engine-speed storm with no simulated
+#: cluster -- is exempt from the REQUIRED_METRICS rule); v7 added the
+#: optional ``scaling`` section (the sites x clients x skew sweep,
+#: docs/WORKLOADS.md).  Older documents remain valid with the newer
+#: sections treated as absent.
 _ACCEPTED_SCHEMAS = ("repro.bench_report/1", "repro.bench_report/2",
                      "repro.bench_report/3", "repro.bench_report/4",
-                     "repro.bench_report/5", SCHEMA_ID)
+                     "repro.bench_report/5", _V6, SCHEMA_ID)
 
 #: Versions that carry the mandatory ``counters`` section.
 _COUNTER_SCHEMAS = ("repro.bench_report/2", "repro.bench_report/3",
                     "repro.bench_report/4", "repro.bench_report/5",
-                    SCHEMA_ID)
+                    _V6, SCHEMA_ID)
 
 #: Versions that may carry the optional ``throughput`` section.
 _THROUGHPUT_SCHEMAS = ("repro.bench_report/3", "repro.bench_report/4",
-                       "repro.bench_report/5", SCHEMA_ID)
+                       "repro.bench_report/5", _V6, SCHEMA_ID)
 
 #: Versions that may carry the v4 analysis sections.
 _ANALYSIS_SCHEMAS = ("repro.bench_report/4", "repro.bench_report/5",
-                     SCHEMA_ID)
+                     _V6, SCHEMA_ID)
 
 #: Versions that may carry the v5 telemetry sections.
-_TELEMETRY_SCHEMAS = ("repro.bench_report/5", SCHEMA_ID)
+_TELEMETRY_SCHEMAS = ("repro.bench_report/5", _V6, SCHEMA_ID)
 
-#: Versions that may carry the v6 wallclock / matrix sections.
-_WALLCLOCK_SCHEMAS = (SCHEMA_ID,)
+#: Versions that may carry the v6 wallclock / matrix sections (and the
+#: microbench empty-``sites`` allowance).
+_WALLCLOCK_SCHEMAS = (_V6, SCHEMA_ID)
+
+#: Versions that may carry the v7 scaling section.
+_SCALING_SCHEMAS = (SCHEMA_ID,)
 
 #: Metric families every report must carry in at least one site
 #: (the per-phase breakdown the analysis layer is built on).
@@ -129,6 +137,7 @@ def validate_report(doc) -> int:
         ("monitors", _check_monitors, _TELEMETRY_SCHEMAS),
         ("wallclock", _check_wallclock, _WALLCLOCK_SCHEMAS),
         ("matrix", _check_matrix, _WALLCLOCK_SCHEMAS),
+        ("scaling", _check_scaling, _SCALING_SCHEMAS),
     ):
         if section in doc:
             if doc["schema"] in versions:
@@ -174,10 +183,11 @@ def validate_report(doc) -> int:
                     problems.append(
                         "%s: percentiles not monotone within [min, max]" % where
                     )
-    # Microbench allowance (v6): a report with an *empty* sites object
+    # Microbench allowance (v6+): a report with an *empty* sites object
     # describes a pure engine microbenchmark (no simulated cluster, so
-    # no lock/rpc/disk/commit latencies exist to record).
-    microbench = doc["schema"] == SCHEMA_ID and doc["sites"] == {}
+    # no lock/rpc/disk/commit latencies exist to record) or a grid
+    # document whose clusters ran cell-locally (the scaling sweep).
+    microbench = doc["schema"] in _WALLCLOCK_SCHEMAS and doc["sites"] == {}
     if not microbench:
         for name in REQUIRED_METRICS:
             if name not in seen_metrics:
@@ -518,6 +528,92 @@ def _check_matrix(section):
                     ):
                         problems.append("%s.wallclock[%r] is not numeric"
                                         % (where, key))
+    return problems
+
+
+#: Numeric fields every scaling cell must carry.
+_SCALING_CELL_NUMBERS = (
+    "committed", "aborted", "retries", "abort_rate",
+    "virtual_seconds", "commits_per_sec", "p50_ms", "p95_ms", "p99_ms",
+)
+
+#: Client-axis curves the reference corner must carry.
+_SCALING_CURVES = ("commits_per_sec", "abort_rate", "p99_ms")
+
+
+def _check_scaling(section):
+    """Problems with a v7 ``scaling`` section (empty list = valid).
+
+    Enforces the sweep's contract: the cell list covers exactly the
+    cross product of the declared grid axes, every cell carries its
+    virtual-time stats, and the reference corner's client-axis curves
+    have one ``c<N>`` entry per declared client count."""
+    problems = []
+    if not isinstance(section, dict):
+        return ["scaling is %s, expected object" % type(section).__name__]
+    grid = section.get("grid")
+    if not isinstance(grid, dict) or not all(
+        isinstance(v, list) and v for v in grid.values()
+    ):
+        problems.append("scaling.grid missing or not an object of "
+                        "non-empty lists")
+        grid = None
+    cells = section.get("cells")
+    if not isinstance(cells, list):
+        return problems + ["scaling.cells missing or not a list"]
+    if grid is not None:
+        expected = 1
+        for values in grid.values():
+            expected *= len(values)
+        if len(cells) != expected:
+            problems.append(
+                "scaling: %d cells for a %d-cell grid" % (len(cells), expected)
+            )
+    for i, cell in enumerate(cells):
+        where = "scaling.cells[%d]" % i
+        if not isinstance(cell, dict):
+            problems.append("%s is not an object" % where)
+            continue
+        for key in ("sites", "clients"):
+            value = cell.get(key)
+            if not isinstance(value, int) or isinstance(value, bool):
+                problems.append("%s.%s missing or not an integer" % (where, key))
+        if not isinstance(cell.get("theta"), (int, float)) or isinstance(
+            cell.get("theta"), bool
+        ):
+            problems.append("%s.theta missing or not numeric" % where)
+        for key in _SCALING_CELL_NUMBERS:
+            value = cell.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append("%s.%s missing or not numeric" % (where, key))
+        violations = cell.get("monitors_total_violations")
+        if not isinstance(violations, int) or isinstance(violations, bool):
+            problems.append(
+                "%s.monitors_total_violations missing or not an integer" % where
+            )
+    reference = section.get("reference")
+    if not isinstance(reference, dict):
+        return problems + ["scaling.reference missing or not an object"]
+    expected_labels = None
+    if grid is not None and isinstance(grid.get("clients"), list):
+        expected_labels = sorted(
+            "c%d" % c for c in grid["clients"]
+            if isinstance(c, int) and not isinstance(c, bool)
+        )
+    for key in _SCALING_CURVES:
+        curve = reference.get(key)
+        where = "scaling.reference[%r]" % key
+        if not isinstance(curve, dict):
+            problems.append("%s missing or not an object" % where)
+            continue
+        for label, value in sorted(curve.items()):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append("%s[%r] is not numeric" % (where, label))
+        if expected_labels is not None and sorted(curve) != expected_labels:
+            problems.append(
+                "%s keys %s do not match grid clients %s"
+                % (where, sorted(curve), expected_labels)
+            )
     return problems
 
 

@@ -156,7 +156,12 @@ class SpanRecorder:
         it rather than nesting under it).
         """
         proc = self._engine.current_process
-        stack = self._stacks.setdefault(proc, [])
+        # get-then-insert rather than setdefault: every span open in a
+        # scaling run lands here, and setdefault allocates a throwaway
+        # list per call once the stack exists.
+        stack = self._stacks.get(proc)
+        if stack is None:
+            stack = self._stacks[proc] = []
         if parent is None and not root and stack:
             parent = stack[-1]
         if isinstance(parent, Span):
@@ -210,8 +215,17 @@ class SpanRecorder:
         if attrs:
             span.attrs.update(attrs)
         stack = span._stack
-        if stack is not None and span in stack:
-            stack.remove(span)
+        if stack:
+            # Spans close innermost-first in the overwhelming case, so
+            # test the top before falling back to a linear remove (an
+            # interrupted process can close an outer span early).
+            if stack[-1] is span:
+                stack.pop()
+            else:
+                try:
+                    stack.remove(span)
+                except ValueError:
+                    pass
         if self.wallprof is not None:
             # Wall-profiler stamp: fall back to the enclosing span.
             self.wallprof.exit_span(

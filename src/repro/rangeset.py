@@ -145,12 +145,21 @@ class RangeSet:
         return out
 
     def overlaps(self, start, end) -> bool:
-        """Does any run intersect ``[start, end)``?"""
-        self._check(start, end)
+        """Does any run intersect ``[start, end)``?
+
+        The innermost test of lock conflict checking (millions of
+        calls per scaling run): validation is inlined and the sorted-
+        runs invariant lets the loop stop at the first run starting at
+        or past ``end``.
+        """
+        if start < 0 or end < start:
+            raise ValueError("invalid range [%r, %r)" % (start, end))
         if start == end:
             return False
         for s, e in self._runs:
-            if s < end and start < e:
+            if s >= end:
+                return False
+            if start < e:
                 return True
         return False
 

@@ -138,6 +138,51 @@ class Engine:
             heapq.heappush(self._heap, entry)
         return entry
 
+    def schedule_many(self, items):
+        """Bulk-schedule an iterable of ``(delay, fn, args)`` triples.
+
+        Semantically identical to ``[self.schedule(d, fn, *args) for
+        (d, fn, args) in items]`` -- sequence numbers are assigned in
+        iteration order and every ``(time, seq)`` pair is unique, so
+        the fired order is the same no matter how the entries reached
+        the heap -- but the delayed entries are appended and heapified
+        *once*: O(H + N) for an N-entry burst into an H-entry heap,
+        instead of N pushes at O(log H) each.  This is the arrival
+        path for thousand-client workload bursts
+        (:class:`repro.workloads.ScalingDriver`).
+
+        Returns the list of entry handles, each accepted by
+        :meth:`cancel`; like :meth:`schedule`, the handles are never
+        recycled.
+        """
+        now = self._now
+        seq_next = self._seq_next
+        ready_append = self._ready.append
+        heap = self._heap
+        handles = []
+        append_handle = handles.append
+        heap_grew = False
+        try:
+            for delay, fn, args in items:
+                if delay < 0:
+                    raise SimError(
+                        "cannot schedule into the past (delay=%r)" % (delay,)
+                    )
+                if delay == 0:
+                    entry = [now, seq_next(), fn, args, False]
+                    ready_append(entry)
+                else:
+                    entry = [now + delay, seq_next(), fn, args, False]
+                    heap.append(entry)
+                    heap_grew = True
+                append_handle(entry)
+        finally:
+            # Restore the invariant even if the iterable raised midway:
+            # entries already appended must not leave the heap unordered.
+            if heap_grew:
+                heapq.heapify(heap)
+        return handles
+
     def _post(self, fn, args):
         """Internal zero-delay scheduling: no handle escapes, so the
         entry is recycled after it fires."""

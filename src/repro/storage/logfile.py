@@ -84,8 +84,23 @@ class LogFile:
             yield from self._volume.disk.write_block(block_no, data, category)
 
     def entries(self):
-        """All durable records, oldest first (recovery-time scan)."""
+        """All durable records, oldest first, deep-copied so the caller
+        may do anything with them."""
         return tuple(copy.deepcopy(e) for e in self._entries)
+
+    def scan(self):
+        """All durable records, oldest first, **read-only**: the tuples
+        reference the live log entries without copying.
+
+        Every recovery- and commit-time reader only *reads* the records
+        (the commit path re-scans the prepare log once per duplicate
+        delivery and per abort, and deep-copying the whole log there
+        was the largest wall-clock cost of a saturated scaling cell --
+        quadratic in committed transactions).  Mutating a scanned
+        record would corrupt the durable log; use :meth:`entries` for
+        a copy that is safe to modify.
+        """
+        return tuple(self._entries)
 
     def remove_where(self, predicate):
         """Garbage-collect records (e.g. a fully resolved transaction's).

@@ -172,10 +172,19 @@ class OpenFileState:
         transaction locking a modified-but-uncommitted record must adopt
         and later commit it.
         """
-        psize = self._cost.page_size
-        window = RangeSet.single(start, end) if end > start else RangeSet()
         out = {}
+        if end <= start:
+            return out
+        psize = self._cost.page_size
+        window = RangeSet.single(start, end)
+        # Only pages overlapping the window can contribute (every lock
+        # request funnels through here, and the window is usually a
+        # record or two while the file may have hundreds of dirty pages).
+        lo_page = start // psize
+        hi_page = (end + psize - 1) // psize
         for page_index, ps in self._pages.items():
+            if page_index < lo_page or page_index >= hi_page:
+                continue
             base = page_index * psize
             for owner, ranges in ps.owners.items():
                 hit = ranges.shift(base).intersection(window)

@@ -186,7 +186,7 @@ class WalFile:
         # Committed extents that have not been checkpointed yet live
         # only in the log; they survive the abort just like their bytes.
         committed_extent = max([self._volume.inode(self.ino).size] + [
-            e["extent"] for e in self.log.entries() if e.get("type") == "commit"
+            e["extent"] for e in self.log.scan() if e.get("type") == "commit"
         ] + [0])
         self._size = max([committed_extent] + list(self._extents.values()))
         obs = self._engine.obs
@@ -205,7 +205,7 @@ class WalFile:
         written = 0
         inode = self._volume.inode(self.ino)
         committed_size = max([inode.size] + [
-            e["extent"] for e in self.log.entries() if e.get("type") == "commit"
+            e["extent"] for e in self.log.scan() if e.get("type") == "commit"
         ])
         psize = self._cost.page_size
         old_npages = len(inode.pages)
@@ -261,7 +261,7 @@ class WalFile:
         committed_size = inode.size
         images = {}  # page_index -> bytearray being rebuilt
         replayed_records = []
-        for entry in self.log.entries():
+        for entry in self.log.scan():
             if entry.get("type") != "commit":
                 continue
             committed_size = max(committed_size, entry.get("extent", 0))

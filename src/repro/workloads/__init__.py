@@ -1,16 +1,37 @@
 """Workload generators for benchmarks and examples."""
 
 from .banking import AccountFile, audit_program, transfer_program
-from .driver import LoadDriver, LoadResult
+from .driver import LoadDriver, LoadResult, ScalingDriver, ScalingResult
+from .randgen import (
+    HotspotKeys,
+    PoissonArrivals,
+    ThinkTimes,
+    UniformKeys,
+    ZipfKeys,
+    make_keys,
+)
 from .records import AccessString, RecordLayout, RecordWorkload
+from .txngen import MIXES, TxnClass, TxnGenerator, TxnMix
 
 __all__ = [
     "AccessString",
     "AccountFile",
+    "HotspotKeys",
     "LoadDriver",
     "LoadResult",
+    "MIXES",
+    "PoissonArrivals",
     "RecordLayout",
     "RecordWorkload",
+    "ScalingDriver",
+    "ScalingResult",
+    "ThinkTimes",
+    "TxnClass",
+    "TxnGenerator",
+    "TxnMix",
+    "UniformKeys",
+    "ZipfKeys",
     "audit_program",
+    "make_keys",
     "transfer_program",
 ]

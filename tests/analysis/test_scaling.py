@@ -1,0 +1,271 @@
+"""The scaling sweep: grid runner, report section, and the differential
+proof that the profile-guided hot paths are virtual-time neutral.
+
+Three layers of pinning:
+
+* **Zero perturbation + pinned fingerprint** -- the smallest grid cell
+  runs bare vs instrumented-with-strict-monitors to identical virtual
+  stats, and those stats match the committed ``BENCH_scaling.json``
+  numbers float for float.
+
+* **Stock-implementation differential** -- every hot-path rewrite the
+  scaling profile motivated (conflict-scan reordering, range-overlap
+  early exit, read-only log scans, identity-preserving transaction-id
+  copies, page-window filtering) is reverted to its stock form via
+  monkeypatching, and a contended cell must produce the *exact* same
+  statistics either way.  This is the proof the wall-clock tranche
+  changed no simulation-visible behaviour.
+
+* **Section/schema shape** -- the ``scaling`` report section and the
+  knee-point diff gates over it.
+"""
+
+import copy
+
+import pytest
+
+from repro import Cluster
+from repro.analysis import scaling
+from repro.analysis.diff import diff_reports
+from repro.analysis.scaling import (run_scaling_cell, run_scaling_grid,
+                                    scaling_cells, scaling_report,
+                                    scaling_section, render_scaling_table)
+from repro.core.ids import TransactionId
+from repro.locking.modes import compatible
+from repro.locking.table import LockTable
+from repro.obs import validate_report
+from repro.rangeset import RangeSet
+from repro.storage.logfile import LogFile
+from repro.storage.shadow import OpenFileState
+from repro.workloads import ScalingDriver
+
+#: The smallest grid cell -- cheap enough to run several times per test
+#: session -- and a skewed sibling that actually exercises contention,
+#: retries and the deadlock detector.
+SMALLEST_CELL = {"sites": 1, "clients": 64, "theta": 0.0}
+CONTENDED_CELL = {"sites": 1, "clients": 64, "theta": 0.9}
+
+#: Virtual stats of SMALLEST_CELL, pinned to the committed
+#: ``BENCH_scaling.json``.  Every number is virtual-time-derived, so
+#: any drift here means the simulation itself moved -- a regression of
+#: the reproducibility contract, not noise.
+SMALLEST_CELL_FINGERPRINT = {
+    "committed": 128,
+    "aborted": 0,
+    "retries": 0,
+    "abort_rate": 0.0,
+    "virtual_seconds": 16.085355104781904,
+    "commits_per_sec": 7.957548911179944,
+    "p50_ms": 4038.8181669744768,
+    "p95_ms": 9747.70311494184,
+    "p99_ms": 10269.811335398821,
+}
+
+_STAT_KEYS = tuple(SMALLEST_CELL_FINGERPRINT)
+
+
+def _bare_cell_stats(cell):
+    """The cell's virtual stats with observability entirely off."""
+    cluster = Cluster(site_ids=tuple(range(1, cell["sites"] + 1)),
+                      config=scaling._cell_config())
+    driver = ScalingDriver(
+        cluster,
+        record_count=scaling.SCALING_RECORDS,
+        mix=scaling.SCALING_MIX,
+        keys="zipf",
+        theta=cell["theta"],
+        clients=cell["clients"],
+        txns_per_client=scaling.SCALING_TXNS_PER_CLIENT,
+        arrival="closed",
+        think_mean=scaling.SCALING_THINK,
+        seed=scaling.SCALING_SEED,
+    )
+    driver.setup()
+    return driver.run().stats()
+
+
+# ----------------------------------------------------------------------
+# zero perturbation + pinned fingerprint (smallest grid cell)
+# ----------------------------------------------------------------------
+
+def test_smallest_cell_matches_pinned_fingerprint_under_strict_monitors():
+    row = run_scaling_cell(SMALLEST_CELL)
+    assert row["monitors_total_violations"] == 0
+    for key, expected in SMALLEST_CELL_FINGERPRINT.items():
+        assert row[key] == expected, key
+
+
+def test_monitors_do_not_perturb_the_smallest_cell():
+    """Strict monitors + metrics on vs observability off: identical
+    virtual stats, so the scaling numbers are workload truth, not an
+    artifact of being watched."""
+    bare = _bare_cell_stats(SMALLEST_CELL)
+    instrumented = run_scaling_cell(SMALLEST_CELL)
+    for key in _STAT_KEYS:
+        assert instrumented[key] == bare[key], key
+
+
+# ----------------------------------------------------------------------
+# stock-implementation differential: the hot paths are vt-neutral
+# ----------------------------------------------------------------------
+
+def _stock_conflicts(self, holder, mode, start, end):
+    """The pre-tranche conflict scan: materialized records, generic
+    mode compatibility, holder equality before overlap."""
+    blockers = set()
+    for rec in self.records():
+        if rec.holder == holder:
+            continue
+        if compatible(mode, rec.mode):
+            continue
+        if rec.ranges.overlaps(start, end):
+            blockers.add(rec.holder)
+    return sorted(blockers)
+
+
+def _stock_overlaps(self, start, end):
+    """The pre-tranche overlap test: full validation, no early exit."""
+    if start < 0 or end < start:
+        raise ValueError("bad range [%r, %r)" % (start, end))
+    return any(s < end and start < e for s, e in self._runs)
+
+
+def _stock_dirty_owners(self, start, end):
+    """The pre-tranche scan over *every* dirty page, no window filter."""
+    out = {}
+    if end <= start:
+        return out
+    psize = self._cost.page_size
+    window = RangeSet.single(start, end)
+    for page_index, ps in self._pages.items():
+        base = page_index * psize
+        for owner, ranges in ps.owners.items():
+            hit = ranges.shift(base).intersection(window)
+            if hit:
+                prior = out.get(owner)
+                out[owner] = hit if prior is None else prior.union(hit)
+    return out
+
+
+def test_hot_paths_are_virtual_time_identical_to_stock(monkeypatch):
+    """Revert every profile-guided rewrite at once and re-run a
+    contended cell: committed/aborted/retries, virtual makespan and
+    every latency quantile must match exactly."""
+    fast = run_scaling_cell(CONTENDED_CELL)
+
+    monkeypatch.setattr(LockTable, "conflicts", _stock_conflicts)
+    monkeypatch.setattr(RangeSet, "overlaps", _stock_overlaps)
+    # Read-only log scans fall back to the deep-copying reader.
+    monkeypatch.setattr(LogFile, "scan", LogFile.entries)
+    monkeypatch.setattr(OpenFileState, "dirty_owners", _stock_dirty_owners)
+    # Transaction ids lose identity preservation across deep copies:
+    # RPC payload copies become distinct-but-equal objects, the stock
+    # behaviour the ``is`` short-circuit must be equivalent to.
+    monkeypatch.delattr(TransactionId, "__deepcopy__")
+    monkeypatch.delattr(TransactionId, "__copy__")
+
+    tid = TransactionId(timestamp=1.5, site_id=2, sequence=7)
+    clone = copy.deepcopy(tid)
+    assert clone is not tid and clone == tid  # patch took effect
+
+    stock = run_scaling_cell(CONTENDED_CELL)
+    for key in _STAT_KEYS:
+        assert stock[key] == fast[key], key
+    assert stock["monitors_total_violations"] == 0
+    assert fast["retries"] > 0  # the cell really is contended
+
+
+def test_transaction_id_comparisons_match_tuple_semantics():
+    """The hand-written comparators agree with the generated tuple
+    ordering on every pair of a mixed sample."""
+    sample = [
+        TransactionId(timestamp=t, site_id=s, sequence=q)
+        for t in (0.0, 1.25, 1.25, 3.0)
+        for s in (1, 2)
+        for q in (1, 5)
+    ]
+    for a in sample:
+        for b in sample:
+            ta = (a.timestamp, a.site_id, a.sequence)
+            tb = (b.timestamp, b.site_id, b.sequence)
+            assert (a == b) is (ta == tb)
+            assert (a != b) is (ta != tb)
+            assert (a < b) is (ta < tb)
+            assert (a <= b) is (ta <= tb)
+            assert (a > b) is (ta > tb)
+            assert (a >= b) is (ta >= tb)
+            if a == b:
+                assert hash(a) == hash(b)
+    assert sorted(sample) == sorted(sample, key=lambda i: (
+        i.timestamp, i.site_id, i.sequence))
+
+
+# ----------------------------------------------------------------------
+# grid runner + report section
+# ----------------------------------------------------------------------
+
+def test_scaling_cells_is_the_ordered_cross_product():
+    cells = scaling_cells(sites=(1, 3), clients=(8, 16), thetas=(0.0, 0.9))
+    assert len(cells) == 8
+    assert cells[0] == {"sites": 1, "clients": 8, "theta": 0.0}
+    assert cells[-1] == {"sites": 3, "clients": 16, "theta": 0.9}
+
+
+def test_grid_runner_section_and_report_validate():
+    sites, clients, thetas = (1,), (8, 16), (0.9,)
+    cells = scaling_cells(sites=sites, clients=clients, thetas=thetas)
+    results = run_scaling_grid(cells, workers=1)
+    section = scaling_section(results, sites=sites, clients=clients,
+                              thetas=thetas)
+    assert [c["clients"] for c in section["cells"]] == [8, 16]
+    ref = section["reference"]
+    assert ref["sites"] == 1 and ref["theta"] == 0.9
+    assert sorted(ref["commits_per_sec"]) == ["c16", "c8"]
+    doc = scaling_report(section)
+    validate_report(doc)
+    assert doc["schema"] == "repro.bench_report/7"
+    table = render_scaling_table(section)
+    assert "reference" in table and "cmt/sec" in table
+
+
+# ----------------------------------------------------------------------
+# knee-point diff gates
+# ----------------------------------------------------------------------
+
+def _synthetic_scaling_doc(cps_c1024):
+    rows = []
+    for c in (64, 256, 1024):
+        rows.append({
+            "sites": 3, "clients": c, "theta": 0.9,
+            "committed": 2 * c, "aborted": 0, "retries": 0,
+            "abort_rate": 0.0, "virtual_seconds": 100.0,
+            "commits_per_sec": cps_c1024 if c == 1024 else float(c),
+            "p50_ms": 10.0, "p95_ms": 20.0, "p99_ms": 30.0,
+            "monitors_total_violations": 0,
+        })
+    section = scaling_section(rows, sites=(3,), clients=(64, 256, 1024),
+                              thetas=(0.9,))
+    doc = scaling_report(section)
+    validate_report(doc)
+    return doc
+
+
+def test_knee_point_gate_trips_on_reference_curve_regression():
+    old = _synthetic_scaling_doc(cps_c1024=10.0)
+    held = _synthetic_scaling_doc(cps_c1024=9.5)    # -5%: inside budget
+    broken = _synthetic_scaling_doc(cps_c1024=8.0)  # -20%: regression
+    gate = "delta.scaling.commits_per_sec.c1024>=-0.10"
+
+    ok = diff_reports(old, held, checks=[gate])
+    assert ok["ok"] and ok["checks"][0]["value"] == pytest.approx(-0.05)
+
+    bad = diff_reports(old, broken, checks=[gate])
+    assert not bad["ok"]
+    # The digest lists the regressed reference point.
+    assert any(m["scaling"] == "reference.commits_per_sec.c1024"
+               for m in bad["scaling"])
+    # The fully-qualified spelling resolves to the same value.
+    long_form = diff_reports(
+        old, broken,
+        checks=["delta.scaling.reference.commits_per_sec.c1024>=-0.10"])
+    assert long_form["checks"][0]["value"] == bad["checks"][0]["value"]

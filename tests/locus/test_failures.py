@@ -244,3 +244,48 @@ def test_recovery_aborts_undecided_coordinator_entries(cluster):
     cluster.restart_site(1)
     cluster.run()
     assert len(site1.coordinator_log) == 0  # scrubbed by abort processing
+
+
+def test_commit_failure_detaches_process_for_clean_retry(cluster):
+    """A prepare failure raises TransactionAborted out of EndTrans; the
+    calling process must leave the dead transaction on that path too,
+    so a retrying client's next BeginTrans starts a fresh top-level
+    transaction instead of nesting into the aborted one (the scaling
+    driver's retry loop leans on this)."""
+    from repro.locus import TransactionAborted
+
+    def client(sysc):
+        yield from sysc.begin_trans()
+        fa = yield from sysc.open("/a", write=True)
+        fb = yield from sysc.open("/b", write=True)
+        yield from sysc.write(fa, b"X" * 10)
+        yield from sysc.write(fb, b"Y" * 10)
+        cluster.crash_site(2)  # participant dies: prepare will fail
+        try:
+            yield from sysc.end_trans()
+        except TransactionAborted:
+            pass
+        else:
+            raise AssertionError("commit with a dead participant "
+                                 "should abort")
+        # Retry against the surviving site only: must be a fresh
+        # top-level transaction, and must durably commit.
+        yield from sysc.begin_trans()
+        fa2 = yield from sysc.open("/a", write=True)
+        yield from sysc.seek(fa2, 50)
+        yield from sysc.write(fa2, b"Z" * 10)
+        yield from sysc.end_trans()
+        return "recovered"
+
+    p = cluster.spawn(client, site_id=1)
+    cluster.run()
+    assert p.exit_status == "done"
+    assert p.exit_value == "recovered"
+    # Two distinct transactions: the aborted original and the retry
+    # (committed, possibly already resolved by background cleanup).
+    states = sorted(str(t.state) for t in cluster.txn_registry.all())
+    assert len(states) == 2
+    assert str(TxnState.ABORTED) in states
+    retry_state = [s for s in states if s != str(TxnState.ABORTED)]
+    assert retry_state[0] in (str(TxnState.COMMITTED), str(TxnState.RESOLVED))
+    assert committed(cluster, "/a", 50, 10) == b"Z" * 10

@@ -195,7 +195,8 @@ def test_generated_enginespeed_microbench_validates():
     validate_report(doc)
     assert doc["sites"] == {}
     storms = doc["wallclock"]["storms"]
-    assert set(storms) == {"fire", "cancel", "cascade", "rpc", "lock"}
+    assert set(storms) == {"fire", "cancel", "cascade", "rpc", "lock",
+                           "openloop"}
     # The heap storms run at exact weighted sizes; the workload storms'
     # counts emerge from subsystem machinery but must be positive.
     assert storms["fire"]["events"] == 2_000

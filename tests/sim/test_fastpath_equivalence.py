@@ -59,6 +59,11 @@ class StockEngine(Engine):
         entry[2] = None
         entry[3] = None  # tombstone pops at its scheduled time
 
+    def schedule_many(self, items):
+        # The historical arrival path: one heap push per entry, no
+        # bulk heapify, no ready ring for zero delays.
+        return [self.schedule(delay, fn, *args) for delay, fn, args in items]
+
     def timeout(self, delay, value=None):
         return Timeout(self, delay, value)
 
@@ -147,6 +152,69 @@ def test_heavily_cancelled_tree_compacts_but_parks_identically():
     assert fast_trace == stock_trace
     assert fast_now == stock_now
     assert fast_peak < stock_peak  # compaction really ran
+
+
+# ----------------------------------------------------------------------
+# bulk arrival: schedule_many vs per-entry schedule
+# ----------------------------------------------------------------------
+
+def _burst_spec(rng, bursts=5):
+    """(install_delay, delays, cancel_indices) per burst: each burst is
+    bulk-installed mid-run against whatever heap the earlier bursts
+    left behind, with a few of its handles cancelled immediately."""
+    spec = []
+    for _ in range(bursts):
+        delays = [rng.choice(_DELAYS) for _ in range(rng.randrange(1, 60))]
+        cancels = sorted({rng.randrange(len(delays))
+                          for _ in range(rng.randrange(4))})
+        spec.append((rng.choice(_DELAYS), delays, cancels))
+    return spec
+
+
+def _run_bursts(engine_cls, spec):
+    engine = engine_cls()
+    trace = []
+
+    def fire(burst, i):
+        trace.append((engine.now, burst, i))
+
+    def install(burst, delays, cancels):
+        handles = engine.schedule_many(
+            (d, fire, (burst, i)) for i, d in enumerate(delays)
+        )
+        assert len(handles) == len(delays)
+        for c in cancels:
+            engine.cancel(handles[c])
+
+    for burst, (when, delays, cancels) in enumerate(spec):
+        engine.schedule(when, install, burst, delays, cancels)
+    engine.run()
+    return trace, engine.now
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_bulk_bursts_fire_identically_to_stock_pushes(seed):
+    """A schedule_many burst against a live heap fires in exactly the
+    order N individual heap pushes would have produced -- including
+    zero-delay entries (ready ring vs heap) and immediate cancels."""
+    spec = _burst_spec(random.Random(0xB0157 + seed))
+    assert _run_bursts(Engine, spec) == _run_bursts(StockEngine, spec)
+
+
+def test_schedule_many_rejects_negative_delay_but_keeps_prior_entries():
+    """A bad triple mid-burst raises, and the entries accepted before
+    it are properly heapified and still fire in order."""
+    engine = Engine()
+    fired = []
+    with pytest.raises(SimError):
+        engine.schedule_many([
+            (0.2, fired.append, (2,)),
+            (0.1, fired.append, (1,)),
+            (-0.5, fired.append, (99,)),
+            (0.3, fired.append, (3,)),
+        ])
+    engine.run()
+    assert fired == [1, 2]
 
 
 # ----------------------------------------------------------------------
