@@ -4,7 +4,7 @@ The discrete-event core (:mod:`repro.sim.engine`) is the floor under
 every benchmark in this repository, so its raw event rate is a gated
 number, not a curiosity.  This module owns the six storm workloads
 (``benchmarks/test_engine_speed.py`` drives the same functions under
-pytest-benchmark) and emits a ``repro.bench_report/7`` *microbench*
+pytest-benchmark) and emits a ``repro.bench_report/8`` *microbench*
 document -- empty ``sites`` (there is no simulated cluster, hence the
 schema's microbench allowance) plus a ``wallclock`` section carrying
 events/sec.

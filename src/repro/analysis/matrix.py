@@ -2,12 +2,15 @@
 
 Fans the scenario x lock_cache x commit_batching grid across worker
 processes (one simulated cluster per cell, protocol monitors strict in
-every cell), then merges the per-cell ``repro.bench_report/7``
+every cell), then merges the per-cell ``repro.bench_report/8``
 documents into one matrix report:
 
 * histograms merge exactly -- each cell's summaries round-trip through
   :meth:`~repro.obs.metrics.Histogram.from_summary`, so the merged
   percentiles equal those of a single hub that saw every sample;
+* quantile sketches merge exactly too (the DDSketch merge is lossless:
+  bucket counts add), so the matrix report's per-mix ``sketches``
+  section carries p99/p999 tails identical to a single-process run;
 * counters sum, span totals sum;
 * the ``matrix`` section records the grid and one row per cell
   (scenario outcome, monitor verdict, per-cell wall-clock summary);
@@ -69,7 +72,7 @@ def run_cell(cell, wallprof=True):
 
     Module-level with picklable arguments so a multiprocessing pool can
     fan cells across cores; returns the cell dict plus its validated
-    per-cell v6 report under ``"report"``.
+    per-cell v8 report under ``"report"``.
     """
     from repro import Cluster
     from repro.analysis.report import SCENARIOS, SCENARIO_CONFIG
@@ -114,13 +117,15 @@ def run_grid(cells, workers=1, wallprof=True):
 
 
 def merge_reports(results, scenarios=DEFAULT_SCENARIOS) -> dict:
-    """Fold per-cell reports into one ``repro.bench_report/7`` matrix
+    """Fold per-cell reports into one ``repro.bench_report/8`` matrix
     document (see the module docstring for the merge rules)."""
     from repro import __version__
+    from repro.obs.metrics import MetricsHub
     from repro.obs.schema import SCHEMA_ID
 
     sites = {}        # site -> name -> Histogram
     counters = {}     # site -> name -> int
+    sketch_hub = MetricsHub()  # folds every cell's sketches section
     span_totals = {"recorded": 0, "dropped": 0, "traces": 0, "instants": 0}
     virtual_time = 0.0
     cells = []
@@ -145,6 +150,7 @@ def merge_reports(results, scenarios=DEFAULT_SCENARIOS) -> dict:
             merged = counters.setdefault(site, {})
             for name, value in values.items():
                 merged[name] = merged.get(name, 0) + value
+        sketch_hub.load_sketches(report.get("sketches", {}))
         for key in span_totals:
             span_totals[key] += report["spans"].get(key, 0)
         monitors = report.get("monitors") or {}
@@ -201,6 +207,9 @@ def merge_reports(results, scenarios=DEFAULT_SCENARIOS) -> dict:
             "cells": cells,
         },
     }
+    merged_sketches = sketch_hub.sketches_by_site()
+    if merged_sketches:
+        doc["sketches"] = merged_sketches
     if have_wallclock:
         doc["wallclock"] = wallclock_section(
             wall_seconds=wall_seconds,

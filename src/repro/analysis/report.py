@@ -4,12 +4,13 @@ Runs a named scenario on an instrumented cluster, prints a per-site
 latency-breakdown table (count / p50 / p95 / p99 / max per metric), and
 writes two artifacts:
 
-* ``BENCH_report.json`` -- the stable ``repro.bench_report/7`` metrics
+* ``BENCH_report.json`` -- the stable ``repro.bench_report/8`` metrics
   document (validated against :mod:`repro.obs.schema` before writing),
   including the ``critpath`` (per-transaction blame decomposition),
   ``contention`` (resource / waits-for attribution), ``timeline``
-  (per-site gauge/rate series) and ``monitors`` (runtime protocol
-  verification) sections; the ``throughput`` scenario writes
+  (per-site gauge/rate series), ``monitors`` (runtime protocol
+  verification), ``sketches`` (per-mix quantile sketches) and ``slo``
+  (per-mix error-budget burn rates) sections; the ``throughput`` scenario writes
   ``BENCH_throughput.json`` with the commit-batching on/off comparison
   (docs/COMMIT_BATCHING.md);
 * ``BENCH_trace.json`` -- a Chrome trace-event file of every causal
@@ -49,7 +50,7 @@ __all__ = ["SCENARIOS", "SCENARIO_CONFIG", "THROUGHPUT_TXNS_PER_SITE",
            "run_scenario", "baseline_wall_seconds",
            "attach_analysis_sections", "throughput_stats",
            "render_table", "render_cache_table", "render_throughput_table",
-           "render_critpath_table", "main"]
+           "render_critpath_table", "render_slo_table", "main"]
 
 
 # ----------------------------------------------------------------------
@@ -532,6 +533,35 @@ def render_critpath_table(section) -> str:
     return "\n".join(lines)
 
 
+def render_slo_table(section) -> str:
+    """The per-mix SLO burn-rate report (docs/OBSERVABILITY.md, "SLOs
+    and burn rates"): one row per objective with its error budget, the
+    overall burn, the worst single-window burn, and the verdict."""
+    header = "%-10s %-22s %9s %8s %8s %8s %9s %9s  %s" % (
+        "mix", "objective", "bound", "total", "bad", "budget",
+        "burn", "worstwin", "verdict",
+    )
+    lines = [header, "-" * len(header)]
+    for mix in sorted(section.get("mixes", {})):
+        entry = section["mixes"][mix]
+        for row in entry.get("objectives", ()):
+            bound = ("%.0fms" % (row["bound"] * 1e3)
+                     if row["kind"] == "latency" else "%.1f%%"
+                     % (row["bound"] * 100.0))
+            lines.append("%-10s %-22s %9s %8d %8d %7.1f%% %9.2f %9.2f  %s" % (
+                mix, row["name"], bound, row["total"], row["bad"],
+                row["budget"] * 100.0, row["burn"], row["worst_burn"],
+                "ok" if row["ok"] else "BREACH",
+            ))
+    lines.append("worst burn %.2f over %d window(s) of %.2fs -- %s" % (
+        section.get("worst_burn", 0.0), section.get("windows", 0),
+        section.get("window", 0.0),
+        "all objectives hold" if section.get("ok")
+        else "%d objective(s) breached" % section.get("total_breaches", 0),
+    ))
+    return "\n".join(lines)
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.report",
@@ -622,6 +652,19 @@ def main(argv=None):
         ))
         for violation in monitors["violations"]:
             print("  [%s] %s" % (violation["check"], violation["message"]))
+    slo = report.get("slo")
+    if slo is not None:
+        print("\n== slo ==")
+        print(render_slo_table(slo))
+    sampling = report["spans"].get("sampling")
+    if sampling is not None:
+        print("\n== trace sampling ==")
+        print("kept %d trace(s) (%d marked), dropped %d trace(s) / %d "
+              "span(s); peak retained+buffered %d span(s)" % (
+                  sampling["kept_traces"], sampling["marked"],
+                  sampling["dropped_traces"], sampling["dropped_spans"],
+                  sampling["peak_retained"],
+              ))
     timeline = report.get("timeline")
     if timeline is not None:
         print("\n== timeline ==")

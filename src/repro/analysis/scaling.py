@@ -28,9 +28,13 @@ Run it::
 
     PYTHONPATH=src python -m repro.analysis.scaling --workers 4
 
-writes ``BENCH_scaling.json`` (a ``repro.bench_report/7`` microbench
+writes ``BENCH_scaling.json`` (a ``repro.bench_report/8`` microbench
 document -- empty ``sites``, the ``scaling`` section carries the
-payload) and prints one row per cell.  The full-report variant --
+payload plus a grid-aggregated ``monitors`` section) and prints one
+row per cell.  v8 cells additionally carry the sketch-backed
+``p999_ms`` tail, per-mix quantiles from the mergeable
+:class:`~repro.obs.sketch.QuantileSketch`\\ es, and per-mix SLO
+burn-rate verdicts (docs/OBSERVABILITY.md, "SLOs and burn rates").  The full-report variant --
 reference cell on an instrumented cluster, latency breakdown, causal
 trace -- is ``python -m repro.analysis.report --scenario scaling``.
 """
@@ -51,7 +55,8 @@ __all__ = [
     "SCALING_RECORDS", "SCALING_THINK", "SCALING_TXNS_PER_CLIENT",
     "SCALING_RPC_TIMEOUT", "SCALING_MIX", "SCALING_SEED",
     "scaling_cells", "run_scaling_cell", "run_scaling_grid",
-    "scaling_section", "scaling_report", "render_scaling_table", "main",
+    "monitors_aggregate", "scaling_section", "scaling_report",
+    "render_scaling_table", "main",
 ]
 
 #: Default grid axes.  The reference corner (max sites, max skew)
@@ -122,10 +127,40 @@ def run_scaling_cell(cell, timeline_tick=0.0, cluster=None):
     wall = time.perf_counter() - start
     out = dict(cell)
     out.update(result.stats())
+    # Sketch-backed extreme tail: the driver's exact per-txn quantile
+    # for the cell row, the per-mix sketches for the fleet view.
+    out["p999_ms"] = result.latency_quantile(0.999) * 1000.0
+    obs = cluster.obs
+    mixes = {}
+    if obs is not None:
+        for mix in obs.metrics.mixes():
+            sketch = obs.metrics.merged_sketch("client.latency", mix=mix)
+            if sketch is None or not sketch.count:
+                continue
+            mixes[mix] = {
+                "count": sketch.count,
+                "p50_ms": sketch.percentile(50) * 1000.0,
+                "p95_ms": sketch.percentile(95) * 1000.0,
+                "p99_ms": sketch.percentile(99) * 1000.0,
+                "p999_ms": sketch.percentile(99.9) * 1000.0,
+            }
+    out["mixes"] = mixes
+    # Per-mix SLO verdicts: did this cell hold its error budgets?
+    verdicts = {}
+    if obs is not None and obs.slo is not None and obs.slo.mixes():
+        for mix, entry in obs.slo.section()["mixes"].items():
+            verdicts[mix] = {"ok": entry["ok"],
+                             "worst_burn": entry["worst_burn"]}
+    out["slo"] = verdicts
     monitors = getattr(cluster.obs, "monitors", None)
     out["monitors_total_violations"] = (
         monitors.total_violations if monitors is not None else 0
     )
+    if monitors is not None:
+        msec = monitors.section()
+        out["monitors_events"] = msec["events"]
+        out["monitors_checks"] = msec["checks"]
+        out["monitors_violation_counts"] = msec["violation_counts"]
     # Host-dependent; printed by the runner, stripped before the JSON.
     out["wall_seconds"] = wall
     return out
@@ -152,12 +187,42 @@ _CELL_KEYS = (
     "sites", "clients", "theta",
     "committed", "aborted", "retries", "abort_rate",
     "virtual_seconds", "commits_per_sec",
-    "p50_ms", "p95_ms", "p99_ms",
+    "p50_ms", "p95_ms", "p99_ms", "p999_ms",
+    "mixes", "slo",
     "monitors_total_violations",
 )
 
 #: Curve metrics exported at the reference corner, keyed ``c<N>``.
-_CURVE_KEYS = ("commits_per_sec", "abort_rate", "p99_ms")
+_CURVE_KEYS = ("commits_per_sec", "abort_rate", "p99_ms", "p999_ms")
+
+
+def monitors_aggregate(results) -> dict:
+    """A ``monitors`` report section aggregated across grid cells (each
+    cell ran its own strict MonitorHub in its own cluster -- often its
+    own process -- so the standalone scaling document carries the sums,
+    addressable by the CI gate as ``monitors.total_violations``)."""
+    aggregate = {
+        "strict": True,
+        "events": 0,
+        "total_violations": 0,
+        "checks": [],
+        "violation_counts": {},
+        "violations": [],
+    }
+    checks = set()
+    for row in results:
+        aggregate["events"] += row.get("monitors_events", 0)
+        aggregate["total_violations"] += row.get(
+            "monitors_total_violations", 0)
+        checks.update(row.get("monitors_checks", ()))
+        for name, count in sorted(
+            (row.get("monitors_violation_counts") or {}).items()
+        ):
+            aggregate["violation_counts"][name] = (
+                aggregate["violation_counts"].get(name, 0) + count
+            )
+    aggregate["checks"] = sorted(checks)
+    return aggregate
 
 
 def scaling_section(results, sites=SCALING_SITES, clients=SCALING_CLIENTS,
@@ -165,14 +230,26 @@ def scaling_section(results, sites=SCALING_SITES, clients=SCALING_CLIENTS,
     """Fold per-cell results into the report's ``scaling`` section."""
     ref_sites = max(sites)
     ref_theta = max(thetas)
-    reference = {"sites": ref_sites, "theta": ref_theta}
+    reference = {"sites": ref_sites, "theta": ref_theta, "slo": {}}
     for key in _CURVE_KEYS:
         reference[key] = {}
     for row in results:
         if row["sites"] == ref_sites and row["theta"] == ref_theta:
             label = "c%d" % row["clients"]
             for key in _CURVE_KEYS:
-                reference[key][label] = row[key]
+                if key in row:
+                    reference[key][label] = row[key]
+            # Knee-vs-SLO: alongside the knee curves, whether this
+            # client count still held every declared error budget.
+            verdicts = row.get("slo") or {}
+            reference["slo"][label] = {
+                "ok": all(v["ok"] for v in verdicts.values())
+                if verdicts else True,
+                "worst_burn": max(
+                    (v["worst_burn"] for v in verdicts.values()),
+                    default=0.0,
+                ),
+            }
     return {
         "grid": {
             "sites": [int(s) for s in sites],
@@ -188,19 +265,22 @@ def scaling_section(results, sites=SCALING_SITES, clients=SCALING_CLIENTS,
             "seed": SCALING_SEED,
         },
         "reference": reference,
-        "cells": [{key: row[key] for key in _CELL_KEYS} for row in results],
+        "cells": [{key: row[key] for key in _CELL_KEYS if key in row}
+                  for row in results],
     }
 
 
-def scaling_report(section) -> dict:
+def scaling_report(section, monitors=None) -> dict:
     """Wrap a ``scaling`` section as a standalone
-    ``repro.bench_report/7`` microbench document (empty ``sites``: the
+    ``repro.bench_report/8`` microbench document (empty ``sites``: the
     grid runs its clusters cell-locally, and their latency breakdowns
-    are deliberately not merged across unequal grid corners)."""
+    are deliberately not merged across unequal grid corners).
+    ``monitors`` (see :func:`monitors_aggregate`) adds the grid-wide
+    monitors section the CI gate pins."""
     from repro import __version__
     from repro.obs.schema import SCHEMA_ID
 
-    return {
+    doc = {
         "schema": SCHEMA_ID,
         "generator": "repro %s" % __version__,
         "scenario": "scaling",
@@ -210,26 +290,55 @@ def scaling_report(section) -> dict:
         "spans": {"recorded": 0, "dropped": 0, "traces": 0, "instants": 0},
         "scaling": section,
     }
+    if monitors is not None:
+        doc["monitors"] = monitors
+    return doc
 
 
 def render_scaling_table(section, walls=None) -> str:
     """One row per grid cell (virtual-time numbers; optional wall
     seconds column from the live run)."""
-    header = "%5s %7s %5s %9s %7s %7s %9s %9s %8s %8s" % (
+    header = "%5s %7s %5s %9s %7s %7s %9s %9s %8s %8s %9s %8s" % (
         "sites", "clients", "theta", "committed", "aborts", "abort%",
-        "virt-sec", "cmt/sec", "p99ms", "wall-s",
+        "virt-sec", "cmt/sec", "p99ms", "p999ms", "slo", "wall-s",
     )
     lines = [header, "-" * len(header)]
     for i, cell in enumerate(section["cells"]):
         wall = "--"
         if walls is not None and i < len(walls) and walls[i] is not None:
             wall = "%.2f" % walls[i]
-        lines.append("%5d %7d %5.2f %9d %7d %6.1f%% %9.2f %9.2f %8.2f %8s" % (
-            cell["sites"], cell["clients"], cell["theta"],
-            cell["committed"], cell["aborted"], 100.0 * cell["abort_rate"],
-            cell["virtual_seconds"], cell["commits_per_sec"],
-            cell["p99_ms"], wall,
-        ))
+        verdicts = cell.get("slo") or {}
+        if verdicts:
+            worst = max(v["worst_burn"] for v in verdicts.values())
+            slo = ("ok" if all(v["ok"] for v in verdicts.values())
+                   else "burn=%.1f" % worst)
+        else:
+            slo = "--"
+        lines.append(
+            "%5d %7d %5.2f %9d %7d %6.1f%% %9.2f %9.2f %8.2f %8.2f %9s %8s"
+            % (
+                cell["sites"], cell["clients"], cell["theta"],
+                cell["committed"], cell["aborted"],
+                100.0 * cell["abort_rate"],
+                cell["virtual_seconds"], cell["commits_per_sec"],
+                cell["p99_ms"], cell.get("p999_ms", 0.0), slo, wall,
+            ))
+    # Per-mix sketch tails: the fleet view of every mix that recorded
+    # sketch samples anywhere in the grid (one line per cell x mix).
+    mix_lines = []
+    for cell in section["cells"]:
+        for mix, q in sorted((cell.get("mixes") or {}).items()):
+            mix_lines.append(
+                "  s%d c%d t%.2f %-10s p50=%.2fms p95=%.2fms "
+                "p99=%.2fms p999=%.2fms (n=%d)" % (
+                    cell["sites"], cell["clients"], cell["theta"], mix,
+                    q["p50_ms"], q["p95_ms"], q["p99_ms"], q["p999_ms"],
+                    q["count"],
+                ))
+    if mix_lines:
+        lines.append("")
+        lines.append("per-mix sketch tails (client.latency):")
+        lines.extend(mix_lines)
     ref = section["reference"]
     lines.append("")
     lines.append("reference (sites=%d theta=%.2f): %s" % (
@@ -237,9 +346,18 @@ def render_scaling_table(section, walls=None) -> str:
         "  ".join(
             "%s[%s]=%.2f" % (key, label, ref[key][label])
             for key in _CURVE_KEYS
+            if isinstance(ref.get(key), dict)
             for label in sorted(ref[key], key=lambda s: int(s[1:]))
         ),
     ))
+    ref_slo = ref.get("slo") or {}
+    if ref_slo:
+        lines.append("knee vs SLO: %s" % "  ".join(
+            "%s=%s" % (label,
+                       "ok" if ref_slo[label]["ok"]
+                       else "BREACH(burn=%.1f)" % ref_slo[label]["worst_burn"])
+            for label in sorted(ref_slo, key=lambda s: int(s[1:]))
+        ))
     return "\n".join(lines)
 
 
@@ -251,7 +369,7 @@ def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.scaling",
         description="Sweep the sites x clients x skew scaling grid and "
-                    "write the repro.bench_report/7 scaling document.",
+                    "write the repro.bench_report/8 scaling document.",
     )
     parser.add_argument("--workers", type=int, default=0,
                         help="worker processes (default: one per core, "
@@ -283,7 +401,7 @@ def main(argv=None):
 
     section = scaling_section(results, sites=sites, clients=clients,
                               thetas=thetas)
-    doc = scaling_report(section)
+    doc = scaling_report(section, monitors=monitors_aggregate(results))
     validate_report(doc)
 
     print("== scaling: %d cells x %d worker(s) in %.2fs ==" % (

@@ -164,3 +164,20 @@ class SystemConfig:
     # Purely a wall-clock observer -- virtual time, event order, and
     # every simulated result are byte-identical with it on or off.
     wallprof: bool = False
+
+    # Tail-based trace sampling (docs/OBSERVABILITY.md, "Trace
+    # sampling"): 0.0 retains every span (the pre-sampling behaviour);
+    # a rate in (0, 1) keeps that head-sampled fraction of whole trace
+    # trees (txn-id hash) plus every SLO-violating, slowest-percentile,
+    # deadlock-participant, and monitor-violating tree.  Retention only:
+    # histograms, sketches, and all virtual-time metrics still record
+    # every sample either way.
+    trace_sampling: float = 0.0
+
+    # Per-mix SLO burn-rate tracking (docs/OBSERVABILITY.md, "SLOs and
+    # burn rates"): evaluate the objectives declared on workload mixes
+    # (repro.workloads.txngen TxnMix.slos) into error-budget burn rates
+    # -- the ``slo`` report section plus ``slo.burn.<mix>`` timeline
+    # gauges.  On by default: the tracker stays empty (and the section
+    # absent) until a driver declares a mix with objectives.
+    slo_tracking: bool = True

@@ -45,6 +45,9 @@ class TxnRecord:
         self.tid = tid
         self.top_proc = top_proc
         self.members = {top_proc.pid: top_proc}
+        # Workload-mix label carried from the starting process: keys the
+        # per-mix latency sketches and SLO burn-rate accounting.
+        self.mix = getattr(top_proc, "mix", None)
         # Assigned before ``state``: the state setter reports lifecycle
         # transitions through registry.engine.obs when observability is on.
         self.registry = registry
@@ -92,6 +95,14 @@ class TxnRecord:
         elif value == TxnState.ABORTING:
             obs.event("2pc.decide", site_id=site, tid=self.tid,
                       decision="abort")
+        # Per-mix abort-rate SLO accounting: each decided outcome is one
+        # good (commit) or bad (abort) event against the mix's rate
+        # objectives.  Pure observer, like everything above.
+        if self.mix is not None and obs.slo is not None:
+            if value == TxnState.COMMITTED:
+                obs.slo.outcome(self.mix, "abort.rate", bad=False)
+            elif value == TxnState.ABORTING:
+                obs.slo.outcome(self.mix, "abort.rate", bad=True)
 
     @property
     def holder(self):
@@ -176,9 +187,11 @@ class TransactionService:
             if obs is not None:
                 # Root of the causal trace: every syscall, lock wait,
                 # RPC, and 2PC span of this transaction nests under it.
+                attrs = {"tid": str(tid), "pid": proc.pid}
+                if rec.mix is not None:
+                    attrs["mix"] = rec.mix
                 rec.obs_span = obs.span(
-                    "txn", site_id=proc.site_id, root=True,
-                    tid=str(tid), pid=proc.pid,
+                    "txn", site_id=proc.site_id, root=True, **attrs
                 )
         else:
             proc.nesting += 1

@@ -136,7 +136,10 @@ def run_two_phase_commit(site, txn):
         # Commit latency as the application sees it: EndTrans to the
         # commit point, measured at the coordinator (section 6.3's
         # "at the requesting site" methodology).
-        obs.observe(site.site_id, "commit.latency", engine.now - commit_started)
+        obs.observe(
+            site.site_id, "commit.latency", engine.now - commit_started,
+            mix=txn.mix,
+        )
 
     # Phase two runs asynchronously (Figure 5 step 5).  Spawned before
     # the coordinator span closes so it inherits the causal context.
@@ -194,6 +197,7 @@ def phase_two(site, txn, participants, retry_delay=0.25, max_rounds=40):
                 obs.observe(
                     site.site_id, "commit.resolve",
                     site.engine.now - txn.commit_started_at,
+                    mix=txn.mix,
                 )
         if site.config.auto_propagate:
             yield from _propagate_replicated(site, txn)

@@ -67,19 +67,21 @@ class Cluster:
 
     def enable_observability(self, span_capacity=200000, bounds=None,
                              monitors=None, strict=None, timeline_tick=None,
-                             wallprof=None):
+                             wallprof=None, sampling=None, slo=None):
         """Attach causal-span tracing and latency histograms.
 
         Instrumentation is a pure observer: it charges no virtual time,
         so an instrumented run is event-for-event identical to an
         uninstrumented one (see docs/OBSERVABILITY.md).
 
-        ``monitors``/``strict``/``timeline_tick``/``wallprof`` default
-        from the cluster config (``SystemConfig.monitors`` etc.), which
-        in turn can be overridden by the ``REPRO_MONITOR`` /
-        ``REPRO_TIMELINE`` / ``REPRO_WALLPROF`` environment variables --
+        ``monitors``/``strict``/``timeline_tick``/``wallprof``/
+        ``sampling``/``slo`` default from the cluster config
+        (``SystemConfig.monitors`` etc.), which in turn can be
+        overridden by the ``REPRO_MONITOR`` / ``REPRO_TIMELINE`` /
+        ``REPRO_WALLPROF`` / ``REPRO_SAMPLING`` environment variables --
         so an existing experiment script gains runtime verification (or
-        a wall-clock profile) without a code change."""
+        a wall-clock profile, or tail-sampled trace retention) without a
+        code change."""
         import os
 
         from repro.obs import Observability
@@ -97,12 +99,22 @@ class Cluster:
                 timeline_tick = float(os.environ["REPRO_TIMELINE"])
         if wallprof is None:
             wallprof = self.config.wallprof or bool(os.environ.get("REPRO_WALLPROF"))
+        if sampling is None:
+            sampling = self.config.trace_sampling
+            if not sampling and os.environ.get("REPRO_SAMPLING"):
+                sampling = float(os.environ["REPRO_SAMPLING"])
+        if slo is None:
+            slo = self.config.slo_tracking
         if monitors:
             self.obs.attach_monitors(strict=strict)
         if timeline_tick:
             self.obs.attach_timeline(tick=timeline_tick)
         if wallprof:
             self.obs.attach_wallprof()
+        if sampling:
+            self.obs.attach_sampler(head_rate=sampling)
+        if slo:
+            self.obs.attach_slo()
         return self.obs
 
     # ------------------------------------------------------------------
@@ -180,9 +192,12 @@ class Cluster:
     # processes
     # ------------------------------------------------------------------
 
-    def spawn(self, program, *args, site_id=None, name=None):
-        """Start a top-level process running ``program`` at a site."""
-        return self.kernel.spawn(program, args, site_id=site_id, name=name)
+    def spawn(self, program, *args, site_id=None, name=None, mix=None):
+        """Start a top-level process running ``program`` at a site.
+        ``mix`` tags the process with its workload-mix label, carried
+        into its transactions' spans and per-mix metrics."""
+        return self.kernel.spawn(program, args, site_id=site_id, name=name,
+                                 mix=mix)
 
     def run(self, until=None):
         """Advance the simulation (to ``until``, or until idle)."""
@@ -303,6 +318,15 @@ class Cluster:
                     cycle=tuple("%s:%s" % h for h in cycle),
                     victim="%s:%s" % victim,
                 )
+                # Pin every cycle member's trace: the tail sampler must
+                # retain all deadlock participants (no-op unsampled).
+                for kind, key in cycle:
+                    if kind != "txn":
+                        continue
+                    member = self.txn_registry.get(key)
+                    span = getattr(member, "obs_span", None)
+                    if span is not None:
+                        obs.spans.mark_trace(span.trace_id)
             if victim[0] == "txn":
                 txn = self.txn_registry.get(victim[1])
                 if txn is not None and not txn.is_finished():

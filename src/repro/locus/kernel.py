@@ -56,15 +56,19 @@ class Kernel:
     # process management
     # ------------------------------------------------------------------
 
-    def spawn(self, program, args=(), site_id=None, parent=None, name=None):
-        """Create a process (top-level or child) and start its program."""
+    def spawn(self, program, args=(), site_id=None, parent=None, name=None,
+              mix=None):
+        """Create a process (top-level or child) and start its program.
+        ``mix`` tags the process's workload mix (children inherit the
+        parent's)."""
         if site_id is None:
             site_id = parent.site_id if parent else self.cluster.default_site_id
         site = self.cluster.site(site_id)
         if not site.up:
             raise KernelError("cannot spawn at down site %r" % (site_id,))
         proc = OsProcess(
-            self.engine, self.cluster.pids.next(), site_id, parent=parent, name=name
+            self.engine, self.cluster.pids.next(), site_id, parent=parent,
+            name=name, mix=mix,
         )
         if parent is not None:
             proc.inherit_channels(parent)

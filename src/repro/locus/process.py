@@ -38,13 +38,18 @@ class PidGenerator:
 class OsProcess:
     """Kernel bookkeeping for one process."""
 
-    def __init__(self, engine, pid, site_id, parent=None, name=None):
+    def __init__(self, engine, pid, site_id, parent=None, name=None,
+                 mix=None):
         self._engine = engine
         self.pid = pid
         self.site_id = site_id
         self.parent = parent
         self.children = []
         self.name = name or ("proc%d" % pid)
+        # Workload-mix label (e.g. "banking"): the client-class
+        # dimension threaded into spans, per-mix sketches and SLOs.
+        self.mix = mix if mix is not None else (
+            parent.mix if parent is not None else None)
 
         # open-file table
         self.channels = {}

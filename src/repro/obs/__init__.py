@@ -15,7 +15,7 @@ upgraded to modern practice:
 * exporters -- Chrome trace-event JSON (loadable in Perfetto), with
   :class:`Instant` markers for point-in-time observations such as
   deadlock-detector wait-for snapshots, and the stable
-  ``repro.bench_report/7`` metrics schema consumed by
+  ``repro.bench_report/8`` metrics schema consumed by
   ``python -m repro.analysis.report`` (v1-v5 documents still
   validate);
 * analysis readers -- :mod:`repro.obs.critpath` (per-transaction
@@ -47,7 +47,9 @@ from .export import build_report, metrics_to_json, to_chrome_trace, write_json
 from .metrics import Histogram, MetricsHub, default_bounds
 from .monitor import MonitorHub, MonitorViolation
 from .schema import REQUIRED_METRICS, SCHEMA_ID, SchemaError, validate_report
-from .span import Instant, Span, SpanRecorder
+from .sketch import QuantileSketch
+from .slo import SloObjective, SloTracker
+from .span import Instant, Span, SpanRecorder, TailSampler
 from .timeline import Timeline
 from .wallprof import WallProfiler
 
@@ -58,11 +60,15 @@ __all__ = [
     "MonitorHub",
     "MonitorViolation",
     "Observability",
+    "QuantileSketch",
     "REQUIRED_METRICS",
     "SCHEMA_ID",
     "SchemaError",
+    "SloObjective",
+    "SloTracker",
     "Span",
     "SpanRecorder",
+    "TailSampler",
     "Timeline",
     "WallProfiler",
     "build_report",
@@ -89,6 +95,7 @@ class Observability:
         self.monitors = None   # MonitorHub when attach_monitors() ran
         self.timeline = None   # Timeline when attach_timeline() ran
         self.wallprof = None   # WallProfiler when attach_wallprof() ran
+        self.slo = None        # SloTracker when attach_slo() ran
 
     def install(self):
         """Attach to the engine so layer hooks start recording."""
@@ -108,6 +115,8 @@ class Observability:
         """Enable gauge/rate time-series recording (idempotent)."""
         if self.timeline is None:
             self.timeline = Timeline(self.engine, tick=tick)
+        if self.slo is not None and self.slo.timeline is None:
+            self.slo.timeline = self.timeline
         return self.timeline
 
     def attach_wallprof(self):
@@ -120,6 +129,26 @@ class Observability:
             self.wallprof = WallProfiler(obs=self)
             self.spans.wallprof = self.wallprof
         return self.wallprof
+
+    def attach_slo(self):
+        """Enable per-mix SLO burn-rate tracking (idempotent).  The
+        tracker feeds ``slo.burn.<mix>`` gauges into the timeline when
+        one is attached (docs/OBSERVABILITY.md, "SLOs and burn
+        rates")."""
+        if self.slo is None:
+            self.slo = SloTracker(self.engine, timeline=self.timeline)
+        elif self.slo.timeline is None:
+            self.slo.timeline = self.timeline
+        return self.slo
+
+    def attach_sampler(self, head_rate=0.05, slow_percentile=99.0,
+                       min_slow_count=50, slow_window=256):
+        """Enable tail-based trace-retention sampling (idempotent; see
+        docs/OBSERVABILITY.md, "Trace sampling")."""
+        return self.spans.attach_sampler(
+            head_rate=head_rate, slow_percentile=slow_percentile,
+            min_slow_count=min_slow_count, slow_window=slow_window,
+        )
 
     def finish_monitors(self):
         """Run end-of-run liveness checks; safe to call repeatedly."""
@@ -143,8 +172,13 @@ class Observability:
     def end(self, span, status=None, **attrs):
         self.spans.end(span, status=status, **attrs)
 
-    def observe(self, site, name, value):
-        self.metrics.observe(site, name, value)
+    def observe(self, site, name, value, mix=None):
+        self.metrics.observe(site, name, value, mix=mix)
+        if mix is not None and self.slo is not None:
+            if self.slo.sample(mix, name, value):
+                # A bound-violating sample pins the offending txn's
+                # trace so the tail sampler keeps its whole tree.
+                self.spans.mark_trace()
 
     def incr(self, site, name, value=1):
         self.metrics.incr(site, name, value)

@@ -51,6 +51,9 @@ def to_chrome_trace(recorder, now=None, metrics=None, timeline=None) -> dict:
     """
     if now is None:
         now = recorder._engine.now
+    # Tail sampling: decide any still-buffered traces before reading
+    # the span list (no-op without a sampler).
+    recorder.flush_sampler()
     events = []
     seen_tracks = set()
 
@@ -156,7 +159,13 @@ def to_chrome_trace(recorder, now=None, metrics=None, timeline=None) -> dict:
         ):
             for name, value in sorted(counters.items()):
                 _counter(site, name, now, value)
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if recorder.sampler is not None:
+        # Header consumed by repro.obs.lint: a sampled trace file holds
+        # retained trees only, so whole-file completeness rules (orphan
+        # parents, missing roots) must not fire on what sampling dropped.
+        doc["sampling"] = recorder.sampler.summary()
+    return doc
 
 
 def metrics_to_json(hub) -> dict:
@@ -181,6 +190,17 @@ def build_report(cluster, scenario="") -> dict:
     # End-of-run liveness checks run before the span counts are taken:
     # a violation found here still lands in the trace and the report.
     obs.finish_monitors()
+    # Tail sampling: monitor finish may still pin traces, so buffered
+    # trees are decided only now, before the span counts are taken.
+    obs.spans.flush_sampler()
+    span_stats = {
+        "recorded": len(obs.spans),
+        "dropped": obs.spans.dropped,
+        "traces": len(obs.spans.trace_ids()),
+        "instants": len(obs.spans.instants),
+    }
+    if obs.spans.sampler is not None:
+        span_stats["sampling"] = obs.spans.sampler.summary()
     doc = {
         "schema": SCHEMA_ID,
         "generator": "repro %s" % __version__,
@@ -188,13 +208,11 @@ def build_report(cluster, scenario="") -> dict:
         "virtual_time": cluster.engine.now,
         "sites": metrics_to_json(obs.metrics),
         "counters": obs.metrics.counters_by_site(),
-        "spans": {
-            "recorded": len(obs.spans),
-            "dropped": obs.spans.dropped,
-            "traces": len(obs.spans.trace_ids()),
-            "instants": len(obs.spans.instants),
-        },
+        "spans": span_stats,
     }
+    sketches = obs.metrics.sketches_by_site()
+    if sketches:
+        doc["sketches"] = sketches
     if cluster.tracer is not None:
         doc["trace_events"] = {
             "recorded": len(cluster.tracer),
@@ -204,6 +222,11 @@ def build_report(cluster, scenario="") -> dict:
         doc["timeline"] = obs.timeline.section(until=cluster.engine.now)
     if obs.monitors is not None:
         doc["monitors"] = obs.monitors.section()
+    if obs.slo is not None and obs.slo.mixes():
+        # Burn windows follow the timeline grid when one is configured,
+        # so the slo series lines up with the gauge/rate ticks.
+        window = obs.timeline.tick if obs.timeline is not None else 0.25
+        doc["slo"] = obs.slo.section(window=window, until=cluster.engine.now)
     # Scenario-provided extra sections (e.g. the throughput scenario's
     # batching on/off comparison); validated by the v3 schema.
     for key, value in (getattr(cluster, "report_sections", None) or {}).items():

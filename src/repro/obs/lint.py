@@ -33,6 +33,15 @@ Rules (each validated empirically over every report scenario):
     Every trace id has at least one root span (``parent_id`` None).
     Skipped when spans were dropped.
 
+**Sampled traces** (docs/OBSERVABILITY.md, "Trace sampling"): a run
+with tail-based retention keeps whole trace trees but not *all* of
+them, so the whole-file completeness rules (``orphan``, ``no-root``)
+would blame sampling for spans it deliberately freed.  When the
+recorder has a sampler attached -- or a saved trace file carries the
+v8 ``sampling`` header -- those two rules are skipped; the per-tree
+rules (``unclosed``, ``trace-mismatch``, ``time-travel``,
+``late-start``) still run, since retention is all-or-nothing per tree.
+
 Run over the report scenarios (the CI configuration)::
 
     python -m repro.obs.lint            # all scenarios
@@ -45,11 +54,19 @@ monitors (:func:`repro.obs.monitor.replay_trace`), so a committed
 scenario::
 
     python -m repro.obs.lint --monitors BENCH_trace.json
+
+With ``--spans`` the positional arguments are also saved trace files,
+but linted *structurally* (the rules above) instead of being replayed
+through the monitors; a file's ``sampling`` header switches the
+completeness rules off automatically::
+
+    python -m repro.obs.lint --spans BENCH_trace.json
 """
 
 from __future__ import annotations
 
-__all__ = ["Violation", "lint_spans", "main"]
+__all__ = ["Violation", "lint_spans", "spans_from_trace",
+           "lint_trace_spans", "main"]
 
 
 class Violation:
@@ -77,15 +94,26 @@ def _describe(span):
     )
 
 
-def lint_spans(recorder) -> list:
+def lint_spans(recorder, sampled=None) -> list:
     """Every :class:`Violation` in a finished run's span record, in
-    deterministic (span_id) order.  Empty list = well-formed."""
+    deterministic (span_id) order.  Empty list = well-formed.
+
+    ``sampled`` skips the whole-file completeness rules (``orphan``,
+    ``no-root``) -- see the module docstring.  Default: detected from
+    the recorder (a :class:`~repro.obs.span.TailSampler` attached)."""
+    if sampled is None:
+        sampled = getattr(recorder, "sampler", None) is not None
+    return _lint(recorder.spans, dropped=recorder.dropped > 0,
+                 sampled=sampled)
+
+
+def _lint(spans, dropped=False, sampled=False) -> list:
     violations = []
-    by_id = {s.span_id: s for s in recorder.spans}
-    dropped = recorder.dropped > 0
+    by_id = {s.span_id: s for s in spans}
+    skip_completeness = dropped or sampled
 
     roots_per_trace = {}
-    for span in recorder.spans:
+    for span in spans:
         roots_per_trace.setdefault(span.trace_id, 0)
         if span.parent_id is None:
             roots_per_trace[span.trace_id] += 1
@@ -98,7 +126,7 @@ def lint_spans(recorder) -> list:
             continue
         parent = by_id.get(span.parent_id)
         if parent is None:
-            if not dropped:
+            if not skip_completeness:
                 violations.append(Violation(
                     "orphan", span,
                     "parent %d not recorded: %s"
@@ -121,13 +149,68 @@ def lint_spans(recorder) -> list:
                 "same-track child starts %.9f after parent %s closed: %s"
                 % (span.start - parent.end, parent.name, _describe(span))))
 
-    if not dropped:
+    if not skip_completeness:
         for trace_id, roots in sorted(roots_per_trace.items()):
             if roots == 0:
                 violations.append(Violation(
                     "no-root", None,
                     "trace %d has no root span" % trace_id))
     return violations
+
+
+class _TraceSpan:
+    """A span reconstructed from a saved Chrome-trace 'X' event -- just
+    the fields the lint rules read."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "site_id",
+                 "tid", "start", "end")
+
+    def __init__(self, trace_id, span_id, parent_id, name, site_id, tid,
+                 start, end):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.site_id = site_id
+        self.tid = tid
+        self.start = start
+        self.end = end
+
+
+def spans_from_trace(doc):
+    """``(spans, sampled)`` from a saved Chrome-trace JSON document.
+
+    Complete ('X') events carrying causal ids become lintable span
+    views (timestamps back in seconds); ``sampled`` is True when the
+    document carries the v8 ``sampling`` header, so the caller knows to
+    skip the whole-file completeness rules."""
+    spans = []
+    for event in doc.get("traceEvents", ()):
+        if event.get("ph") != "X":
+            continue
+        args = event.get("args") or {}
+        if "span_id" not in args or "trace_id" not in args:
+            continue
+        start = event.get("ts", 0) / 1e6
+        end = None
+        if args.get("status") != "open":
+            end = start + event.get("dur", 0) / 1e6
+        spans.append(_TraceSpan(
+            trace_id=args["trace_id"], span_id=args["span_id"],
+            parent_id=args.get("parent_id"), name=event.get("name", ""),
+            site_id=event.get("pid"), tid=event.get("tid"),
+            start=start, end=end,
+        ))
+    spans.sort(key=lambda s: s.span_id)
+    sampled = isinstance(doc.get("sampling"), dict)
+    return spans, sampled
+
+
+def lint_trace_spans(doc) -> list:
+    """Structurally lint a saved Chrome-trace JSON document, honoring
+    its ``sampling`` header (see the module docstring)."""
+    spans, sampled = spans_from_trace(doc)
+    return _lint(spans, dropped=False, sampled=sampled)
 
 
 def lint_trace_file(path):
@@ -141,6 +224,26 @@ def lint_trace_file(path):
     with open(path) as fh:
         doc = json.load(fh)
     return replay_trace(doc)
+
+
+def _main_spans(paths):
+    import json
+
+    failed = False
+    for path in paths:
+        with open(path) as fh:
+            doc = json.load(fh)
+        spans, sampled = spans_from_trace(doc)
+        violations = _lint(spans, dropped=False, sampled=sampled)
+        print("%-32s %6d spans%s: %s" % (
+            path, len(spans), " (sampled)" if sampled else "",
+            "OK" if not violations else "%d violation%s" % (
+                len(violations), "" if len(violations) == 1 else "s"),
+        ))
+        for violation in violations:
+            failed = True
+            print("  %s" % violation)
+    return 1 if failed else 0
 
 
 def _main_monitors(paths):
@@ -180,16 +283,25 @@ def main(argv=None):
     )
     parser.add_argument("scenarios", nargs="*", metavar="scenario",
                         help="scenarios to lint (default: all; have: %s); "
-                             "with --monitors: trace JSON files to replay"
+                             "with --monitors/--spans: trace JSON files"
                              % ", ".join(sorted(SCENARIOS)))
     parser.add_argument("--monitors", action="store_true",
                         help="replay saved Chrome-trace JSON files through "
                              "the offline protocol monitors instead of "
                              "running scenarios")
+    parser.add_argument("--spans", action="store_true",
+                        help="structurally lint saved Chrome-trace JSON "
+                             "files (honoring their sampling header) "
+                             "instead of running scenarios")
     args = parser.parse_args(argv)
-    if args.monitors:
+    if args.monitors and args.spans:
+        parser.error("--monitors and --spans are mutually exclusive")
+    if args.monitors or args.spans:
         if not args.scenarios:
-            parser.error("--monitors requires at least one trace JSON file")
+            parser.error("%s requires at least one trace JSON file"
+                         % ("--spans" if args.spans else "--monitors"))
+        if args.spans:
+            return _main_spans(args.scenarios)
         return _main_monitors(args.scenarios)
     names = args.scenarios or sorted(SCENARIOS)
     unknown = [name for name in names if name not in SCENARIOS]

@@ -10,14 +10,19 @@ that exact value.
 
 :class:`MetricsHub` groups histograms by ``(site, name)``, and also
 keeps plain monotonic **counters** for events whose *count* is the
-story (cache hits, messages saved) rather than their latency.
-Everything here is pure bookkeeping: recording a sample never touches
-the virtual clock.
+story (cache hits, messages saved) rather than their latency.  Samples
+tagged with a workload ``mix`` additionally feed a per-``(site, mix,
+metric)`` :class:`~repro.obs.sketch.QuantileSketch`, the relative-error
+structure that makes p999 trustworthy at fleet scale (the histogram's
+ratio-2 buckets are not).  Everything here is pure bookkeeping:
+recording a sample never touches the virtual clock.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left
+
+from .sketch import QuantileSketch
 
 __all__ = ["Histogram", "MetricsHub", "default_bounds"]
 
@@ -143,25 +148,41 @@ class Histogram:
 
 
 class MetricsHub:
-    """Histograms keyed by (site, metric name)."""
+    """Histograms keyed by (site, metric name), plus quantile sketches
+    keyed by (site, mix, metric name) for mix-tagged samples."""
 
-    def __init__(self, bounds=None):
+    def __init__(self, bounds=None, sketch_rel_err=0.005):
         self._bounds = bounds
+        self._sketch_rel_err = sketch_rel_err
         self._histograms = {}  # (site_key, name) -> Histogram
         self._counters = {}    # (site_key, name) -> int
+        self._sketches = {}    # (site_key, mix_key, name) -> QuantileSketch
+        self._merged_cache = {}  # name -> merged Histogram (invalidated
+                                 # whenever that metric sees a new sample)
 
     @staticmethod
     def _site_key(site):
         return "-" if site is None else str(site)
 
-    def observe(self, site, name, value):
-        """Record ``value`` into the (site, name) histogram."""
-        key = (self._site_key(site), name)
+    def observe(self, site, name, value, mix=None):
+        """Record ``value`` into the (site, name) histogram; when a
+        workload ``mix`` is given, also into the (site, mix, name)
+        quantile sketch."""
+        site_key = self._site_key(site)
+        key = (site_key, name)
         hist = self._histograms.get(key)
         if hist is None:
             hist = Histogram(self._bounds)
             self._histograms[key] = hist
         hist.observe(value)
+        self._merged_cache.pop(name, None)
+        if mix is not None:
+            skey = (site_key, str(mix), name)
+            sketch = self._sketches.get(skey)
+            if sketch is None:
+                sketch = QuantileSketch(rel_err=self._sketch_rel_err)
+                self._sketches[skey] = sketch
+            sketch.observe(value)
 
     def incr(self, site, name, value=1):
         """Bump the (site, name) counter by ``value``."""
@@ -186,7 +207,14 @@ class MetricsHub:
         return sorted(name for s, name in self._histograms if s == key)
 
     def merged(self, name) -> Histogram:
-        """One histogram folding every site's samples for ``name``."""
+        """One histogram folding every site's samples for ``name``.
+
+        Memoized: the scaling sweep's per-cell reporting calls this
+        repeatedly per metric, and rebuilding the bucket arrays each
+        time showed up in profiles.  The cache entry is invalidated the
+        moment :meth:`observe` records another sample for ``name``."""
+        if name in self._merged_cache:
+            return self._merged_cache[name]
         out = None
         for (_site, metric), hist in sorted(self._histograms.items()):
             if metric != name:
@@ -194,7 +222,55 @@ class MetricsHub:
             if out is None:
                 out = Histogram(hist.bounds)
             out.merge(hist)
+        self._merged_cache[name] = out
         return out
+
+    # -- quantile sketches (per-mix tails) ------------------------------
+
+    def sketch(self, site, name, mix) -> QuantileSketch:
+        """The (site, mix, name) sketch, or None if never observed."""
+        return self._sketches.get((self._site_key(site), str(mix), name))
+
+    def mixes(self):
+        """Every mix label that has recorded at least one sketch sample."""
+        return sorted({mix for _site, mix, _name in self._sketches})
+
+    def merged_sketch(self, name, mix=None) -> QuantileSketch:
+        """One sketch folding every site's mix-tagged samples for
+        ``name`` (all mixes, or just ``mix`` when given)."""
+        out = None
+        for (_site, skmix, metric), sketch in sorted(self._sketches.items()):
+            if metric != name or (mix is not None and skmix != str(mix)):
+                continue
+            if out is None:
+                out = QuantileSketch(rel_err=sketch.rel_err,
+                                     max_buckets=sketch.max_buckets)
+            out.merge(sketch)
+        return out
+
+    def sketches_by_site(self) -> dict:
+        """{site: {mix: {name: sketch-summary}}} -- the report's
+        ``sketches`` section payload."""
+        out = {}
+        for (site, mix, name), sketch in sorted(self._sketches.items()):
+            out.setdefault(site, {}).setdefault(mix, {})[name] = \
+                sketch.to_summary()
+        return out
+
+    def load_sketches(self, section):
+        """Fold a ``sketches`` report section (another process's
+        :meth:`sketches_by_site`) into this hub -- exact, the matrix
+        runner's cross-process merge path."""
+        for site, mixes in section.items():
+            for mix, metrics in mixes.items():
+                for name, summary in metrics.items():
+                    key = (str(site), str(mix), name)
+                    incoming = QuantileSketch.from_summary(summary)
+                    sketch = self._sketches.get(key)
+                    if sketch is None:
+                        self._sketches[key] = incoming
+                    else:
+                        sketch.merge(incoming)
 
     def by_site(self) -> dict:
         """{site: {name: summary-dict}} -- the report's payload."""

@@ -17,9 +17,10 @@ from __future__ import annotations
 
 __all__ = ["SCHEMA_ID", "REQUIRED_METRICS", "validate_report", "SchemaError"]
 
-SCHEMA_ID = "repro.bench_report/7"
+SCHEMA_ID = "repro.bench_report/8"
 
 _V6 = "repro.bench_report/6"
+_V7 = "repro.bench_report/7"
 
 #: Schema versions this validator accepts.  v2 added the per-site
 #: ``counters`` section (monotonic event counts, e.g. lock-cache hits);
@@ -34,34 +35,41 @@ _V6 = "repro.bench_report/6"
 #: ``sites`` object -- e.g. an engine-speed storm with no simulated
 #: cluster -- is exempt from the REQUIRED_METRICS rule); v7 added the
 #: optional ``scaling`` section (the sites x clients x skew sweep,
-#: docs/WORKLOADS.md).  Older documents remain valid with the newer
-#: sections treated as absent.
+#: docs/WORKLOADS.md); v8 added the optional ``sketches`` (per-site,
+#: per-mix quantile-sketch summaries), ``slo`` (per-mix error-budget
+#: burn rates) and ``spans.sampling`` (tail-based trace retention)
+#: payloads, plus the optional per-cell ``p999_ms`` / ``mixes`` /
+#: ``slo`` fields in scaling cells.  Older documents remain valid with
+#: the newer sections treated as absent.
 _ACCEPTED_SCHEMAS = ("repro.bench_report/1", "repro.bench_report/2",
                      "repro.bench_report/3", "repro.bench_report/4",
-                     "repro.bench_report/5", _V6, SCHEMA_ID)
+                     "repro.bench_report/5", _V6, _V7, SCHEMA_ID)
 
 #: Versions that carry the mandatory ``counters`` section.
 _COUNTER_SCHEMAS = ("repro.bench_report/2", "repro.bench_report/3",
                     "repro.bench_report/4", "repro.bench_report/5",
-                    _V6, SCHEMA_ID)
+                    _V6, _V7, SCHEMA_ID)
 
 #: Versions that may carry the optional ``throughput`` section.
 _THROUGHPUT_SCHEMAS = ("repro.bench_report/3", "repro.bench_report/4",
-                       "repro.bench_report/5", _V6, SCHEMA_ID)
+                       "repro.bench_report/5", _V6, _V7, SCHEMA_ID)
 
 #: Versions that may carry the v4 analysis sections.
 _ANALYSIS_SCHEMAS = ("repro.bench_report/4", "repro.bench_report/5",
-                     _V6, SCHEMA_ID)
+                     _V6, _V7, SCHEMA_ID)
 
 #: Versions that may carry the v5 telemetry sections.
-_TELEMETRY_SCHEMAS = ("repro.bench_report/5", _V6, SCHEMA_ID)
+_TELEMETRY_SCHEMAS = ("repro.bench_report/5", _V6, _V7, SCHEMA_ID)
 
 #: Versions that may carry the v6 wallclock / matrix sections (and the
 #: microbench empty-``sites`` allowance).
-_WALLCLOCK_SCHEMAS = (_V6, SCHEMA_ID)
+_WALLCLOCK_SCHEMAS = (_V6, _V7, SCHEMA_ID)
 
 #: Versions that may carry the v7 scaling section.
-_SCALING_SCHEMAS = (SCHEMA_ID,)
+_SCALING_SCHEMAS = (_V7, SCHEMA_ID)
+
+#: Versions that may carry the v8 sketches / slo sections.
+_SLO_SCHEMAS = (SCHEMA_ID,)
 
 #: Metric families every report must carry in at least one site
 #: (the per-phase breakdown the analysis layer is built on).
@@ -106,6 +114,12 @@ def validate_report(doc) -> int:
     for key in ("recorded", "dropped", "traces"):
         if not isinstance(spans.get(key), int):
             problems.append("spans.%s missing or not an integer" % key)
+    if "sampling" in spans:
+        if doc.get("schema") in _SLO_SCHEMAS:
+            problems.extend(_check_sampling(spans["sampling"]))
+        else:
+            problems.append("spans.sampling requires schema %r or newer"
+                            % _SLO_SCHEMAS[0])
 
     if doc["schema"] in _COUNTER_SCHEMAS:
         counters = doc.get("counters")
@@ -138,6 +152,8 @@ def validate_report(doc) -> int:
         ("wallclock", _check_wallclock, _WALLCLOCK_SCHEMAS),
         ("matrix", _check_matrix, _WALLCLOCK_SCHEMAS),
         ("scaling", _check_scaling, _SCALING_SCHEMAS),
+        ("sketches", _check_sketches, _SLO_SCHEMAS),
+        ("slo", _check_slo, _SLO_SCHEMAS),
     ):
         if section in doc:
             if doc["schema"] in versions:
@@ -591,6 +607,45 @@ def _check_scaling(section):
             problems.append(
                 "%s.monitors_total_violations missing or not an integer" % where
             )
+        # v8 optional per-cell telemetry: sketch-backed p999, per-mix
+        # tail quantiles, and SLO verdicts.
+        p999 = cell.get("p999_ms", None)
+        if p999 is not None and (
+            not isinstance(p999, (int, float)) or isinstance(p999, bool)
+        ):
+            problems.append("%s.p999_ms is not numeric or null" % where)
+        mixes = cell.get("mixes", None)
+        if mixes is not None:
+            if not isinstance(mixes, dict):
+                problems.append("%s.mixes is not an object or null" % where)
+            else:
+                for mix, quantiles in sorted(mixes.items()):
+                    if not isinstance(quantiles, dict) or not all(
+                        isinstance(v, (int, float)) and not isinstance(v, bool)
+                        for v in quantiles.values()
+                    ):
+                        problems.append(
+                            "%s.mixes[%r] is not a numeric object" % (where, mix)
+                        )
+        slo = cell.get("slo", None)
+        if slo is not None:
+            if not isinstance(slo, dict):
+                problems.append("%s.slo is not an object or null" % where)
+            else:
+                for mix, verdict in sorted(slo.items()):
+                    vwhere = "%s.slo[%r]" % (where, mix)
+                    if not isinstance(verdict, dict):
+                        problems.append("%s is not an object" % vwhere)
+                        continue
+                    if not isinstance(verdict.get("ok"), bool):
+                        problems.append("%s.ok missing or not a boolean" % vwhere)
+                    burn = verdict.get("worst_burn")
+                    if not isinstance(burn, (int, float)) or isinstance(
+                        burn, bool
+                    ):
+                        problems.append(
+                            "%s.worst_burn missing or not numeric" % vwhere
+                        )
     reference = section.get("reference")
     if not isinstance(reference, dict):
         return problems + ["scaling.reference missing or not an object"]
@@ -614,6 +669,184 @@ def _check_scaling(section):
                 "%s keys %s do not match grid clients %s"
                 % (where, sorted(curve), expected_labels)
             )
+    return problems
+
+
+#: Numeric fields every spans.sampling payload must carry.
+_SAMPLING_NUMBERS = ("head_rate", "slow_percentile", "kept_traces",
+                     "dropped_traces", "dropped_spans", "marked",
+                     "late_marks", "peak_retained", "peak_buffered")
+
+
+def _check_sampling(section):
+    """Problems with a v8 ``spans.sampling`` payload (empty list = valid)."""
+    problems = []
+    if not isinstance(section, dict):
+        return ["spans.sampling is %s, expected object"
+                % type(section).__name__]
+    if not isinstance(section.get("enabled"), bool):
+        problems.append("spans.sampling.enabled missing or not a boolean")
+    for key in _SAMPLING_NUMBERS:
+        value = section.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append("spans.sampling.%s missing or not numeric" % key)
+    return problems
+
+
+#: Numeric fields every quantile-sketch summary must carry.
+_SKETCH_NUMBERS = ("rel_err", "count", "sum", "min", "max", "mean",
+                   "p50", "p95", "p99", "p999", "zeros", "collapsed")
+
+
+def _check_sketches(section):
+    """Problems with a v8 ``sketches`` section (empty list = valid).
+
+    Shape: {site: {mix: {metric: sketch-summary}}} with each summary
+    carrying the exact stats, the headline quantiles (monotone within
+    [min, max]) and the string-keyed bucket map that makes the merge
+    lossless."""
+    problems = []
+    if not isinstance(section, dict):
+        return ["sketches is %s, expected object" % type(section).__name__]
+    for site, mixes in sorted(section.items()):
+        if not isinstance(mixes, dict):
+            problems.append("sketches[%r] is not an object" % site)
+            continue
+        for mix, metrics in sorted(mixes.items()):
+            if not isinstance(metrics, dict):
+                problems.append("sketches[%r][%r] is not an object"
+                                % (site, mix))
+                continue
+            for name, summary in sorted(metrics.items()):
+                where = "sketches[%r][%r][%r]" % (site, mix, name)
+                if not isinstance(summary, dict):
+                    problems.append("%s is not an object" % where)
+                    continue
+                for key in _SKETCH_NUMBERS:
+                    value = summary.get(key)
+                    if not isinstance(value, (int, float)) or isinstance(
+                        value, bool
+                    ):
+                        problems.append("%s.%s missing or not numeric"
+                                        % (where, key))
+                buckets = summary.get("buckets")
+                if not isinstance(buckets, dict) or not all(
+                    isinstance(n, int) and not isinstance(n, bool)
+                    for n in buckets.values()
+                ):
+                    problems.append("%s.buckets missing or not an "
+                                    "integer-valued object" % where)
+                    continue
+                if all(isinstance(summary.get(k), (int, float))
+                       for k in _SKETCH_NUMBERS):
+                    total = (sum(buckets.values()) + summary["zeros"]
+                             + summary["collapsed"])
+                    if total != summary["count"]:
+                        problems.append(
+                            "%s: buckets + zeros + collapsed = %d, "
+                            "count = %d" % (where, total, summary["count"])
+                        )
+                    p50, p95 = summary["p50"], summary["p95"]
+                    p99, p999 = summary["p99"], summary["p999"]
+                    if summary["count"] and not (
+                        summary["min"] - 1e-12 <= p50 <= p95 <= p99 <= p999
+                        <= summary["max"] + 1e-12
+                    ):
+                        problems.append(
+                            "%s: quantiles not monotone within [min, max]"
+                            % where
+                        )
+    return problems
+
+
+def _check_slo(section):
+    """Problems with a v8 ``slo`` section (empty list = valid).
+
+    Beyond shape, enforces the burn arithmetic: each objective's burn
+    equals (bad/total)/budget, ``ok`` means burn <= 1.0, and the series
+    length matches the declared window count."""
+    problems = []
+    if not isinstance(section, dict):
+        return ["slo is %s, expected object" % type(section).__name__]
+    window = section.get("window")
+    if not isinstance(window, (int, float)) or isinstance(window, bool) \
+            or window <= 0:
+        problems.append("slo.window missing or not a positive number")
+    windows = section.get("windows")
+    if not isinstance(windows, int) or isinstance(windows, bool) \
+            or windows < 1:
+        problems.append("slo.windows missing or not a positive integer")
+        windows = None
+    if not isinstance(section.get("until"), (int, float)):
+        problems.append("slo.until missing or not numeric")
+    if not isinstance(section.get("worst_burn"), (int, float)):
+        problems.append("slo.worst_burn missing or not numeric")
+    breaches = section.get("total_breaches")
+    if not isinstance(breaches, int) or isinstance(breaches, bool):
+        problems.append("slo.total_breaches missing or not an integer")
+    if not isinstance(section.get("ok"), bool):
+        problems.append("slo.ok missing or not a boolean")
+    mixes = section.get("mixes")
+    if not isinstance(mixes, dict):
+        return problems + ["slo.mixes missing or not an object"]
+    for mix, entry in sorted(mixes.items()):
+        where = "slo.mixes[%r]" % mix
+        if not isinstance(entry, dict):
+            problems.append("%s is not an object" % where)
+            continue
+        if not isinstance(entry.get("ok"), bool):
+            problems.append("%s.ok missing or not a boolean" % where)
+        if not isinstance(entry.get("worst_burn"), (int, float)):
+            problems.append("%s.worst_burn missing or not numeric" % where)
+        objectives = entry.get("objectives")
+        if not isinstance(objectives, list):
+            problems.append("%s.objectives missing or not a list" % where)
+            continue
+        for i, row in enumerate(objectives):
+            owhere = "%s.objectives[%d]" % (where, i)
+            if not isinstance(row, dict):
+                problems.append("%s is not an object" % owhere)
+                continue
+            for key, kind in (("name", str), ("metric", str), ("kind", str),
+                              ("bound", (int, float)),
+                              ("budget", (int, float)),
+                              ("burn", (int, float)),
+                              ("worst_burn", (int, float)),
+                              ("ok", bool)):
+                if not isinstance(row.get(key), kind) or (
+                    kind is not bool and isinstance(row.get(key), bool)
+                ):
+                    problems.append("%s.%s missing or wrong type"
+                                    % (owhere, key))
+            for key in ("total", "bad"):
+                value = row.get(key)
+                if not isinstance(value, int) or isinstance(value, bool):
+                    problems.append("%s.%s missing or not an integer"
+                                    % (owhere, key))
+            series = row.get("series")
+            if not isinstance(series, list) or not all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in series
+            ):
+                problems.append("%s.series missing or not a numeric list"
+                                % owhere)
+            elif windows is not None and len(series) != windows:
+                problems.append("%s.series has %d windows, expected %d"
+                                % (owhere, len(series), windows))
+            if all(isinstance(row.get(k), (int, float))
+                   and not isinstance(row.get(k), bool)
+                   for k in ("bound", "budget", "burn")) and isinstance(
+                row.get("total"), int
+            ) and isinstance(row.get("bad"), int) and isinstance(
+                row.get("ok"), bool
+            ):
+                total, bad = row["total"], row["bad"]
+                expected = (bad / total) / row["budget"] if total else 0.0
+                if abs(expected - row["burn"]) > 1e-9 * max(1.0, expected):
+                    problems.append("%s: burn %.6f != (bad/total)/budget %.6f"
+                                    % (owhere, row["burn"], expected))
+                if row["ok"] != (row["burn"] <= 1.0):
+                    problems.append("%s: ok flag disagrees with burn" % owhere)
     return problems
 
 

@@ -218,7 +218,7 @@ class WallProfiler:
 def wallclock_section(wall_seconds, virtual_time, events,
                       engine_wall_seconds=None, subsystem_seconds=None,
                       baseline_wall_seconds=None) -> dict:
-    """Build a ``repro.bench_report/7`` ``wallclock`` section.
+    """Build a ``repro.bench_report/8`` ``wallclock`` section.
 
     ``wall_seconds`` is the externally measured scenario wall time;
     per-subsystem seconds (plus a computed ``outside`` remainder) sum to

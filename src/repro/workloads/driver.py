@@ -31,7 +31,7 @@ from repro.sim import Interrupt
 
 from .randgen import PoissonArrivals, ThinkTimes
 from .records import RecordLayout, RecordWorkload
-from .txngen import TxnGenerator
+from .txngen import MIXES, TxnGenerator
 
 __all__ = ["LoadDriver", "LoadResult", "ScalingDriver", "ScalingResult"]
 
@@ -266,6 +266,11 @@ class ScalingDriver:
             raise ValueError("need at least one client and transaction")
         self.cluster = cluster
         self.mix = mix
+        # The resolved mix definition: its name tags every spawned
+        # client (threading the mix dimension into spans and per-mix
+        # sketches), and its ``slos`` are declared with the SLO tracker
+        # at run start.
+        self.mix_def = MIXES[mix] if isinstance(mix, str) else mix
         self.keys = keys
         self.theta = theta
         self.hot_fraction = hot_fraction
@@ -299,6 +304,9 @@ class ScalingDriver:
     def run(self) -> ScalingResult:
         """Execute the load; returns aggregate statistics."""
         engine = self.cluster.engine
+        obs = engine.obs
+        if obs is not None and obs.slo is not None and self.mix_def.slos:
+            obs.slo.declare(self.mix_def.name, self.mix_def.slos)
         result = ScalingResult(clients=self.clients)
         procs = []
         site_ids = self._site_ids
@@ -351,7 +359,8 @@ class ScalingDriver:
                             append_base=base)
 
     def _launch(self, procs, prog, site_id, name):
-        procs.append(self.cluster.spawn(prog, site_id=site_id, name=name))
+        procs.append(self.cluster.spawn(prog, site_id=site_id, name=name,
+                                        mix=self.mix_def.name))
 
     def _client_program(self, gen, think, result):
         txns = self.txns_per_client
@@ -396,7 +405,14 @@ class ScalingDriver:
             try:
                 yield from self._one_txn(sysc, fds, txn)
                 result.committed += 1
-                result.latencies.append(sysc.now - started)
+                latency = sysc.now - started
+                result.latencies.append(latency)
+                obs = self.cluster.engine.obs
+                if obs is not None:
+                    # The client-visible latency (retries included):
+                    # the sample behind the session mix's p95 SLO.
+                    obs.observe(sysc.site_id, "client.latency", latency,
+                                mix=self.mix_def.name)
                 return
             except (TransactionAborted, Interrupt):
                 attempts += 1

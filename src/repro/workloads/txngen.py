@@ -34,6 +34,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.obs.slo import SloObjective
+
 from .randgen import make_keys
 from .records import AccessString
 
@@ -60,10 +62,18 @@ class TxnClass:
 
 @dataclass(frozen=True)
 class TxnMix:
-    """A named, weighted set of transaction classes."""
+    """A named, weighted set of transaction classes.
+
+    ``slos`` (a tuple of :class:`repro.obs.slo.SloObjective`) declares
+    the mix's service-level objectives; the scaling driver registers
+    them with the cluster's :class:`~repro.obs.slo.SloTracker` at run
+    start, and the ``slo`` report section scores them as error-budget
+    burn rates (docs/OBSERVABILITY.md, "SLOs and burn rates").
+    """
 
     name: str
     classes: tuple
+    slos: tuple = ()
 
     def __post_init__(self):
         if not self.classes:
@@ -73,16 +83,31 @@ class TxnMix:
 
 
 #: The stock mixes (see module docstring).  Weights are fractions of
-#: the transaction stream, normalized at draw time.
+#: the transaction stream, normalized at draw time.  Each mix carries
+#: its SLOs: the OLTP mix bounds commit latency and abort rate, the
+#: session store bounds the client-visible latency (retries included),
+#: and the append-only logging mix declares none -- its conflict-free
+#: writes make every objective trivially green.
 MIXES = {
     "banking": TxnMix("banking", (
         TxnClass("transfer", reads=0, writes=2, weight=0.50),
         TxnClass("deposit", reads=1, writes=1, weight=0.30, rmw=True),
         TxnClass("balance", reads=2, writes=0, weight=0.20),
+    ), slos=(
+        # Bounds calibrated on the scaling grid (analysis/scaling.py):
+        # the 64-client reference cell holds both budgets, the knee
+        # cells burn through them -- so the per-cell verdicts trace the
+        # same saturation point the throughput curves show.
+        SloObjective("commit.latency", bound=30.0, kind="latency",
+                     percentile=99.0),
+        SloObjective("abort.rate", bound=0.10, kind="rate"),
     )),
     "session": TxnMix("session", (
         TxnClass("get", reads=3, writes=0, weight=0.85),
         TxnClass("refresh", reads=1, writes=1, weight=0.15, rmw=True),
+    ), slos=(
+        SloObjective("client.latency", bound=8.0, kind="latency",
+                     percentile=95.0),
     )),
     "logging": TxnMix("logging", (
         TxnClass("append", reads=0, writes=1, weight=0.90, append=True),

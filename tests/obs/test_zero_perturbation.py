@@ -10,12 +10,13 @@ import pytest
 from repro import Cluster, SystemConfig, drive
 
 
-def run_workload(instrument, config=None, monitors=False, timeline_tick=0.0):
+def run_workload(instrument, config=None, monitors=False, timeline_tick=0.0,
+                 sampling=None):
     cluster = Cluster(site_ids=(1, 2, 3), config=config)
     if instrument:
         cluster.enable_observability(
             monitors=monitors, strict=monitors,
-            timeline_tick=timeline_tick,
+            timeline_tick=timeline_tick, sampling=sampling,
         )
     drive(cluster.engine, cluster.create_file("/db/a", site_id=1))
     drive(cluster.engine, cluster.populate("/db/a", b"." * 256))
@@ -178,6 +179,104 @@ def test_monitored_run_matches_pinned_seed_fingerprint():
                                      timeline_tick=0.25)
     assert _fingerprint(cluster, outcomes) == SEED_FINGERPRINT
     assert cluster.obs.monitors.total_violations == 0
+
+
+# ----------------------------------------------------------------------
+# tail sampling + SLO tracking (PR 9): still zero perturbation
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("lock_cache", [False, True])
+@pytest.mark.parametrize("commit_batching", [False, True])
+def test_sampling_and_slo_are_pure_observers(lock_cache, commit_batching):
+    """Tail-based trace retention and the SLO tracker ride on top of
+    monitors + timeline across the feature matrix without moving a
+    single observable: sampling decides which span *objects* survive in
+    memory, never what the simulation does."""
+    config = SystemConfig(lock_cache=lock_cache,
+                          commit_batching=commit_batching)
+    bare_cluster, bare_outcomes = run_workload(False, config=config)
+    inst_cluster, inst_outcomes = run_workload(
+        True, config=SystemConfig(lock_cache=lock_cache,
+                                  commit_batching=commit_batching),
+        monitors=True, timeline_tick=0.25, sampling=0.5,
+    )
+    assert _fingerprint(inst_cluster, inst_outcomes) \
+        == _fingerprint(bare_cluster, bare_outcomes)
+    # The sampler was live and actually made retention decisions...
+    sampler = inst_cluster.obs.spans.sampler
+    assert sampler is not None
+    inst_cluster.obs.spans.flush_sampler()
+    assert sampler.kept_traces + sampler.dropped_traces > 0
+    # ...and the SLO tracker is attached (mixes arrive via the scaling
+    # driver; this workload is untagged, so it records nothing).
+    assert inst_cluster.obs.slo is not None
+
+
+def test_sampled_run_matches_pinned_seed_fingerprint():
+    """The pinned pre-feature fingerprint holds with the full v8 stack
+    on -- monitors, timeline, tail sampling: byte-identical clock, I/O,
+    traffic and outcomes."""
+    cluster, outcomes = run_workload(True, monitors=True,
+                                     timeline_tick=0.25, sampling=0.05)
+    assert _fingerprint(cluster, outcomes) == SEED_FINGERPRINT
+    assert cluster.obs.monitors.total_violations == 0
+    assert cluster.obs.spans.sampler is not None
+
+
+def test_tail_sampling_cuts_peak_retained_spans_10x_at_c1024():
+    """The scaling-tier memory claim (docs/OBSERVABILITY.md, "Trace
+    sampling"): at the 1,024-client scaling cell, tail-based retention
+    cuts the peak retained span archive >= 10x versus keeping
+    everything, while every virtual-time number -- throughput, latency
+    quantiles, per-mix sketch tails, SLO verdicts -- stays
+    byte-identical, and every SLO-pinned transaction keeps its complete
+    trace tree."""
+    from repro.analysis.scaling import SCALING_RPC_TIMEOUT, run_scaling_cell
+
+    cell = {"sites": 3, "clients": 1024, "theta": 0.0}
+    stat_keys = ("committed", "aborted", "retries", "abort_rate",
+                 "virtual_seconds", "commits_per_sec",
+                 "p50_ms", "p95_ms", "p99_ms", "p999_ms", "mixes", "slo")
+
+    def run_cell(sampled):
+        cluster = Cluster(
+            site_ids=(1, 2, 3),
+            config=SystemConfig(rpc_timeout=SCALING_RPC_TIMEOUT,
+                                commit_batching=True))
+        obs = cluster.enable_observability(monitors=True, strict=True,
+                                           timeline_tick=0.0)
+        if sampled:
+            obs.attach_sampler(head_rate=0.01, slow_percentile=99.5)
+        out = run_scaling_cell(cell, cluster=cluster)
+        return cluster, {key: out[key] for key in stat_keys}
+
+    bare_cluster, bare_stats = run_cell(False)
+    samp_cluster, samp_stats = run_cell(True)
+
+    # Sampling touched retention only: every virtual-time metric,
+    # per-mix sketch quantile and SLO verdict is byte-identical.
+    assert samp_stats == bare_stats
+
+    bare_peak = bare_cluster.obs.spans.peak_retained()
+    samp_cluster.obs.spans.flush_sampler()
+    samp_peak = samp_cluster.obs.spans.peak_retained()
+    assert samp_peak * 10 <= bare_peak, (
+        "peak retained %d vs unsampled %d: reduction below 10x"
+        % (samp_peak, bare_peak))
+
+    # Every pinned (SLO-violating / deadlock / monitor) transaction
+    # still has its complete tree: a root, and no dangling parents.
+    sampler = samp_cluster.obs.spans.sampler
+    assert len(sampler._marked) > 0
+    by_trace = {}
+    for span in samp_cluster.obs.spans.spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+    for trace_id in sampler._marked:
+        tree = by_trace.get(trace_id)
+        assert tree, "marked trace %s was not retained" % trace_id
+        ids = {s.span_id for s in tree}
+        assert any(s.parent_id is None for s in tree)
+        assert all(s.parent_id is None or s.parent_id in ids for s in tree)
 
 
 def test_monitor_env_vars_attach_monitors(monkeypatch):
