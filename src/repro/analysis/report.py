@@ -4,13 +4,16 @@ Runs a named scenario on an instrumented cluster, prints a per-site
 latency-breakdown table (count / p50 / p95 / p99 / max per metric), and
 writes two artifacts:
 
-* ``BENCH_report.json`` -- the stable ``repro.bench_report/8`` metrics
+* ``BENCH_report.json`` -- the stable ``repro.bench_report/9`` metrics
   document (validated against :mod:`repro.obs.schema` before writing),
   including the ``critpath`` (per-transaction blame decomposition),
   ``contention`` (resource / waits-for attribution), ``timeline``
   (per-site gauge/rate series), ``monitors`` (runtime protocol
-  verification), ``sketches`` (per-mix quantile sketches) and ``slo``
-  (per-mix error-budget burn rates) sections; the ``throughput`` scenario writes
+  verification), ``sketches`` (per-mix quantile sketches), ``slo``
+  (per-mix error-budget burn rates), ``aborts`` (abort provenance:
+  cause taxonomy, retry chains, storm peaks), ``waste`` (wasted-work
+  ledger: goodput vs raw throughput) and ``hotness`` (windowed EWMA
+  contention trend) sections; the ``throughput`` scenario writes
   ``BENCH_throughput.json`` with the commit-batching on/off comparison
   (docs/COMMIT_BATCHING.md);
 * ``BENCH_trace.json`` -- a Chrome trace-event file of every causal
@@ -340,7 +343,8 @@ REPORT_TIMELINE_TICK = 0.25
 
 
 def run_scenario(name, site_ids=(1, 2, 3), monitors=True, strict=True,
-                 timeline_tick=REPORT_TIMELINE_TICK, wallprof=False):
+                 timeline_tick=REPORT_TIMELINE_TICK, wallprof=False,
+                 provenance=True):
     """Build an instrumented cluster, run the scenario, return the cluster.
 
     Monitors run in strict mode by default: the stock scenarios are
@@ -364,7 +368,7 @@ def run_scenario(name, site_ids=(1, 2, 3), monitors=True, strict=True,
     cluster = Cluster(site_ids=site_ids, config=config)
     cluster.enable_observability(monitors=monitors, strict=strict,
                                  timeline_tick=timeline_tick,
-                                 wallprof=wallprof)
+                                 wallprof=wallprof, provenance=provenance)
     start = time.perf_counter()
     SCENARIOS[name](cluster)
     cluster.wall_seconds = time.perf_counter() - start
@@ -400,16 +404,29 @@ def baseline_wall_seconds(name, site_ids=(1, 2, 3)):
 
 
 def attach_analysis_sections(cluster):
-    """Compute the ``critpath`` and ``contention`` analysis sections
-    from the finished run's spans and merge them into
-    ``cluster.report_sections`` (pure readers -- the run is over, so
-    this cannot perturb anything).  Returns the sections dict."""
+    """Compute the ``critpath`` and ``contention`` analysis sections --
+    plus, when abort provenance is attached, the v9 ``aborts`` /
+    ``waste`` / ``hotness`` sections -- from the finished run's spans
+    and merge them into ``cluster.report_sections`` (pure readers --
+    the run is over, so this cannot perturb anything).  Returns the
+    sections dict."""
     from repro.analysis.contention import contention_section
     from repro.obs.critpath import critpath_section
 
     sections = getattr(cluster, "report_sections", None) or {}
     sections.setdefault("critpath", critpath_section(cluster.obs))
     sections.setdefault("contention", contention_section(cluster.obs))
+    if cluster.obs.provenance is not None:
+        from repro.analysis.hotness import (attach_hotness_gauges,
+                                            hotness_section)
+        from repro.obs.waste import waste_section
+
+        sections.setdefault("aborts", cluster.obs.provenance.section())
+        sections.setdefault("waste", waste_section(cluster.obs))
+        if "hotness" not in sections:
+            hotness = hotness_section(cluster.obs)
+            attach_hotness_gauges(cluster.obs, hotness)
+            sections["hotness"] = hotness
     cluster.report_sections = sections
     return sections
 
@@ -639,6 +656,21 @@ def main(argv=None):
         if contention_table:
             print("\n== contention ==")
             print(contention_table)
+    if "aborts" in sections:
+        from repro.obs.provenance import render_aborts_table
+
+        print("\n== aborts ==")
+        print(render_aborts_table(sections["aborts"]))
+    if "waste" in sections:
+        from repro.obs.waste import render_waste_table
+
+        print("\n== waste ==")
+        print(render_waste_table(sections["waste"]))
+    if "hotness" in sections:
+        from repro.analysis.hotness import render_hotness_table
+
+        print("\n== hotness ==")
+        print(render_hotness_table(sections["hotness"]))
 
     report = build_report(cluster, scenario=scenario)
     validate_report(report)

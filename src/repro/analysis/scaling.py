@@ -28,7 +28,7 @@ Run it::
 
     PYTHONPATH=src python -m repro.analysis.scaling --workers 4
 
-writes ``BENCH_scaling.json`` (a ``repro.bench_report/8`` microbench
+writes ``BENCH_scaling.json`` (a ``repro.bench_report/9`` microbench
 document -- empty ``sites``, the ``scaling`` section carries the
 payload plus a grid-aggregated ``monitors`` section) and prints one
 row per cell.  v8 cells additionally carry the sketch-backed
@@ -108,7 +108,8 @@ def run_scaling_cell(cell, timeline_tick=0.0, cluster=None):
         site_ids = tuple(range(1, cell["sites"] + 1))
         cluster = Cluster(site_ids=site_ids, config=_cell_config())
         cluster.enable_observability(monitors=True, strict=True,
-                                     timeline_tick=timeline_tick)
+                                     timeline_tick=timeline_tick,
+                                     provenance=True)
     driver = ScalingDriver(
         cluster,
         record_count=SCALING_RECORDS,
@@ -152,6 +153,21 @@ def run_scaling_cell(cell, timeline_tick=0.0, cluster=None):
             verdicts[mix] = {"ok": entry["ok"],
                              "worst_burn": entry["worst_burn"]}
     out["slo"] = verdicts
+    # v9 abort provenance: how much of the cell's work was wasted, what
+    # killed it, and where the contention lived (docs/OBSERVABILITY.md).
+    if obs is not None and obs.provenance is not None:
+        from repro.analysis.hotness import hotness_section
+        from repro.obs.waste import waste_ledger
+
+        ledger = waste_ledger(obs)
+        out["goodput_fraction"] = ledger["goodput_fraction"]
+        out["waste"] = {"wasted_ns": ledger["wasted_ns"],
+                        "categories": ledger["categories"]}
+        out["dominant_abort_cause"] = obs.provenance.dominant_cause()
+        hot = hotness_section(obs, top=3)
+        out["hot_ranges"] = [{"file": row["file"],
+                              "range_start": row["range_start"]}
+                             for row in hot["top"][:3]]
     monitors = getattr(cluster.obs, "monitors", None)
     out["monitors_total_violations"] = (
         monitors.total_violations if monitors is not None else 0
@@ -189,11 +205,13 @@ _CELL_KEYS = (
     "virtual_seconds", "commits_per_sec",
     "p50_ms", "p95_ms", "p99_ms", "p999_ms",
     "mixes", "slo",
+    "goodput_fraction", "dominant_abort_cause", "hot_ranges", "waste",
     "monitors_total_violations",
 )
 
 #: Curve metrics exported at the reference corner, keyed ``c<N>``.
-_CURVE_KEYS = ("commits_per_sec", "abort_rate", "p99_ms", "p999_ms")
+_CURVE_KEYS = ("commits_per_sec", "abort_rate", "p99_ms", "p999_ms",
+               "goodput_fraction")
 
 
 def monitors_aggregate(results) -> dict:
@@ -272,7 +290,7 @@ def scaling_section(results, sites=SCALING_SITES, clients=SCALING_CLIENTS,
 
 def scaling_report(section, monitors=None) -> dict:
     """Wrap a ``scaling`` section as a standalone
-    ``repro.bench_report/8`` microbench document (empty ``sites``: the
+    ``repro.bench_report/9`` microbench document (empty ``sites``: the
     grid runs its clusters cell-locally, and their latency breakdowns
     are deliberately not merged across unequal grid corners).
     ``monitors`` (see :func:`monitors_aggregate`) adds the grid-wide
@@ -298,9 +316,10 @@ def scaling_report(section, monitors=None) -> dict:
 def render_scaling_table(section, walls=None) -> str:
     """One row per grid cell (virtual-time numbers; optional wall
     seconds column from the live run)."""
-    header = "%5s %7s %5s %9s %7s %7s %9s %9s %8s %8s %9s %8s" % (
+    header = "%5s %7s %5s %9s %7s %7s %9s %9s %8s %8s %8s %-12s %9s %8s" % (
         "sites", "clients", "theta", "committed", "aborts", "abort%",
-        "virt-sec", "cmt/sec", "p99ms", "p999ms", "slo", "wall-s",
+        "virt-sec", "cmt/sec", "p99ms", "p999ms", "goodput", "cause",
+        "slo", "wall-s",
     )
     lines = [header, "-" * len(header)]
     for i, cell in enumerate(section["cells"]):
@@ -314,14 +333,18 @@ def render_scaling_table(section, walls=None) -> str:
                    else "burn=%.1f" % worst)
         else:
             slo = "--"
+        goodput = cell.get("goodput_fraction")
+        goodput = "--" if goodput is None else "%6.1f%%" % (100.0 * goodput)
         lines.append(
-            "%5d %7d %5.2f %9d %7d %6.1f%% %9.2f %9.2f %8.2f %8.2f %9s %8s"
+            "%5d %7d %5.2f %9d %7d %6.1f%% %9.2f %9.2f %8.2f %8.2f %8s "
+            "%-12s %9s %8s"
             % (
                 cell["sites"], cell["clients"], cell["theta"],
                 cell["committed"], cell["aborted"],
                 100.0 * cell["abort_rate"],
                 cell["virtual_seconds"], cell["commits_per_sec"],
-                cell["p99_ms"], cell.get("p999_ms", 0.0), slo, wall,
+                cell["p99_ms"], cell.get("p999_ms", 0.0), goodput,
+                cell.get("dominant_abort_cause") or "--", slo, wall,
             ))
     # Per-mix sketch tails: the fleet view of every mix that recorded
     # sketch samples anywhere in the grid (one line per cell x mix).
@@ -350,6 +373,20 @@ def render_scaling_table(section, walls=None) -> str:
             for label in sorted(ref[key], key=lambda s: int(s[1:]))
         ),
     ))
+    # The saturated corner cell's abort story: what killed its aborted
+    # attempts and where the contention lived (v9 provenance).
+    big = max(
+        (c for c in section["cells"]
+         if c["sites"] == ref["sites"] and c["theta"] == ref["theta"]),
+        key=lambda c: c["clients"], default=None)
+    if big is not None and (big.get("dominant_abort_cause")
+                            or big.get("hot_ranges")):
+        ranges = ", ".join(
+            "%s:%d" % (r["file"], r["range_start"])
+            for r in big.get("hot_ranges") or ()) or "--"
+        lines.append("c%d aborts: dominant cause %s; hot ranges %s" % (
+            big["clients"], big.get("dominant_abort_cause") or "none",
+            ranges))
     ref_slo = ref.get("slo") or {}
     if ref_slo:
         lines.append("knee vs SLO: %s" % "  ".join(
@@ -369,7 +406,7 @@ def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.scaling",
         description="Sweep the sites x clients x skew scaling grid and "
-                    "write the repro.bench_report/8 scaling document.",
+                    "write the repro.bench_report/9 scaling document.",
     )
     parser.add_argument("--workers", type=int, default=0,
                         help="worker processes (default: one per core, "

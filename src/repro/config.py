@@ -121,6 +121,15 @@ class SystemConfig:
     lock_wait_default: bool = True       # queue (True) or fail (False) on
     #                                      lock conflict, unless overridden
 
+    # Lock-wait timeout (virtual seconds): a queued transaction lock
+    # request older than this aborts its transaction with a
+    # ``lock_timeout`` provenance cause instead of waiting for the
+    # deadlock detector.  0.0 (the default) preserves the paper's
+    # behaviour -- lock RPCs queue indefinitely and only the detector
+    # or an explicit abort cancels them -- so every fig5/fig6
+    # reproduction and pinned seed fingerprint is untouched.
+    lock_timeout: float = 0.0
+
     # Lease-based remote-lock caching (docs/LOCK_CACHE.md): a storage
     # site grants a lease on the covering range along with a remote
     # transaction lock, and the using site arbitrates later lock/unlock
@@ -173,6 +182,15 @@ class SystemConfig:
     # histograms, sketches, and all virtual-time metrics still record
     # every sample either way.
     trace_sampling: float = 0.0
+
+    # Abort provenance (docs/OBSERVABILITY.md, "Abort provenance"):
+    # classify every abort at the instant it happens -- deadlock victim
+    # (with the wait-for cycle and closing range), lock timeout, RPC
+    # timeout, crash, explicit AbortTrans -- with retry chaining, the
+    # wasted-work ledger, and windowed hotness built on top.  A pure
+    # observer (zero virtual time); off by default so default-config
+    # runs carry no extra bookkeeping.
+    provenance: bool = False
 
     # Per-mix SLO burn-rate tracking (docs/OBSERVABILITY.md, "SLOs and
     # burn rates"): evaluate the objectives declared on workload mixes

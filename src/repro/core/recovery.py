@@ -69,8 +69,11 @@ def _recover_as_coordinator(site):
             if txn is not None and not txn.is_finished():
                 from .transaction import TxnState
 
-                txn.state = TxnState.ABORTED
+                # Reason before state: the ABORTED transition is the
+                # abort-provenance funnel, and it classifies from the
+                # reason string in place.
                 txn.abort_reason = txn.abort_reason or "coordinator crash recovery"
+                txn.state = TxnState.ABORTED
 
 
 def _finish_phase_two(site, txn, participants):

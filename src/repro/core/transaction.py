@@ -103,6 +103,12 @@ class TxnRecord:
                 obs.slo.outcome(self.mix, "abort.rate", bad=False)
             elif value == TxnState.ABORTING:
                 obs.slo.outcome(self.mix, "abort.rate", bad=True)
+        # Abort provenance backstop: every path into ABORTED funnels
+        # through this setter *after* its abort reason is assigned, so a
+        # transaction no richer site classified still gets exactly one
+        # cause record (repro.obs.provenance).  Pure observer.
+        if value == TxnState.ABORTED and obs.provenance is not None:
+            obs.provenance.on_abort(self)
 
     @property
     def holder(self):

@@ -118,6 +118,20 @@ def run_two_phase_commit(site, txn):
         )
         txn.state = TxnState.ABORTING
         txn.abort_reason = "prepare failed: %s" % exc
+        if obs is not None and obs.provenance is not None:
+            # Classify at the richest site: an unanswered prepare is an
+            # RPC timeout; anything else (handler exception, local
+            # crash) is a crash-induced abort.  Pure observer.
+            cause = ("rpc_timeout"
+                     if isinstance(exc, RpcError) and "no reply" in str(exc)
+                     else "crash")
+            obs.provenance.record(
+                txn.tid, cause, reason=txn.abort_reason,
+                site=site.site_id, mix=getattr(txn, "mix", None),
+                trace_id=getattr(getattr(txn, "obs_span", None),
+                                 "trace_id", None),
+                phase="prepare", participants=tuple(participants),
+            )
         yield from abort_at_participants(site, txn.tid, participants)
         txn.state = TxnState.ABORTED
         if obs is not None:

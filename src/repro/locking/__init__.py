@@ -4,10 +4,16 @@ requesting-site lock caches, deadlock detection, and the whole-file
 locking baseline."""
 
 from .cache import LockCache
-from .deadlock import build_wait_graph, choose_victim, find_cycle
+from .deadlock import CycleCache, build_wait_graph, choose_victim, find_cycle
 from .filelock import WHOLE_FILE, WholeFileLockManager
 from .lease import Lease, LeaseCache, LeaseRecalled, LeaseRegistry
-from .manager import LockCancelled, LockConflict, LockError, LockManager
+from .manager import (
+    LockCancelled,
+    LockConflict,
+    LockError,
+    LockManager,
+    LockTimeout,
+)
 from .modes import LockMode, compatible, unix_access_allowed
 from .table import LockRecord, LockTable
 
@@ -25,7 +31,9 @@ __all__ = [
     "LockMode",
     "LockRecord",
     "LockTable",
+    "LockTimeout",
     "WholeFileLockManager",
+    "CycleCache",
     "build_wait_graph",
     "choose_victim",
     "compatible",

@@ -24,10 +24,12 @@ class WholeFileLockManager:
     def __init__(self, manager: LockManager):
         self._manager = manager
 
-    def lock(self, file_id, holder, mode, start, end, nontrans=False, wait=True):
+    def lock(self, file_id, holder, mode, start, end, nontrans=False,
+             wait=True, timeout=None):
         """Lock the whole file regardless of the requested range."""
         return self._manager.lock(
-            file_id, holder, mode, 0, WHOLE_FILE, nontrans=nontrans, wait=wait
+            file_id, holder, mode, 0, WHOLE_FILE, nontrans=nontrans,
+            wait=wait, timeout=timeout,
         )
 
     def unlock(self, file_id, holder, start, end, two_phase):

@@ -37,12 +37,13 @@ from __future__ import annotations
 import operator
 from collections import deque
 
-from repro.sim import SimError
+from repro.sim import AnyOf, SimError
 
 from .modes import LockMode
 from .table import LockTable
 
-__all__ = ["LockManager", "LockError", "LockConflict", "LockCancelled"]
+__all__ = ["LockManager", "LockError", "LockConflict", "LockCancelled",
+           "LockTimeout"]
 
 #: Waiter-index bucket width, in bytes.  Record-lock ranges are small
 #: (tens of bytes in the paper's workloads), so one bucket per waiter is
@@ -67,6 +68,28 @@ class LockConflict(LockError):
 class LockCancelled(LockError):
     """A queued request was cancelled (holder aborted, e.g. as a
     deadlock victim)."""
+
+
+class LockTimeout(LockError):
+    """A queued request outlived ``SystemConfig.lock_timeout``.
+
+    Carries the contention point so abort provenance can name the
+    blocking holders without another probe: ``blockers`` are the
+    conflicting holders at the instant the timer fired."""
+
+    def __init__(self, blockers, file_id, start, end, waited, site_id=None):
+        super().__init__(
+            "lock wait timeout on %s [%d,%d) at site %s after %gs"
+            " (blocked by %s)"
+            % (file_id, start, end, site_id, waited,
+               sorted("%s:%s" % b for b in blockers))
+        )
+        self.blockers = tuple(sorted(blockers))
+        self.file_id = file_id
+        self.start = start
+        self.end = end
+        self.waited = waited
+        self.site_id = site_id
 
 
 #: Sort key for FIFO candidate ordering -- a C-level attrgetter: the
@@ -157,12 +180,15 @@ class LockManager:
     # lock / unlock
     # ------------------------------------------------------------------
 
-    def lock(self, file_id, holder, mode, start, end, nontrans=False, wait=True):
+    def lock(self, file_id, holder, mode, start, end, nontrans=False, wait=True,
+             timeout=None):
         """Generator: acquire a lock, queueing if necessary.
 
         Raises :class:`LockConflict` when ``wait`` is False and the
         request conflicts; raises :class:`LockCancelled` if the queued
-        request is cancelled (holder aborted).
+        request is cancelled (holder aborted); raises
+        :class:`LockTimeout` if ``timeout`` (seconds, None = wait
+        forever) elapses while still queued.
         """
         yield self._engine.charge(self._cost.instr(self._cost.lock_instructions))
         obs = self._engine.obs
@@ -198,12 +224,36 @@ class LockManager:
                 start=start, end=end,
                 blocked_by=tuple(sorted("%s:%s" % b for b in blockers)),
             )
+        timed_out = False
         try:
-            yield event  # the waker grants before signalling; failure raises
+            if timeout is None:
+                yield event  # the waker grants before signalling; failure raises
+            else:
+                which, _ = yield AnyOf(
+                    self._engine, [event, self._engine.timeout(timeout)]
+                )
+                timed_out = which == 1
         except BaseException:
             if obs is not None:
                 obs.end(span, status="cancelled")
             raise
+        if timed_out:
+            if event.triggered and event.ok:
+                # The grant raced the timer inside the same instant (the
+                # waker grants before signalling); the lock is ours.
+                timed_out = False
+            elif event.triggered:
+                if obs is not None:
+                    obs.end(span, status="cancelled")
+                raise event.value  # cancelled inside the same instant
+        if timed_out:
+            self._remove_waiter(file_id, waiter)
+            if obs is not None:
+                obs.end(span, status="timeout")
+            raise LockTimeout(
+                table.conflicts(holder, mode, start, end) or blockers,
+                file_id, start, end, waited=timeout, site_id=self.site_id,
+            )
         if obs is not None:
             obs.end(span, status="granted")
             obs.observe(self.site_id, "lock.wait", self._engine.now - queued_at)
@@ -684,3 +734,29 @@ class LockManager:
     def waiting_holders(self):
         """Holders with at least one queued request."""
         return sorted({w.holder for q in self._queues.values() for w in q})
+
+    def wait_edge_details(self):
+        """(waiter, blocker, file_id, start, end, seq) for every queued
+        conflict at this site -- the observability-grade version of
+        :meth:`wait_edges`, carrying the contention point and the FIFO
+        rank of the waiting request.
+
+        Pure reader for abort provenance and the ``deadlock.cycle``
+        instant markers; never called on the simulated network (the
+        wire protocol still ships the bare pairs, so message sizes --
+        and every pinned seed fingerprint -- are untouched)."""
+        details = []
+        for file_id, queue in self._queues.items():
+            if not queue:
+                continue
+            table = self.table(file_id)
+            for waiter in queue:
+                for blocker in table.conflicts(
+                    waiter.holder, waiter.mode, waiter.start, waiter.end
+                ):
+                    details.append((
+                        waiter.holder, blocker, file_id,
+                        waiter.start, waiter.end, waiter.seq,
+                    ))
+        details.sort(key=lambda d: (str(d[2]), d[5], d[0], d[1]))
+        return details

@@ -23,7 +23,7 @@ from repro.config import SystemConfig
 from repro.core import TxnRegistry, TxnState
 from repro.core.twophase import abort_participant
 from repro.fs import Namespace, Replica
-from repro.locking import LockCancelled, build_wait_graph, choose_victim, find_cycle
+from repro.locking import CycleCache, LockCancelled, build_wait_graph, choose_victim
 from repro.net import MessageKinds, Network
 from repro.sim import Engine
 
@@ -54,6 +54,10 @@ class Cluster:
         self.network.subscribe(self._on_topology_event)
         self._scan_armed = False
         self._last_waitset = frozenset()
+        # Per-edge memoization of the detector's cycle walk: identical
+        # or shrinking-acyclic snapshots skip the DFS with provably
+        # identical results (repro.locking.deadlock.CycleCache).
+        self._cycle_cache = CycleCache()
         self.tracer = None
         self.obs = None
 
@@ -67,7 +71,8 @@ class Cluster:
 
     def enable_observability(self, span_capacity=200000, bounds=None,
                              monitors=None, strict=None, timeline_tick=None,
-                             wallprof=None, sampling=None, slo=None):
+                             wallprof=None, sampling=None, slo=None,
+                             provenance=None):
         """Attach causal-span tracing and latency histograms.
 
         Instrumentation is a pure observer: it charges no virtual time,
@@ -75,10 +80,11 @@ class Cluster:
         uninstrumented one (see docs/OBSERVABILITY.md).
 
         ``monitors``/``strict``/``timeline_tick``/``wallprof``/
-        ``sampling``/``slo`` default from the cluster config
-        (``SystemConfig.monitors`` etc.), which in turn can be
+        ``sampling``/``slo``/``provenance`` default from the cluster
+        config (``SystemConfig.monitors`` etc.), which in turn can be
         overridden by the ``REPRO_MONITOR`` / ``REPRO_TIMELINE`` /
-        ``REPRO_WALLPROF`` / ``REPRO_SAMPLING`` environment variables --
+        ``REPRO_WALLPROF`` / ``REPRO_SAMPLING`` / ``REPRO_PROVENANCE``
+        environment variables --
         so an existing experiment script gains runtime verification (or
         a wall-clock profile, or tail-sampled trace retention) without a
         code change."""
@@ -105,6 +111,9 @@ class Cluster:
                 sampling = float(os.environ["REPRO_SAMPLING"])
         if slo is None:
             slo = self.config.slo_tracking
+        if provenance is None:
+            provenance = self.config.provenance \
+                or bool(os.environ.get("REPRO_PROVENANCE"))
         if monitors:
             self.obs.attach_monitors(strict=strict)
         if timeline_tick:
@@ -115,6 +124,8 @@ class Cluster:
             self.obs.attach_sampler(head_rate=sampling)
         if slo:
             self.obs.attach_slo()
+        if provenance:
+            self.obs.attach_provenance()
         return self.obs
 
     # ------------------------------------------------------------------
@@ -295,7 +306,7 @@ class Cluster:
             except Exception:  # noqa: BLE001 - site died mid-query: skip it
                 continue
         graph = build_wait_graph(edge_lists)
-        cycle = find_cycle(graph)
+        cycle = self._cycle_cache.find_cycle(graph)
         obs = self.engine.obs
         if obs is not None and graph:
             # Wait-for snapshot as a Chrome-trace instant event: the
@@ -312,11 +323,26 @@ class Cluster:
             )
         if cycle is not None:
             victim = choose_victim(cycle)
+            ordered_edges, closing = (), None
             if obs is not None:
+                # Ordered cycle edges with their contention points,
+                # read straight off the (in-process) lock managers --
+                # the wire protocol still ships bare pairs, so message
+                # sizes and seed fingerprints are untouched.  The
+                # *closing* edge is the most recently queued wait of
+                # the cycle at its site (max FIFO seq; site id breaks
+                # cross-site ties deterministically).
+                ordered_edges, closing = self._cycle_edge_details(
+                    cycle, up_sites)
                 obs.spans.instant(
                     "deadlock.cycle", site_id=home.site_id,
                     cycle=tuple("%s:%s" % h for h in cycle),
                     victim="%s:%s" % victim,
+                    edges=tuple(
+                        "%s->%s@%s:%s[%d,%d)" % e[:6] for e in ordered_edges
+                    ),
+                    closing=(None if closing is None
+                             else "%s->%s@%s:%s[%d,%d)" % closing[:6]),
                 )
                 # Pin every cycle member's trace: the tail sampler must
                 # retain all deadlock participants (no-op unsampled).
@@ -330,6 +356,18 @@ class Cluster:
             if victim[0] == "txn":
                 txn = self.txn_registry.get(victim[1])
                 if txn is not None and not txn.is_finished():
+                    if obs is not None and obs.provenance is not None:
+                        obs.provenance.record(
+                            txn.tid, "deadlock", reason="deadlock victim",
+                            site=txn.top_proc.site_id,
+                            mix=getattr(txn, "mix", None),
+                            trace_id=getattr(getattr(txn, "obs_span", None),
+                                             "trace_id", None),
+                            cycle=["%s:%s" % h for h in cycle],
+                            edges=[list(e[:6]) for e in ordered_edges],
+                            closing=(None if closing is None
+                                     else list(closing[:6])),
+                        )
                     service = self.site(txn.top_proc.site_id).txn_service
                     yield from service.abort(txn, reason="deadlock victim")
             else:
@@ -353,6 +391,45 @@ class Cluster:
         self._last_waitset = waitset
         return None
         yield  # pragma: no cover - keeps this a generator
+
+    def _cycle_edge_details(self, cycle, up_sites):
+        """Resolve a wait-for cycle's edges to their contention points.
+
+        Returns ``(ordered_edges, closing)`` where ``ordered_edges`` is
+        one ``(waiter, blocker, site, file, start, end, seq)`` tuple per
+        consecutive cycle pair (waiter/blocker as ``kind:id`` strings,
+        in cycle order) and ``closing`` is the most recently queued of
+        them (max FIFO seq, site id breaking cross-site ties) -- the
+        wait that completed the cycle.  Pure observer: reads the lock
+        managers directly, never the simulated network."""
+        by_pair = {}
+        for site in up_sites:
+            for waiter, blocker, file_id, start, end, seq in \
+                    site.wait_edge_details():
+                key = (waiter, blocker)
+                entry = (str(site.site_id), str(file_id),
+                         int(start), int(end), int(seq))
+                if key not in by_pair or entry < by_pair[key]:
+                    by_pair[key] = entry
+        ordered = []
+        for i, waiter in enumerate(cycle):
+            blocker = cycle[(i + 1) % len(cycle)]
+            entry = by_pair.get((waiter, blocker))
+            w, b = "%s:%s" % waiter, "%s:%s" % blocker
+            if entry is None:
+                # The wait resolved between the RPC snapshot and this
+                # read; keep the edge with an unknown contention point.
+                ordered.append((w, b, "?", "?", 0, 0, -1))
+            else:
+                site_id, file_id, start, end, seq = entry
+                ordered.append((w, b, site_id, file_id, start, end, seq))
+        closing = None
+        for edge in ordered:
+            if edge[6] < 0:
+                continue
+            if closing is None or (edge[6], edge[2]) > (closing[6], closing[2]):
+                closing = edge
+        return tuple(ordered), closing
 
     # ------------------------------------------------------------------
     # topology-change handling (section 4.3)

@@ -17,7 +17,13 @@ process and hands it a :class:`Syscalls` facade.  Every syscall:
 from __future__ import annotations
 
 from repro.core.filelist import merge_file_list
-from repro.locking import LeaseRecalled, LockCancelled, LockConflict, LockMode
+from repro.locking import (
+    LeaseRecalled,
+    LockCancelled,
+    LockConflict,
+    LockMode,
+    LockTimeout,
+)
 from repro.net import HEADER_BYTES, MessageKinds, RemoteError, SiteUnreachable
 from repro.sim import Interrupt
 
@@ -401,16 +407,21 @@ class Kernel:
         holder = proc.holder()
         start = ch.offset
         site = self.cluster.site(proc.site_id)
-        if ch.storage_site == proc.site_id:
-            rng = yield from site.do_lock(
-                ch.file_id, holder, mode, start, length, nontrans, wait, append,
-                proc_holder=proc.proc_holder(),
-            )
-        else:
-            rng = yield from self._remote_lock_call(
-                proc, ch, site, holder, start, length, mode, wait, nontrans,
-                append,
-            )
+        try:
+            if ch.storage_site == proc.site_id:
+                rng = yield from site.do_lock(
+                    ch.file_id, holder, mode, start, length, nontrans, wait,
+                    append, proc_holder=proc.proc_holder(),
+                )
+            else:
+                rng = yield from self._remote_lock_call(
+                    proc, ch, site, holder, start, length, mode, wait, nontrans,
+                    append,
+                )
+        except LockTimeout as exc:
+            self._abort_on_lock_timeout(proc, ch, holder, mode, start, length,
+                                        exc)
+            raise  # non-transaction holder: surface the raw timeout
         if mode == "unlock":
             site.lock_cache.record_release(ch.file_id, holder, rng[0], rng[1])
             site.lock_cache.record_release(
@@ -426,6 +437,52 @@ class Kernel:
             )
             site.lock_cache.record_grant(ch.file_id, holder, lock_mode, rng[0], rng[1])
         return rng
+
+    def _abort_on_lock_timeout(self, proc, ch, holder, mode, start, length,
+                               exc):
+        """A transaction's lock wait outlived ``config.lock_timeout``:
+        abort it (the timeout is an abort decision, like losing a
+        deadlock) and file the ``lock_timeout`` provenance cause with
+        the contention point and blocking holders.  Blockers are read
+        purely from the storage site's lock manager when the timeout
+        crossed the network (same virtual instant, zero messages)."""
+        if proc.tid is None:
+            return
+        file_id = ch.file_id
+        end = start + length
+        blockers = exc.blockers
+        if not blockers and mode in ("shared", "exclusive"):
+            lock_mode = (
+                LockMode.EXCLUSIVE if mode == "exclusive" else LockMode.SHARED
+            )
+            storage = self.cluster.site(ch.storage_site)
+            blockers = tuple(sorted(storage.lock_manager.table(
+                file_id
+            ).conflicts(holder, lock_mode, start, end)))
+        reason = (
+            "lock wait timeout on %s [%d,%d) at site %s (blocked by %s)"
+            % (file_id, start, end, ch.storage_site,
+               ["%s:%s" % b for b in blockers])
+        )
+        txn = self.cluster.txn_registry.get(proc.tid)
+        if txn is not None and not txn.is_finished():
+            obs = self.engine.obs
+            if obs is not None and obs.provenance is not None:
+                obs.provenance.record(
+                    txn.tid, "lock_timeout", reason=reason,
+                    site=proc.site_id, mix=getattr(txn, "mix", None),
+                    trace_id=getattr(
+                        getattr(txn, "obs_span", None), "trace_id", None
+                    ),
+                    file=str(file_id), start=start, end=end,
+                    lock_site=ch.storage_site,
+                    blockers=["%s:%s" % b for b in blockers],
+                )
+            service = self.cluster.site(proc.site_id).txn_service
+            self.engine.process(
+                service.abort(txn, reason=reason), name="abort-on-lock-timeout"
+            )
+        raise TransactionAborted(reason)
 
     def _remote_lock_call(self, proc, ch, site, holder, start, length, mode,
                           wait, nontrans, append):
@@ -461,6 +518,8 @@ class Kernel:
                     yield from site.lease_manager.lock(
                         ch.file_id, holder, lock_mode, start, end,
                         nontrans=False, wait=wait,
+                        timeout=(self.config.lock_timeout
+                                 if self.config.lock_timeout > 0 else None),
                     )
                 except LeaseRecalled:
                     pass  # recalled while queued: retry via the RPC path
@@ -677,6 +736,13 @@ class Kernel:
                 raise AccessDenied(text)
             if text.startswith("LockConflict"):
                 raise LockConflict([])
+            if text.startswith("LockTimeout"):
+                # Re-thrown with placeholder coordinates; the lock path
+                # rebuilds the contention point from its own request and
+                # a pure in-process probe of the storage site.
+                timeout = LockTimeout((), None, 0, 0, 0.0)
+                timeout.args = (text,)
+                raise timeout
             if text.startswith("LockCancelled") or "TransactionAborted" in text:
                 raise LockCancelled(text)
             raise

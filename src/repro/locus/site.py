@@ -278,8 +278,19 @@ class Site:
                 )
             return (start, end)
         lock_mode = LockMode.EXCLUSIVE if mode == "exclusive" else LockMode.SHARED
+        # SystemConfig.lock_timeout bounds only *transaction* waits (a
+        # timed-out wait aborts the transaction with a "lock_timeout"
+        # provenance cause); 0.0 -- the default -- waits forever, the
+        # paper's behavior.
+        lock_timeout = self.config.lock_timeout
         yield from self.lock_manager.lock(
-            file_id, holder, lock_mode, start, end, nontrans=nontrans, wait=wait
+            file_id, holder, lock_mode, start, end, nontrans=nontrans, wait=wait,
+            timeout=(
+                lock_timeout
+                if lock_timeout > 0 and wait and not nontrans
+                and holder[0] == "txn"
+                else None
+            ),
         )
         if want_prefetch and self.config.prefetch_on_lock:
             span = yield from state.page_span_image(start, end)
@@ -469,6 +480,13 @@ class Site:
         edges = set(self.lock_manager.wait_edges())
         edges.update(self.lease_manager.wait_edges())
         return sorted(edges)
+
+    def wait_edge_details(self):
+        """(waiter, blocker, file_id, start, end, seq) over both lock
+        managers -- pure observability reader (abort provenance), never
+        shipped on the simulated network."""
+        return (self.lock_manager.wait_edge_details()
+                + self.lease_manager.wait_edge_details())
 
     def waiting_holders(self):
         """Holders queued at either lock manager."""

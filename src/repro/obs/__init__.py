@@ -49,17 +49,20 @@ from .monitor import MonitorHub, MonitorViolation
 from .schema import REQUIRED_METRICS, SCHEMA_ID, SchemaError, validate_report
 from .sketch import QuantileSketch
 from .slo import SloObjective, SloTracker
+from .provenance import AbortRecord, ProvenanceHub
 from .span import Instant, Span, SpanRecorder, TailSampler
 from .timeline import Timeline
 from .wallprof import WallProfiler
 
 __all__ = [
+    "AbortRecord",
     "Histogram",
     "Instant",
     "MetricsHub",
     "MonitorHub",
     "MonitorViolation",
     "Observability",
+    "ProvenanceHub",
     "QuantileSketch",
     "REQUIRED_METRICS",
     "SCHEMA_ID",
@@ -96,6 +99,7 @@ class Observability:
         self.timeline = None   # Timeline when attach_timeline() ran
         self.wallprof = None   # WallProfiler when attach_wallprof() ran
         self.slo = None        # SloTracker when attach_slo() ran
+        self.provenance = None  # ProvenanceHub when attach_provenance() ran
 
     def install(self):
         """Attach to the engine so layer hooks start recording."""
@@ -140,6 +144,17 @@ class Observability:
         elif self.slo.timeline is None:
             self.slo.timeline = self.timeline
         return self.slo
+
+    def attach_provenance(self):
+        """Enable abort-provenance classification (idempotent): every
+        abort gets exactly one causal record -- deadlock victim, lock
+        timeout, RPC timeout, crash, or explicit AbortTrans -- with
+        retry chaining (docs/OBSERVABILITY.md, "Abort provenance")."""
+        if self.provenance is None:
+            from .provenance import ProvenanceHub
+
+            self.provenance = ProvenanceHub(obs=self)
+        return self.provenance
 
     def attach_sampler(self, head_rate=0.05, slow_percentile=99.0,
                        min_slow_count=50, slow_window=256):

@@ -32,6 +32,18 @@ Rules (each validated empirically over every report scenario):
 ``no-root``
     Every trace id has at least one root span (``parent_id`` None).
     Skipped when spans were dropped.
+``abort-no-provenance``
+    Every aborted ``txn`` root span has an abort-provenance record (the
+    ``abort.provenance`` instant carrying its cause) -- the "every abort
+    carries exactly one cause" invariant of
+    :mod:`repro.obs.provenance`.  Checked live when the run had
+    provenance attached, and over saved traces whenever the file
+    carries any txn spans.
+``provenance-dangling``
+    Every abort-provenance record that names a trace id points at a
+    recorded trace.  Skipped when the recorder dropped spans or a tail
+    sampler freed unretained trees (then the trace may legitimately be
+    gone while its classification remains).
 
 **Sampled traces** (docs/OBSERVABILITY.md, "Trace sampling"): a run
 with tail-based retention keeps whole trace trees but not *all* of
@@ -65,8 +77,8 @@ completeness rules off automatically::
 
 from __future__ import annotations
 
-__all__ = ["Violation", "lint_spans", "spans_from_trace",
-           "lint_trace_spans", "main"]
+__all__ = ["Violation", "lint_spans", "lint_provenance",
+           "spans_from_trace", "lint_trace_spans", "main"]
 
 
 class Violation:
@@ -158,6 +170,42 @@ def _lint(spans, dropped=False, sampled=False) -> list:
     return violations
 
 
+def lint_provenance(obs) -> list:
+    """Abort-provenance completeness violations for a finished observed
+    run (empty list = every abort classified, no dangling references).
+
+    A no-op (empty list) when the run had no provenance hub attached --
+    there is nothing to hold the records against."""
+    prov = getattr(obs, "provenance", None)
+    if prov is None:
+        return []
+    recorder = obs.spans
+    violations = []
+    # Txn root spans carry ``str(tid)``; the hub is keyed by the id
+    # objects themselves.  Compare in string space.
+    classified_tids = {str(tid) for tid in prov.by_tid}
+    for span in recorder.spans:
+        if span.name != "txn" or span.status != "aborted":
+            continue
+        tid = span.attrs.get("tid")
+        if tid is not None and tid not in classified_tids:
+            violations.append(Violation(
+                "abort-no-provenance", span,
+                "aborted txn %s has no provenance record: %s"
+                % (tid, _describe(span))))
+    incomplete = (recorder.dropped > 0
+                  or getattr(recorder, "sampler", None) is not None)
+    if not incomplete:
+        known = set(recorder.trace_ids())
+        for rec in prov.records:
+            if rec.trace_id is not None and rec.trace_id not in known:
+                violations.append(Violation(
+                    "provenance-dangling", None,
+                    "abort record for tid %s points at unrecorded trace %s"
+                    % (rec.tid, rec.trace_id)))
+    return violations
+
+
 class _TraceSpan:
     """A span reconstructed from a saved Chrome-trace 'X' event -- just
     the fields the lint rules read."""
@@ -206,11 +254,51 @@ def spans_from_trace(doc):
     return spans, sampled
 
 
+def _lint_trace_provenance(doc, sampled=False) -> list:
+    """The provenance rules over a saved Chrome-trace JSON document:
+    aborted ``txn`` spans must carry a matching ``abort.provenance``
+    instant, and every such instant's ``trace`` arg must name a trace
+    present in the file (the latter skipped for sampled files)."""
+    classified = set()
+    referenced = []          # (tid, trace_id) named by provenance instants
+    aborted = []             # aborted txn root events
+    trace_ids = set()
+    for event in doc.get("traceEvents", ()):
+        args = event.get("args") or {}
+        if event.get("ph") == "i" and event.get("name") == "abort.provenance":
+            tid = args.get("tid")
+            if tid is not None:
+                classified.add(tid)
+            if args.get("trace") is not None:
+                referenced.append((tid, args["trace"]))
+        elif event.get("ph") == "X" and "trace_id" in args:
+            trace_ids.add(args["trace_id"])
+            if event.get("name") == "txn" and args.get("status") == "aborted":
+                aborted.append((args.get("tid"), args["trace_id"]))
+    violations = []
+    for tid, trace_id in aborted:
+        if tid is not None and tid not in classified:
+            violations.append(Violation(
+                "abort-no-provenance", None,
+                "aborted txn %s (trace %s) has no abort.provenance instant"
+                % (tid, trace_id)))
+    if not sampled:
+        for tid, trace_id in referenced:
+            if trace_id not in trace_ids:
+                violations.append(Violation(
+                    "provenance-dangling", None,
+                    "abort.provenance for tid %s points at trace %s not in "
+                    "this file" % (tid, trace_id)))
+    return violations
+
+
 def lint_trace_spans(doc) -> list:
     """Structurally lint a saved Chrome-trace JSON document, honoring
-    its ``sampling`` header (see the module docstring)."""
+    its ``sampling`` header (see the module docstring).  Includes the
+    abort-provenance completeness rules."""
     spans, sampled = spans_from_trace(doc)
-    return _lint(spans, dropped=False, sampled=sampled)
+    return (_lint(spans, dropped=False, sampled=sampled)
+            + _lint_trace_provenance(doc, sampled=sampled))
 
 
 def lint_trace_file(path):
@@ -234,7 +322,8 @@ def _main_spans(paths):
         with open(path) as fh:
             doc = json.load(fh)
         spans, sampled = spans_from_trace(doc)
-        violations = _lint(spans, dropped=False, sampled=sampled)
+        violations = (_lint(spans, dropped=False, sampled=sampled)
+                      + _lint_trace_provenance(doc, sampled=sampled))
         print("%-32s %6d spans%s: %s" % (
             path, len(spans), " (sampled)" if sampled else "",
             "OK" if not violations else "%d violation%s" % (
@@ -313,7 +402,7 @@ def main(argv=None):
     for name in names:
         cluster = run_scenario(name)
         recorder = cluster.obs.spans
-        violations = lint_spans(recorder)
+        violations = lint_spans(recorder) + lint_provenance(cluster.obs)
         print("%-12s %5d spans, %4d traces: %s" % (
             name, len(recorder.spans), len(recorder.trace_ids()),
             "OK" if not violations else "%d violation%s" % (

@@ -17,10 +17,11 @@ from __future__ import annotations
 
 __all__ = ["SCHEMA_ID", "REQUIRED_METRICS", "validate_report", "SchemaError"]
 
-SCHEMA_ID = "repro.bench_report/8"
+SCHEMA_ID = "repro.bench_report/9"
 
 _V6 = "repro.bench_report/6"
 _V7 = "repro.bench_report/7"
+_V8 = "repro.bench_report/8"
 
 #: Schema versions this validator accepts.  v2 added the per-site
 #: ``counters`` section (monotonic event counts, e.g. lock-cache hits);
@@ -39,37 +40,47 @@ _V7 = "repro.bench_report/7"
 #: per-mix quantile-sketch summaries), ``slo`` (per-mix error-budget
 #: burn rates) and ``spans.sampling`` (tail-based trace retention)
 #: payloads, plus the optional per-cell ``p999_ms`` / ``mixes`` /
-#: ``slo`` fields in scaling cells.  Older documents remain valid with
-#: the newer sections treated as absent.
+#: ``slo`` fields in scaling cells; v9 added the optional ``aborts``
+#: (abort provenance: cause taxonomy, retry chains, storm peaks),
+#: ``waste`` (wasted-work ledger with the exact category-sum invariant
+#: and the goodput fraction) and ``hotness`` (windowed EWMA contention
+#: hotness) sections, plus the optional per-cell ``goodput_fraction`` /
+#: ``dominant_abort_cause`` / ``hot_ranges`` / ``waste`` fields in
+#: scaling cells.  Older documents remain valid with the newer sections
+#: treated as absent.
 _ACCEPTED_SCHEMAS = ("repro.bench_report/1", "repro.bench_report/2",
                      "repro.bench_report/3", "repro.bench_report/4",
-                     "repro.bench_report/5", _V6, _V7, SCHEMA_ID)
+                     "repro.bench_report/5", _V6, _V7, _V8, SCHEMA_ID)
 
 #: Versions that carry the mandatory ``counters`` section.
 _COUNTER_SCHEMAS = ("repro.bench_report/2", "repro.bench_report/3",
                     "repro.bench_report/4", "repro.bench_report/5",
-                    _V6, _V7, SCHEMA_ID)
+                    _V6, _V7, _V8, SCHEMA_ID)
 
 #: Versions that may carry the optional ``throughput`` section.
 _THROUGHPUT_SCHEMAS = ("repro.bench_report/3", "repro.bench_report/4",
-                       "repro.bench_report/5", _V6, _V7, SCHEMA_ID)
+                       "repro.bench_report/5", _V6, _V7, _V8, SCHEMA_ID)
 
 #: Versions that may carry the v4 analysis sections.
 _ANALYSIS_SCHEMAS = ("repro.bench_report/4", "repro.bench_report/5",
-                     _V6, _V7, SCHEMA_ID)
+                     _V6, _V7, _V8, SCHEMA_ID)
 
 #: Versions that may carry the v5 telemetry sections.
-_TELEMETRY_SCHEMAS = ("repro.bench_report/5", _V6, _V7, SCHEMA_ID)
+_TELEMETRY_SCHEMAS = ("repro.bench_report/5", _V6, _V7, _V8, SCHEMA_ID)
 
 #: Versions that may carry the v6 wallclock / matrix sections (and the
 #: microbench empty-``sites`` allowance).
-_WALLCLOCK_SCHEMAS = (_V6, _V7, SCHEMA_ID)
+_WALLCLOCK_SCHEMAS = (_V6, _V7, _V8, SCHEMA_ID)
 
 #: Versions that may carry the v7 scaling section.
-_SCALING_SCHEMAS = (_V7, SCHEMA_ID)
+_SCALING_SCHEMAS = (_V7, _V8, SCHEMA_ID)
 
 #: Versions that may carry the v8 sketches / slo sections.
-_SLO_SCHEMAS = (SCHEMA_ID,)
+_SLO_SCHEMAS = (_V8, SCHEMA_ID)
+
+#: Versions that may carry the v9 provenance sections (``aborts``,
+#: ``waste``, ``hotness``) and per-cell goodput/waste fields.
+_PROVENANCE_SCHEMAS = (SCHEMA_ID,)
 
 #: Metric families every report must carry in at least one site
 #: (the per-phase breakdown the analysis layer is built on).
@@ -154,6 +165,9 @@ def validate_report(doc) -> int:
         ("scaling", _check_scaling, _SCALING_SCHEMAS),
         ("sketches", _check_sketches, _SLO_SCHEMAS),
         ("slo", _check_slo, _SLO_SCHEMAS),
+        ("aborts", _check_aborts, _PROVENANCE_SCHEMAS),
+        ("waste", _check_waste, _PROVENANCE_SCHEMAS),
+        ("hotness", _check_hotness, _PROVENANCE_SCHEMAS),
     ):
         if section in doc:
             if doc["schema"] in versions:
@@ -646,6 +660,55 @@ def _check_scaling(section):
                         problems.append(
                             "%s.worst_burn missing or not numeric" % vwhere
                         )
+        # v9 optional per-cell provenance: goodput fraction, dominant
+        # abort cause, hottest contended ranges, and the per-cell waste
+        # ledger (whose categories must sum exactly to its wasted_ns).
+        goodput = cell.get("goodput_fraction", None)
+        if goodput is not None:
+            if not isinstance(goodput, (int, float)) or isinstance(
+                goodput, bool
+            ):
+                problems.append("%s.goodput_fraction is not numeric or null"
+                                % where)
+            elif not 0.0 <= goodput <= 1.0:
+                problems.append("%s.goodput_fraction %r outside [0, 1]"
+                                % (where, goodput))
+        dominant = cell.get("dominant_abort_cause", None)
+        if dominant is not None and not isinstance(dominant, str):
+            problems.append("%s.dominant_abort_cause is not a string or null"
+                            % where)
+        hot = cell.get("hot_ranges", None)
+        if hot is not None:
+            if not isinstance(hot, list):
+                problems.append("%s.hot_ranges is not a list or null" % where)
+            else:
+                for j, row in enumerate(hot):
+                    if not isinstance(row, dict) or not isinstance(
+                        row.get("file"), str
+                    ) or not isinstance(row.get("range_start"), int):
+                        problems.append(
+                            "%s.hot_ranges[%d] malformed (needs file str, "
+                            "range_start int)" % (where, j)
+                        )
+        waste = cell.get("waste", None)
+        if waste is not None:
+            if not isinstance(waste, dict):
+                problems.append("%s.waste is not an object or null" % where)
+            else:
+                wwhere = "%s.waste" % where
+                wasted = waste.get("wasted_ns")
+                cats = waste.get("categories")
+                if not isinstance(wasted, int) or isinstance(wasted, bool):
+                    problems.append("%s.wasted_ns missing or not an integer"
+                                    % wwhere)
+                elif not isinstance(cats, dict):
+                    problems.append("%s.categories missing or not an object"
+                                    % wwhere)
+                elif sum(cats.values()) != wasted:
+                    problems.append(
+                        "%s: category sum %d != wasted_ns %d"
+                        % (wwhere, sum(cats.values()), wasted)
+                    )
     reference = section.get("reference")
     if not isinstance(reference, dict):
         return problems + ["scaling.reference missing or not an object"]
@@ -847,6 +910,251 @@ def _check_slo(section):
                                     % (owhere, row["burn"], expected))
                 if row["ok"] != (row["burn"] <= 1.0):
                     problems.append("%s: ok flag disagrees with burn" % owhere)
+    return problems
+
+
+#: The closed abort-cause taxonomy (mirrors repro.obs.provenance.CAUSES;
+#: ``unclassified`` may additionally appear in waste ledgers computed
+#: without provenance attached).
+_ABORT_CAUSES = ("deadlock", "lock_timeout", "rpc_timeout", "crash",
+                 "explicit")
+
+
+def _check_aborts(section):
+    """Problems with a v9 ``aborts`` section (empty list = valid).
+
+    Beyond shape, enforces the taxonomy's closure (every cause key is
+    one of the five known causes) and the count invariant (per-cause
+    counts sum to ``total`` -- every abort carries exactly one cause)."""
+    problems = []
+    if not isinstance(section, dict):
+        return ["aborts is %s, expected object" % type(section).__name__]
+    total = section.get("total")
+    if not isinstance(total, int) or isinstance(total, bool):
+        problems.append("aborts.total missing or not an integer")
+        total = None
+    causes = section.get("causes")
+    if not isinstance(causes, dict):
+        problems.append("aborts.causes missing or not an object")
+    else:
+        for cause, count in sorted(causes.items()):
+            if cause not in _ABORT_CAUSES:
+                problems.append("aborts.causes[%r] is not a known cause %r"
+                                % (cause, _ABORT_CAUSES))
+            if not isinstance(count, int) or isinstance(count, bool):
+                problems.append("aborts.causes[%r] is not an integer" % cause)
+        if total is not None and all(
+            isinstance(c, int) and not isinstance(c, bool)
+            for c in causes.values()
+        ) and sum(causes.values()) != total:
+            problems.append("aborts: cause counts sum to %d, total is %d"
+                            % (sum(causes.values()), total))
+    by_site = section.get("by_site")
+    if not isinstance(by_site, dict) or not all(
+        isinstance(v, int) and not isinstance(v, bool)
+        for v in by_site.values()
+    ):
+        problems.append("aborts.by_site missing or not an integer-valued "
+                        "object")
+    retries = section.get("retries")
+    if not isinstance(retries, dict):
+        problems.append("aborts.retries missing or not an object")
+    else:
+        for key in ("successes", "retried_successes", "attempts",
+                    "max_chain", "abandoned"):
+            value = retries.get(key)
+            if not isinstance(value, int) or isinstance(value, bool):
+                problems.append("aborts.retries.%s missing or not an integer"
+                                % key)
+        rps = retries.get("retries_per_success")
+        if not isinstance(rps, (int, float)) or isinstance(rps, bool):
+            problems.append("aborts.retries.retries_per_success missing or "
+                            "not numeric")
+    storm = section.get("storm")
+    if not isinstance(storm, dict):
+        problems.append("aborts.storm missing or not an object")
+    else:
+        if not isinstance(storm.get("window_s"), (int, float)):
+            problems.append("aborts.storm.window_s missing or not numeric")
+        peak = storm.get("peak")
+        if not isinstance(peak, int) or isinstance(peak, bool):
+            problems.append("aborts.storm.peak missing or not an integer")
+        elif total is not None and peak > total:
+            problems.append("aborts.storm.peak %d exceeds total %d"
+                            % (peak, total))
+        if not isinstance(storm.get("at"), (int, float)):
+            problems.append("aborts.storm.at missing or not numeric")
+    return problems
+
+
+def _check_waste(section):
+    """Problems with a v9 ``waste`` section (empty list = valid).
+
+    Beyond shape, enforces the ledger's defining invariants *exactly*
+    (integer arithmetic, no tolerance): per-category wasted nanoseconds
+    sum to ``wasted_ns``, per-cause wasted nanoseconds and attempt
+    counts sum to the totals, and the goodput fraction is consistent
+    with committed vs wasted time."""
+    problems = []
+    if not isinstance(section, dict):
+        return ["waste is %s, expected object" % type(section).__name__]
+    numbers = {}
+    for key in ("attempts", "wasted_ns", "committed_ns"):
+        value = section.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            problems.append("waste.%s missing or not an integer" % key)
+        else:
+            numbers[key] = value
+    goodput = section.get("goodput_fraction")
+    if not isinstance(goodput, (int, float)) or isinstance(goodput, bool):
+        problems.append("waste.goodput_fraction missing or not numeric")
+    elif not 0.0 <= goodput <= 1.0:
+        problems.append("waste.goodput_fraction %r outside [0, 1]" % goodput)
+    elif "wasted_ns" in numbers and "committed_ns" in numbers:
+        total = numbers["wasted_ns"] + numbers["committed_ns"]
+        expected = numbers["committed_ns"] / total if total else 1.0
+        if abs(goodput - expected) > 1e-12:
+            problems.append(
+                "waste.goodput_fraction %.12f != committed/(committed+wasted)"
+                " %.12f" % (goodput, expected)
+            )
+    cats = section.get("categories")
+    if not isinstance(cats, dict) or not all(
+        isinstance(v, int) and not isinstance(v, bool) for v in cats.values()
+    ):
+        problems.append("waste.categories missing or not an integer-valued "
+                        "object")
+    elif "wasted_ns" in numbers and sum(cats.values()) != numbers["wasted_ns"]:
+        problems.append("waste: category sum %d != wasted_ns %d"
+                        % (sum(cats.values()), numbers["wasted_ns"]))
+    by_cause = section.get("by_cause")
+    if not isinstance(by_cause, dict):
+        problems.append("waste.by_cause missing or not an object")
+    else:
+        ok_rows = True
+        for cause, entry in sorted(by_cause.items()):
+            where = "waste.by_cause[%r]" % cause
+            if cause not in _ABORT_CAUSES + ("unclassified",):
+                problems.append("%s is not a known cause" % where)
+            if not isinstance(entry, dict) or not all(
+                isinstance(entry.get(k), int) and not isinstance(
+                    entry.get(k), bool
+                ) for k in ("attempts", "wasted_ns")
+            ):
+                problems.append("%s needs integer attempts / wasted_ns"
+                                % where)
+                ok_rows = False
+        if ok_rows and "wasted_ns" in numbers and sum(
+            e["wasted_ns"] for e in by_cause.values()
+        ) != numbers["wasted_ns"]:
+            problems.append("waste: by_cause wasted_ns do not sum to "
+                            "wasted_ns")
+        if ok_rows and "attempts" in numbers and sum(
+            e["attempts"] for e in by_cause.values()
+        ) != numbers["attempts"]:
+            problems.append("waste: by_cause attempts do not sum to attempts")
+    by_mix = section.get("by_mix")
+    if not isinstance(by_mix, dict) or not all(
+        isinstance(v, int) and not isinstance(v, bool)
+        for v in by_mix.values()
+    ):
+        problems.append("waste.by_mix missing or not an integer-valued "
+                        "object")
+    hot = section.get("hot_ranges")
+    if not isinstance(hot, list):
+        problems.append("waste.hot_ranges missing or not a list")
+    else:
+        for i, row in enumerate(hot):
+            where = "waste.hot_ranges[%d]" % i
+            if not isinstance(row, dict):
+                problems.append("%s is not an object" % where)
+                continue
+            if not isinstance(row.get("file"), str):
+                problems.append("%s.file missing or not a string" % where)
+            for key in ("range_start", "wasted_ns"):
+                value = row.get(key)
+                if not isinstance(value, int) or isinstance(value, bool):
+                    problems.append("%s.%s missing or not an integer"
+                                    % (where, key))
+    return problems
+
+
+def _check_hotness(section):
+    """Problems with a v9 ``hotness`` section (empty list = valid).
+
+    Enforces the windowing contract: every top row's score series has
+    exactly ``windows`` samples, the final sample equals the headline
+    score, and the per-window ranking has one entry list per window."""
+    problems = []
+    if not isinstance(section, dict):
+        return ["hotness is %s, expected object" % type(section).__name__]
+    window = section.get("window_s")
+    if not isinstance(window, (int, float)) or isinstance(window, bool) \
+            or window <= 0:
+        problems.append("hotness.window_s missing or not a positive number")
+    windows = section.get("windows")
+    if not isinstance(windows, int) or isinstance(windows, bool) \
+            or windows < 1:
+        problems.append("hotness.windows missing or not a positive integer")
+        windows = None
+    for key in ("alpha", "abort_weight"):
+        if not isinstance(section.get(key), (int, float)) or isinstance(
+            section.get(key), bool
+        ):
+            problems.append("hotness.%s missing or not numeric" % key)
+    if not isinstance(section.get("keys"), int) or isinstance(
+        section.get("keys"), bool
+    ):
+        problems.append("hotness.keys missing or not an integer")
+    top = section.get("top")
+    if not isinstance(top, list):
+        problems.append("hotness.top missing or not a list")
+        top = []
+    for i, row in enumerate(top):
+        where = "hotness.top[%d]" % i
+        if not isinstance(row, dict):
+            problems.append("%s is not an object" % where)
+            continue
+        if not isinstance(row.get("site"), str):
+            problems.append("%s.site missing or not a string" % where)
+        if not isinstance(row.get("file"), str):
+            problems.append("%s.file missing or not a string" % where)
+        if not isinstance(row.get("range_start"), int) or isinstance(
+            row.get("range_start"), bool
+        ):
+            problems.append("%s.range_start missing or not an integer" % where)
+        for key in ("score", "peak_score", "wait_s"):
+            if not isinstance(row.get(key), (int, float)) or isinstance(
+                row.get(key), bool
+            ):
+                problems.append("%s.%s missing or not numeric" % (where, key))
+        aborts = row.get("aborts")
+        if not isinstance(aborts, int) or isinstance(aborts, bool):
+            problems.append("%s.aborts missing or not an integer" % where)
+        scores = row.get("scores")
+        if not isinstance(scores, list) or not all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in scores
+        ):
+            problems.append("%s.scores missing or not a numeric list" % where)
+        else:
+            if windows is not None and len(scores) != windows:
+                problems.append("%s.scores has %d samples, expected %d"
+                                % (where, len(scores), windows))
+            if scores and isinstance(row.get("score"), (int, float)) \
+                    and abs(scores[-1] - row["score"]) > 1e-6:
+                problems.append("%s: final scores sample disagrees with "
+                                "headline score" % where)
+    ranking = section.get("ranking")
+    if not isinstance(ranking, list) or not all(
+        isinstance(entry, list) and all(isinstance(s, str) for s in entry)
+        for entry in ranking
+    ):
+        problems.append("hotness.ranking missing or not a list of string "
+                        "lists")
+    elif windows is not None and len(ranking) != windows:
+        problems.append("hotness.ranking has %d windows, expected %d"
+                        % (len(ranking), windows))
     return problems
 
 

@@ -110,6 +110,22 @@ class Timeline:
         events.append((self.engine.now, int(n)))
         self.points += 1
 
+    def inject_gauge(self, site, name, points):
+        """Install a post-hoc computed gauge series (e.g. the hotness
+        scores of :mod:`repro.analysis.hotness`, which only exist once
+        the run is over).  ``points`` is a ``[(ts, value), ...]`` list
+        in ascending time order; re-injecting a key replaces its
+        series, so callers are idempotent.  Analysis-time bookkeeping
+        only -- the simulation is already finished when this runs."""
+        key = (self._site_key(site), name)
+        old = self._series.get(key)
+        if old is not None:
+            self.points -= len(old)
+        series = [(float(ts), float(v)) for ts, v in points]
+        self._series[key] = series
+        self._current[key] = series[-1][1] if series else 0.0
+        self.points += len(series)
+
     def zero_site(self, site):
         """Reset every gauge at ``site`` to zero (a site crash wipes
         its in-core tables; the series should show that)."""

@@ -99,7 +99,7 @@ class LoadDriver:
         start = self.cluster.engine.now
         procs = []
         for w in range(self.workers):
-            prog = self._worker_program(self._workloads[w], result)
+            prog = self._worker_program(self._workloads[w], result, w)
             procs.append(
                 self.cluster.spawn(prog, site_id=site_ids[w % len(site_ids)],
                                    name="load-worker-%d" % w)
@@ -114,7 +114,7 @@ class LoadDriver:
 
     # ------------------------------------------------------------------
 
-    def _worker_program(self, workload, result):
+    def _worker_program(self, workload, result, windex=0):
         layout, path = self.layout, self.path
         rsize = layout.record_size
         max_retries = self.max_retries
@@ -122,14 +122,28 @@ class LoadDriver:
         upgrades = self.upgrades
 
         def prog(sys):
+            obs = self.cluster.engine.obs
+            prov = obs.provenance if obs is not None else None
             for _n in range(self.txns_per_worker):
                 txn = workload.next_transaction()
                 attempts = 0
+                # Retry-chain provenance: all attempts of this logical
+                # transaction share one chain key, so retries-per-success
+                # and storm bursts are first-class (repro.obs.provenance).
+                chain = ("load", windex, _n)
+                attempt_tids = []
+                note = None
+                if prov is not None:
+                    def note(tid, _chain=chain, _tids=attempt_tids):
+                        _tids.append(tid)
+                        prov.note_attempt(_chain, tid)
                 while True:
                     try:
                         yield from self._one_txn(sys, path, layout, txn,
-                                                 upgrades)
+                                                 upgrades, note)
                         result.committed += 1
+                        if prov is not None and attempt_tids:
+                            prov.note_commit(chain, attempt_tids[-1])
                         break
                     except (TransactionAborted, Interrupt):
                         # Victimized: the abort may surface either as the
@@ -137,6 +151,8 @@ class LoadDriver:
                         attempts += 1
                         if attempts > max_retries:
                             result.aborted += 1
+                            if prov is not None:
+                                prov.note_abandoned(chain)
                             break
                         result.retries += 1
                         try:
@@ -148,9 +164,11 @@ class LoadDriver:
         return prog
 
     @staticmethod
-    def _one_txn(sys, path, layout, txn, upgrades):
+    def _one_txn(sys, path, layout, txn, upgrades, note=None):
         rsize = layout.record_size
         yield from sys.begin_trans()
+        if note is not None:
+            note(sys.tid)
         fd = yield from sys.open(path, write=True)
         for rec in txn.touched():
             yield from sys.seek(fd, layout.offset_of(rec))
@@ -290,6 +308,7 @@ class ScalingDriver:
         self._rsize = record_size
         self._paths = ["%s%d" % (path_prefix, sid) for sid in self._site_ids]
         self._payload = b"u" * record_size
+        self._chain_seq = 0  # retry-chain keys for abort provenance
 
     # ------------------------------------------------------------------
 
@@ -401,10 +420,24 @@ class ScalingDriver:
         client-visible latency (retries included) on commit."""
         attempts = 0
         started = sysc.now
+        obs = self.cluster.engine.obs
+        prov = obs.provenance if obs is not None else None
+        chain = None
+        attempt_tids = []
+        note = None
+        if prov is not None:
+            chain = ("scale", self.mix_def.name, self._chain_seq)
+            self._chain_seq += 1
+
+            def note(tid):
+                attempt_tids.append(tid)
+                prov.note_attempt(chain, tid)
         while True:
             try:
-                yield from self._one_txn(sysc, fds, txn)
+                yield from self._one_txn(sysc, fds, txn, note)
                 result.committed += 1
+                if prov is not None and attempt_tids:
+                    prov.note_commit(chain, attempt_tids[-1])
                 latency = sysc.now - started
                 result.latencies.append(latency)
                 obs = self.cluster.engine.obs
@@ -418,6 +451,8 @@ class ScalingDriver:
                 attempts += 1
                 if attempts > self.max_retries:
                     result.aborted += 1
+                    if prov is not None:
+                        prov.note_abandoned(chain)
                     return
                 result.retries += 1
                 try:
@@ -425,13 +460,15 @@ class ScalingDriver:
                 except (TransactionAborted, Interrupt):
                     pass  # absorb a straggling duplicate notice
 
-    def _one_txn(self, sysc, fds, txn):
+    def _one_txn(self, sysc, fds, txn, note=None):
         """Reads (implicit shared locks) then writes (implicit
         exclusive), in draw order -- the deadlock-capable idiom."""
         per_file = self._per_file
         rsize = self._rsize
         payload = self._payload
         yield from sysc.begin_trans()
+        if note is not None:
+            note(sysc.tid)
         for rec in txn.reads:
             fd = fds[rec // per_file]
             yield from sysc.seek(fd, (rec % per_file) * rsize)

@@ -221,7 +221,7 @@ def test_critpath_section_in_report_validates():
 
     cluster = run_scenario("commit")
     report = build_report(cluster, scenario="commit")
-    assert report["schema"] == "repro.bench_report/8"
+    assert report["schema"] == "repro.bench_report/9"
     assert "critpath" in report and "contention" in report
     validate_report(report)
     # The validator enforces the exact-sum invariant.

@@ -1,0 +1,103 @@
+"""CycleCache: memoized deadlock scans are *provably* result-identical.
+
+The detector polls an evolving wait-for picture, so successive scans
+usually share most of their edges.  ``CycleCache`` shortcuts two cases
+(identical edge set; subset of a known-acyclic set) and must fall back
+to the full deterministic DFS for everything else.  These tests prove
+the identity differentially: thousands of randomized scan sequences,
+every cached answer compared against a fresh :func:`find_cycle`.
+"""
+
+import random
+
+from repro.locking.deadlock import (CycleCache, build_wait_graph,
+                                    choose_victim, find_cycle)
+
+
+def _random_graph(rng, nodes=8, edges=10):
+    """A random wait-for graph over ``txn`` holders."""
+    holders = [("txn", i) for i in range(nodes)]
+    pairs = set()
+    for _ in range(edges):
+        a, b = rng.sample(holders, 2)
+        pairs.add((a, b))
+    return build_wait_graph([sorted(pairs)])
+
+
+def _mutate(rng, graph):
+    """A neighbouring graph: add, remove, or keep edges."""
+    edges = {(w, b) for w, blockers in graph.items() for b in blockers}
+    roll = rng.random()
+    if roll < 0.4 and edges:            # drop some edges (subset case)
+        keep = rng.sample(sorted(edges), rng.randrange(len(edges) + 1))
+        return build_wait_graph([keep])
+    if roll < 0.5:                      # identical resubmission (hit case)
+        return build_wait_graph([sorted(edges)])
+    a, b = ("txn", rng.randrange(10)), ("txn", rng.randrange(10))
+    if a != b:
+        edges.add((a, b))
+    return build_wait_graph([sorted(edges)])
+
+
+def test_cached_scan_results_identical_to_fresh_dfs():
+    """Differential proof over randomized evolving scan sequences: the
+    cache's answer equals a fresh deterministic DFS on every step."""
+    for seed in range(50):
+        rng = random.Random(seed)
+        cache = CycleCache()
+        graph = _random_graph(rng, edges=rng.randrange(0, 14))
+        for _step in range(40):
+            assert cache.find_cycle(graph) == find_cycle(graph), (
+                "seed %d: cache diverged from fresh DFS" % seed)
+            graph = _mutate(rng, graph)
+
+
+def test_identical_edge_set_is_a_hit():
+    cache = CycleCache()
+    graph = build_wait_graph([[(("txn", 1), ("txn", 2)),
+                               (("txn", 2), ("txn", 1))]])
+    first = cache.find_cycle(graph)
+    assert first == find_cycle(graph)
+    assert cache.misses == 1
+    # Same edges, freshly built graph object: served from the cache.
+    again = cache.find_cycle(build_wait_graph(
+        [[(("txn", 2), ("txn", 1)), (("txn", 1), ("txn", 2))]]))
+    assert again == first
+    assert cache.hits == 1
+
+
+def test_subset_of_acyclic_set_shortcuts_to_none():
+    cache = CycleCache()
+    chain = [(("txn", 1), ("txn", 2)), (("txn", 2), ("txn", 3)),
+             (("txn", 3), ("txn", 4))]
+    assert cache.find_cycle(build_wait_graph([chain])) is None
+    assert cache.misses == 1
+    # Removing edges from an acyclic graph cannot create a cycle.
+    assert cache.find_cycle(build_wait_graph([chain[:1]])) is None
+    assert cache.shortcuts == 1
+    assert cache.find_cycle(build_wait_graph([[]])) is None
+    assert cache.shortcuts == 2
+
+
+def test_subset_of_cyclic_set_is_not_shortcut():
+    """Removing edges from a *cyclic* graph may break the cycle, so the
+    subset shortcut must not apply -- a fresh DFS must run."""
+    cache = CycleCache()
+    cyc = [(("txn", 1), ("txn", 2)), (("txn", 2), ("txn", 1)),
+           (("txn", 3), ("txn", 1))]
+    assert cache.find_cycle(build_wait_graph([cyc])) is not None
+    assert cache.misses == 1
+    sub = build_wait_graph([cyc[1:]])   # cycle broken
+    assert cache.find_cycle(sub) is None
+    assert cache.misses == 2 and cache.shortcuts == 0
+
+
+def test_added_edge_falls_through_to_fresh_dfs():
+    cache = CycleCache()
+    chain = [(("txn", 1), ("txn", 2))]
+    assert cache.find_cycle(build_wait_graph([chain])) is None
+    closed = chain + [(("txn", 2), ("txn", 1))]
+    cycle = cache.find_cycle(build_wait_graph([closed]))
+    assert cycle is not None
+    assert cache.misses == 2
+    assert choose_victim(cycle) == ("txn", 2)

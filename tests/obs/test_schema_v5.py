@@ -38,7 +38,7 @@ def report():
 
 
 def test_current_schema_is_v6():
-    assert SCHEMA_ID == "repro.bench_report/8"
+    assert SCHEMA_ID == "repro.bench_report/9"
 
 
 @pytest.mark.parametrize("version", [1, 2, 3, 4, 5, 6])

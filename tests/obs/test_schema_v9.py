@@ -1,0 +1,220 @@
+"""Schema v9: aborts / waste / hotness sections and their invariants.
+
+The version-pin and cross-version acceptance tests live in
+``test_schema_v5.py``; this file covers what v9 *added*: the three
+provenance-era sections validate in generated reports, are rejected on
+older schema ids, and the exact-sum invariants (waste categories ==
+wasted_ns, abort causes == total, hotness series length == windows)
+raise on any mismatch.
+"""
+
+import copy
+
+import pytest
+
+from repro.analysis.report import build_report, run_scenario
+from repro.obs.schema import SCHEMA_ID, SchemaError, validate_report
+from tests.obs.test_schema_v5 import minimal as _minimal
+
+
+@pytest.fixture(scope="module")
+def report():
+    cluster = run_scenario("commit")
+    return build_report(cluster, scenario="commit")
+
+
+def minimal(version=9):
+    return _minimal(version)
+
+
+def valid_aborts(total=2):
+    return {
+        "total": total,
+        "causes": {"deadlock": 1, "rpc_timeout": total - 1},
+        "by_site": {"1": total},
+        "retries": {"successes": 3, "retried_successes": 1, "attempts": 5,
+                    "retries_per_success": 2 / 3, "max_chain": 3,
+                    "abandoned": 0},
+        "storm": {"window_s": 1.0, "peak": 2, "at": 0.5},
+    }
+
+
+def valid_waste():
+    return {
+        "attempts": 1,
+        "wasted_ns": 100,
+        "committed_ns": 900,
+        "goodput_fraction": 0.9,
+        "categories": {"lock_wait": 60, "compute": 40},
+        "by_cause": {"deadlock": {"attempts": 1, "wasted_ns": 100}},
+        "by_mix": {"banking": 100},
+        "hot_ranges": [{"file": "/f", "range_start": 0, "wasted_ns": 60}],
+    }
+
+
+def valid_hotness():
+    return {
+        "window_s": 1.0,
+        "windows": 2,
+        "alpha": 0.3,
+        "abort_weight": 0.25,
+        "keys": 1,
+        "top": [{"site": "1", "file": "/f", "range_start": 0,
+                 "score": 0.4, "peak_score": 0.5, "wait_s": 0.7,
+                 "aborts": 1, "scores": [0.5, 0.4]}],
+        "ranking": [["1:/f:0"], ["1:/f:0"]],
+    }
+
+
+# ----------------------------------------------------------------------
+# generated reports
+# ----------------------------------------------------------------------
+
+def test_generated_report_carries_the_provenance_sections(report):
+    assert report["schema"] == SCHEMA_ID
+    assert "aborts" in report and "waste" in report and "hotness" in report
+    validate_report(report)
+
+
+def test_generated_waste_section_sums_exactly(report):
+    waste = report["waste"]
+    assert sum(waste["categories"].values()) == waste["wasted_ns"]
+    assert sum(e["wasted_ns"] for e in waste["by_cause"].values()) \
+        == waste["wasted_ns"]
+
+
+def test_generated_aborts_section_is_consistent(report):
+    aborts = report["aborts"]
+    assert sum(aborts["causes"].values()) == aborts["total"]
+    assert aborts["storm"]["peak"] <= aborts["total"]
+
+
+def test_generated_hotness_series_match_window_count(report):
+    hotness = report["hotness"]
+    for row in hotness["top"]:
+        assert len(row["scores"]) == hotness["windows"]
+
+
+# ----------------------------------------------------------------------
+# version gating
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("section,payload", [
+    ("aborts", valid_aborts()),
+    ("waste", valid_waste()),
+    ("hotness", valid_hotness()),
+])
+def test_provenance_sections_are_rejected_on_v8(section, payload):
+    doc = minimal(8)
+    doc[section] = payload
+    with pytest.raises(SchemaError,
+                       match="%s section requires schema" % section):
+        validate_report(doc)
+
+
+@pytest.mark.parametrize("section,payload", [
+    ("aborts", valid_aborts()),
+    ("waste", valid_waste()),
+    ("hotness", valid_hotness()),
+])
+def test_provenance_sections_validate_on_v9(section, payload):
+    doc = minimal()
+    doc[section] = copy.deepcopy(payload)
+    validate_report(doc)
+
+
+# ----------------------------------------------------------------------
+# invariants raise
+# ----------------------------------------------------------------------
+
+def _expect(doc, match):
+    with pytest.raises(SchemaError, match=match):
+        validate_report(doc)
+
+
+def test_waste_category_sum_mismatch_raises():
+    doc = minimal()
+    doc["waste"] = valid_waste()
+    doc["waste"]["categories"]["compute"] += 1
+    _expect(doc, "category sum")
+
+
+def test_waste_by_cause_sum_mismatch_raises():
+    doc = minimal()
+    doc["waste"] = valid_waste()
+    doc["waste"]["by_cause"]["deadlock"]["wasted_ns"] = 99
+    _expect(doc, "by_cause")
+
+
+def test_waste_goodput_fraction_mismatch_raises():
+    doc = minimal()
+    doc["waste"] = valid_waste()
+    doc["waste"]["goodput_fraction"] = 0.5
+    _expect(doc, "goodput")
+
+
+def test_waste_unknown_cause_raises():
+    doc = minimal()
+    doc["waste"] = valid_waste()
+    doc["waste"]["by_cause"] = {"meteor": {"attempts": 1, "wasted_ns": 100}}
+    _expect(doc, "cause")
+
+
+def test_aborts_cause_sum_mismatch_raises():
+    doc = minimal()
+    doc["aborts"] = valid_aborts()
+    doc["aborts"]["causes"]["deadlock"] += 1
+    _expect(doc, "sum")
+
+
+def test_aborts_unknown_cause_raises():
+    doc = minimal()
+    doc["aborts"] = valid_aborts()
+    doc["aborts"]["causes"] = {"meteor": 2}
+    _expect(doc, "cause")
+
+
+def test_aborts_storm_peak_above_total_raises():
+    doc = minimal()
+    doc["aborts"] = valid_aborts()
+    doc["aborts"]["storm"]["peak"] = 99
+    _expect(doc, "peak")
+
+
+def test_hotness_scores_length_mismatch_raises():
+    doc = minimal()
+    doc["hotness"] = valid_hotness()
+    doc["hotness"]["top"][0]["scores"] = [0.4]
+    _expect(doc, "scores")
+
+
+def test_hotness_last_sample_must_equal_headline_score():
+    doc = minimal()
+    doc["hotness"] = valid_hotness()
+    doc["hotness"]["top"][0]["scores"] = [0.5, 0.9]
+    _expect(doc, "score")
+
+
+def test_hotness_ranking_length_mismatch_raises():
+    doc = minimal()
+    doc["hotness"] = valid_hotness()
+    doc["hotness"]["ranking"] = [["1:/f:0"]]
+    _expect(doc, "ranking")
+
+
+def test_scaling_cell_waste_sum_mismatch_raises():
+    doc = minimal()
+    doc["scaling"] = {
+        "workload": {"mix": "banking", "keys": "zipf", "arrival": "closed"},
+        "cells": [{
+            "sites": 1, "clients": 4, "theta": 0.9, "seed": 1,
+            "committed": 4, "aborted": 0, "commits_per_sec": 10.0,
+            "abort_rate": 0.0, "p50_ms": 1.0, "p95_ms": 1.0,
+            "p99_ms": 1.0, "p999_ms": 1.0, "makespan_s": 0.4,
+            "goodput_fraction": 1.0, "dominant_abort_cause": None,
+            "hot_ranges": [], "waste": {
+                "wasted_ns": 10, "categories": {"lock_wait": 9},
+            },
+        }],
+    }
+    _expect(doc, "category sum")

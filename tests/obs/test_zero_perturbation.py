@@ -11,12 +11,13 @@ from repro import Cluster, SystemConfig, drive
 
 
 def run_workload(instrument, config=None, monitors=False, timeline_tick=0.0,
-                 sampling=None):
+                 sampling=None, provenance=False):
     cluster = Cluster(site_ids=(1, 2, 3), config=config)
     if instrument:
         cluster.enable_observability(
             monitors=monitors, strict=monitors,
             timeline_tick=timeline_tick, sampling=sampling,
+            provenance=provenance,
         )
     drive(cluster.engine, cluster.create_file("/db/a", site_id=1))
     drive(cluster.engine, cluster.populate("/db/a", b"." * 256))
@@ -277,6 +278,43 @@ def test_tail_sampling_cuts_peak_retained_spans_10x_at_c1024():
         ids = {s.span_id for s in tree}
         assert any(s.parent_id is None for s in tree)
         assert all(s.parent_id is None or s.parent_id in ids for s in tree)
+
+
+# ----------------------------------------------------------------------
+# abort provenance (PR 10): still zero perturbation
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("lock_cache", [False, True])
+@pytest.mark.parametrize("commit_batching", [False, True])
+def test_provenance_is_a_pure_observer(lock_cache, commit_batching):
+    """Abort-provenance classification rides on the full observability
+    stack across the feature matrix without moving a single observable:
+    recording a cause never charges CPU or advances the clock."""
+    config = SystemConfig(lock_cache=lock_cache,
+                          commit_batching=commit_batching)
+    bare_cluster, bare_outcomes = run_workload(False, config=config)
+    inst_cluster, inst_outcomes = run_workload(
+        True, config=SystemConfig(lock_cache=lock_cache,
+                                  commit_batching=commit_batching),
+        monitors=True, timeline_tick=0.25, provenance=True,
+    )
+    assert _fingerprint(inst_cluster, inst_outcomes) \
+        == _fingerprint(bare_cluster, bare_outcomes)
+    # The hub is live (this clean workload just has nothing to classify).
+    assert inst_cluster.obs.provenance is not None
+    assert len(inst_cluster.obs.provenance) == 0
+
+
+def test_provenance_env_var_matches_pinned_seed_fingerprint(monkeypatch):
+    """``REPRO_PROVENANCE=1`` attaches the hub without a code change and
+    leaves the pinned pre-feature fingerprint byte-identical: clock,
+    categorized I/O, message traffic, and outcomes."""
+    monkeypatch.setenv("REPRO_PROVENANCE", "1")
+    cluster, outcomes = run_workload(True, monitors=True,
+                                     timeline_tick=0.25, provenance=None)
+    assert cluster.obs.provenance is not None
+    assert _fingerprint(cluster, outcomes) == SEED_FINGERPRINT
+    assert cluster.obs.monitors.total_violations == 0
 
 
 def test_monitor_env_vars_attach_monitors(monkeypatch):

@@ -167,11 +167,11 @@ class _GaugedDriver(ScalingDriver):
         self.inflight = 0
         self.max_inflight = 0
 
-    def _one_txn(self, sysc, fds, txn):
+    def _one_txn(self, sysc, fds, txn, note=None):
         self.inflight += 1
         self.max_inflight = max(self.max_inflight, self.inflight)
         try:
-            yield from super()._one_txn(sysc, fds, txn)
+            yield from super()._one_txn(sysc, fds, txn, note)
         finally:
             self.inflight -= 1
 
